@@ -1,0 +1,58 @@
+// Command sinrbench runs the full experiment suite of the
+// reproduction — every figure and theorem of the paper — and prints
+// one paper-vs-measured table per experiment (the tables recorded in
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	sinrbench [-trials N] [-only E7]
+//
+// -trials scales the randomized validations (default 5); -only runs a
+// single experiment by id.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	trials := flag.Int("trials", 5, "trials per randomized validation cell")
+	only := flag.String("only", "", "run only the experiment with this id (e.g. E7)")
+	flag.Parse()
+
+	if err := run(*trials, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "sinrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(trials int, only string) error {
+	failed, ran := 0, 0
+	for _, e := range exp.Registry(trials) {
+		if only != "" && !strings.EqualFold(e.ID, only) {
+			continue
+		}
+		t, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println(t)
+		ran++
+		if !t.Pass {
+			failed++
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matches id %q", only)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed to reproduce the paper's shape", failed)
+	}
+	fmt.Println("all selected experiments reproduce the paper's qualitative results")
+	return nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+// TestRunSingleExperiment smoke-tests the CLI path on the cheapest
+// experiment (E1): selection by id, table printing, error plumbing.
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run(1, "E1"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCaseInsensitiveSelector(t *testing.T) {
+	if err := run(1, "e2"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if err := run(1, "E99"); err == nil {
+		t.Fatal("unknown experiment id must fail")
+	}
+}

@@ -1,0 +1,83 @@
+// Command sinrmap renders the paper's reception diagrams (Figures 1,
+// 2 and 5) as ASCII art on stdout or as PPM images.
+//
+// Usage:
+//
+//	sinrmap -fig fig1a                 # ASCII to stdout
+//	sinrmap -fig fig2-sinr -o out.ppm  # PPM to a file
+//	sinrmap -all -dir figures/         # every figure as PPM
+//
+// Figures: fig1a fig1b fig1c fig2-udg fig2-sinr fig5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/exp"
+)
+
+var allFigures = []string{"fig1a", "fig1b", "fig1c", "fig2-udg", "fig2-sinr", "fig5"}
+
+func main() {
+	fig := flag.String("fig", "fig1a", "figure to render")
+	width := flag.Int("width", 400, "pixel width (PPM) ")
+	height := flag.Int("height", 400, "pixel height (PPM)")
+	out := flag.String("o", "", "write a PPM image to this path instead of ASCII to stdout")
+	all := flag.Bool("all", false, "render every figure as PPM")
+	dir := flag.String("dir", ".", "output directory for -all")
+	flag.Parse()
+
+	if err := run(*fig, *width, *height, *out, *all, *dir); err != nil {
+		fmt.Fprintln(os.Stderr, "sinrmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, width, height int, out string, all bool, dir string) error {
+	if all {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for _, name := range allFigures {
+			path := filepath.Join(dir, name+".ppm")
+			if err := renderPPM(name, width, height, path); err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+		}
+		return nil
+	}
+	if out != "" {
+		if err := renderPPM(fig, width, height, out); err != nil {
+			return err
+		}
+		fmt.Println("wrote", out)
+		return nil
+	}
+	// ASCII: use a terminal-friendly default resolution.
+	rm, err := exp.RenderFigure(fig, 100, 46)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rm.ASCII())
+	return nil
+}
+
+func renderPPM(fig string, width, height int, path string) error {
+	rm, err := exp.RenderFigure(fig, width, height)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rm.WritePPM(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

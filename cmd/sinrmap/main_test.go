@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunASCII(t *testing.T) {
+	if err := run("fig1a", 40, 40, "", false, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunPPMFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "fig.ppm")
+	if err := run("fig5", 50, 50, out, false, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 50*50*3 {
+		t.Errorf("PPM too small: %d bytes", len(data))
+	}
+}
+
+func TestRunAllFigures(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("", 30, 30, "", true, dir); err != nil {
+		t.Fatalf("run -all: %v", err)
+	}
+	for _, name := range allFigures {
+		if _, err := os.Stat(filepath.Join(dir, name+".ppm")); err != nil {
+			t.Errorf("missing %s.ppm: %v", name, err)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("nope", 10, 10, "", false, ""); err == nil {
+		t.Fatal("unknown figure must fail")
+	}
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestRunOrders(t *testing.T) {
+	for _, order := range []string{"short", "long", "id"} {
+		if err := run(12, 15, 2, 1, order); err != nil {
+			t.Fatalf("order %s: %v", order, err)
+		}
+	}
+}
+
+func TestRunUnknownOrder(t *testing.T) {
+	if err := run(5, 15, 2, 1, "bogus"); err == nil {
+		t.Fatal("unknown order must fail")
+	}
+}

@@ -1,0 +1,79 @@
+// Mobility: the dynamic-diagram story of Figure 1 and the paper's
+// open-problems section. A station moves across the plane in steps;
+// at each step the example rebuilds the diagram view, reports who the
+// fixed receiver hears, and tracks how the mover's own zone area
+// changes. Demonstrates that diagram-derived structures are cheap
+// enough to refresh per step.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sinrdiag "repro"
+)
+
+func main() {
+	const (
+		beta  = 2
+		noise = 0.02
+		steps = 9
+	)
+	receiver := sinrdiag.Pt(0, 0)
+	fixed := []sinrdiag.Point{
+		sinrdiag.Pt(1.5, 0),     // s2
+		sinrdiag.Pt(-1.9, 2.53), // s3
+	}
+
+	fmt.Println("moving station s1 from (-5,0) toward (1,0); receiver at", receiver)
+	fmt.Println("step  s1.x    heard@p  SINR(best)  area(H_s1)")
+	for k := 0; k <= steps; k++ {
+		x := -5 + 6*float64(k)/float64(steps)
+		stations := append([]sinrdiag.Point{sinrdiag.Pt(x, 0)}, fixed...)
+		net, err := sinrdiag.NewUniform(stations, noise, beta)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		heard := "-"
+		best := 0.0
+		for i := 0; i < net.NumStations(); i++ {
+			if s := net.SINR(i, receiver); s > best {
+				best = s
+			}
+		}
+		if i, ok := net.HeardBy(receiver); ok {
+			heard = fmt.Sprintf("s%d", i+1)
+		}
+
+		area := 0.0
+		zone, err := net.Zone(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if a, err := zone.ApproxArea(128, 1e-5); err == nil {
+			area = a
+		}
+		fmt.Printf("%4d  %5.2f  %7s  %10.3f  %10.4f\n", k, x, heard, best, area)
+	}
+
+	// The silencing effect (Figure 1(C)): drop s3 at the final position
+	// and watch the receiver recover reception.
+	stations := append([]sinrdiag.Point{sinrdiag.Pt(-1, 0)}, fixed...)
+	net, err := sinrdiag.NewUniform(stations, noise, beta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, err := net.Subnetwork([]int{0, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, okAll := net.HeardBy(receiver)
+	iSub, okSub := sub.HeardBy(receiver)
+	fmt.Printf("\nwith s1 at (-1,0): all transmitting -> heard=%v; s3 silent -> heard=%v",
+		okAll, okSub)
+	if okSub {
+		fmt.Printf(" (s%d)", iSub+1)
+	}
+	fmt.Println()
+}

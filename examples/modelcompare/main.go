@@ -1,0 +1,79 @@
+// Model comparison: the Figures 2-4 story. Replays the paper's
+// UDG-vs-SINR scenarios (cumulative interference false positive, the
+// four-step transmitter progression) and quantifies how often the two
+// models disagree over a whole deployment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+	"repro/internal/geom"
+	"repro/internal/raster"
+	"repro/internal/udg"
+)
+
+func main() {
+	// Figure 2: cumulative interference. UDG sees no interferer within
+	// range and reports reception; SINR adds up the three out-of-range
+	// stations and refuses.
+	m, n, p, err := exp.Fig2Scenario()
+	if err != nil {
+		log.Fatal(err)
+	}
+	gi, gok := m.HeardBy(p)
+	si, sok := n.HeardBy(p)
+	fmt.Printf("Figure 2 at p=%v: UDG hears %s, SINR hears %s (SINR(s1,p)=%.3f < beta=%.1f)\n",
+		p, name(gi, gok), name(si, sok), n.SINR(0, p), n.Beta())
+	v, err := udg.Compare(m, n, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verdict:", v)
+
+	// Figures 3-4: transmitters join one at a time.
+	steps, err := exp.RunFig34()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nFigures 3-4 progression (receiver fixed):")
+	for _, s := range steps {
+		fmt.Printf("  step %d (%d active): UDG=%s SINR=%s\n",
+			s.Step, len(s.Transmitting), idx(s.UDGStation), idx(s.SINRStation))
+	}
+
+	// Whole-plane disagreement: rasterize both models over the Figure 2
+	// deployment and diff pixelwise.
+	box := geom.NewBox(geom.Pt(-10, -10), geom.Pt(10, 10))
+	rmU, err := raster.Render(m, box, 300, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rmS, err := raster.Render(n, box, 300, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := raster.Diff(rmU, rmS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npixelwise diff over %v (%d px):\n", box, d.Total)
+	fmt.Printf("  agree %d | UDG-only (false pos) %d | SINR-only (false neg) %d | different station %d\n",
+		d.Agree, d.OnlyA, d.OnlyB, d.BothMismatch)
+	fmt.Printf("  disagreement fraction: %.4f\n", d.DisagreeFraction())
+}
+
+func name(i int, ok bool) string {
+	if !ok {
+		return "nobody"
+	}
+	return fmt.Sprintf("s%d", i+1)
+}
+
+func idx(i int) string {
+	if i < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("s%d", i+1)
+}

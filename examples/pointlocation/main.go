@@ -1,0 +1,77 @@
+// Point location: the Theorem 3 workflow end to end. Builds the
+// combined data structure DS over a random deployment, answers
+// approximate queries in O(log n), resolves the eps-fraction of
+// uncertain answers exactly, and checks the three guarantees.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	sinrdiag "repro"
+)
+
+func main() {
+	const (
+		nStations = 48
+		eps       = 0.1
+		beta      = 3
+		noise     = 0.01
+	)
+	rng := rand.New(rand.NewSource(7))
+	stations := make([]sinrdiag.Point, nStations)
+	for i := range stations {
+		stations[i] = sinrdiag.Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+	}
+	net, err := sinrdiag.NewUniform(stations, noise, beta)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build DS: one gamma-grid QDS per station plus a nearest-station
+	// index. Size O(n/eps), preprocessing O(n^3/eps), queries O(log n).
+	loc, err := net.BuildLocator(eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DS built: %d stations, eps=%v, %d uncertain cells total\n",
+		nStations, eps, loc.NumUncertainCells())
+
+	// Answer queries. Locate is the O(log n) approximate answer;
+	// LocateExact spends one extra O(n) SINR evaluation only when the
+	// point falls in an uncertainty ring H_i^?.
+	var plus, minus, ring int
+	for k := 0; k < 200000; k++ {
+		p := sinrdiag.Pt(rng.Float64()*12-6, rng.Float64()*12-6)
+		switch loc.Locate(p).Kind {
+		case sinrdiag.Reception:
+			plus++
+		case sinrdiag.NoReception:
+			minus++
+		default:
+			ring++
+		}
+	}
+	fmt.Printf("200000 queries: H+ %d, H- %d, H? %d (ring fraction %.5f)\n",
+		plus, minus, ring, float64(ring)/200000)
+
+	// Guarantee check on a sample: H+ answers are always right, H-
+	// answers are always right, and LocateExact matches a full scan.
+	mismatch := 0
+	for k := 0; k < 20000; k++ {
+		p := sinrdiag.Pt(rng.Float64()*12-6, rng.Float64()*12-6)
+		exact := loc.LocateExact(p)
+		naive := net.NaiveLocate(p)
+		if exact.Kind != naive.Kind ||
+			(exact.Kind == sinrdiag.Reception && exact.Station != naive.Station) {
+			mismatch++
+		}
+	}
+	fmt.Printf("cross-check vs naive scan: %d mismatches in 20000\n", mismatch)
+
+	// Inspect one per-station structure.
+	q := loc.QDSFor(0)
+	fmt.Printf("QDS for station 0: gamma=%.5f, |T?|=%d over %d columns, ring area %.5f\n",
+		q.Gamma(), q.NumUncertainCells(), q.NumColumns(), q.UncertainArea())
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a uniform power network, evaluate SINR, test
+// reception, inspect a reception zone, and verify the paper's two
+// structural guarantees (convexity and fatness) on it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	sinrdiag "repro"
+)
+
+func main() {
+	// A uniform power network <S, 1, N, beta>: five stations, ambient
+	// noise 0.01, reception threshold beta = 3 (Section 2.2 of the
+	// paper; beta > 1 puts us in the regime of all three theorems).
+	stations := []sinrdiag.Point{
+		sinrdiag.Pt(0, 0),
+		sinrdiag.Pt(4, 1),
+		sinrdiag.Pt(-2, 3),
+		sinrdiag.Pt(1, -3.5),
+		sinrdiag.Pt(-3, -2),
+	}
+	net, err := sinrdiag.NewUniform(stations, 0.01, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("network:", net)
+
+	// Reception queries: SINR(s_i, p) >= beta means station i is heard
+	// at p. For beta > 1 at most one station is heard anywhere.
+	for _, p := range []sinrdiag.Point{
+		sinrdiag.Pt(0.5, 0.2),
+		sinrdiag.Pt(3.4, 0.8),
+		sinrdiag.Pt(2, 2), // between stations: likely silence
+	} {
+		if i, ok := net.HeardBy(p); ok {
+			fmt.Printf("at %v: station %d is heard (SINR %.2f)\n", p, i, net.SINR(i, p))
+		} else {
+			fmt.Printf("at %v: no station is heard\n", p)
+		}
+	}
+
+	// Reception zones: radial extent, area, fatness.
+	zone, err := net.Zone(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	area, err := zone.ApproxArea(256, 1e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phi, err := zone.MeasuredFatness(256, 1e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound, err := sinrdiag.FatnessBound(net.Beta())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("zone 0: area %.4f, fatness %.3f (Theorem 4.2 bound %.3f)\n", area, phi, bound)
+
+	// Theorem 1 in action: every line crosses the zone boundary at most
+	// twice, and midpoints of in-zone pairs stay in the zone.
+	report, err := net.CheckConvexity(0, 40, 40, 8, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("convexity certificate:", report)
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// FatnessBound returns the Theorem 4.2 bound on the fatness parameter
+// of a reception zone in a uniform power network:
+//
+//	phi(s_0, H_0) <= (sqrt(beta) + 1) / (sqrt(beta) - 1) = O(1).
+//
+// It is defined for beta > 1 only (at beta = 1 a trivial network has
+// an unbounded zone and the parameter is undefined).
+func FatnessBound(beta float64) (float64, error) {
+	if beta <= 1 {
+		return 0, ErrNeedBetaGT1
+	}
+	sq := math.Sqrt(beta)
+	return (sq + 1) / (sq - 1), nil
+}
+
+// ZoneBounds packages the explicit Theorem 4.1 bounds for one zone:
+// DeltaLower <= delta(s_i, H_i) and DeltaUpper >= Delta(s_i, H_i),
+// plus the kappa they are computed from.
+type ZoneBounds struct {
+	Kappa      float64 // min distance from s_i to any other station
+	DeltaLower float64 // lower bound on the inscribed radius delta
+	DeltaUpper float64 // upper bound on the enclosing radius Delta
+}
+
+// FatnessRatio returns the Theorem 4.1 fatness bound
+// DeltaUpper / DeltaLower (the O(sqrt(n)) bound the paper improves to
+// O(1) in Theorem 4.2).
+func (b ZoneBounds) FatnessRatio() float64 {
+	if b.DeltaLower == 0 {
+		return math.Inf(1)
+	}
+	return b.DeltaUpper / b.DeltaLower
+}
+
+// TheoremBounds computes the explicit Theorem 4.1 bounds for station
+// i's reception zone:
+//
+//	delta(s_i, H_i) >= kappa / (sqrt(beta*(n-1+N*kappa^2)) + 1)
+//	Delta(s_i, H_i) <= kappa / (sqrt(beta*(1+N*kappa^2)) - 1)
+//
+// It requires a uniform power network with beta > 1, at least two
+// stations, and a station location not shared by another station.
+func (n *Network) TheoremBounds(i int) (ZoneBounds, error) {
+	if !n.uniform {
+		return ZoneBounds{}, ErrNeedUniform
+	}
+	if n.beta <= 1 {
+		return ZoneBounds{}, ErrNeedBetaGT1
+	}
+	if len(n.stations) < 2 {
+		return ZoneBounds{}, fmt.Errorf("core: Theorem 4.1 bounds need n >= 2 stations")
+	}
+	kappa := n.Kappa(i)
+	if kappa == 0 {
+		return ZoneBounds{}, ErrSharedLocation
+	}
+	nn := float64(len(n.stations))
+	k2 := kappa * kappa
+	lower := kappa / (math.Sqrt(n.beta*(nn-1+n.noise*k2)) + 1)
+	upper := kappa / (math.Sqrt(n.beta*(1+n.noise*k2)) - 1)
+	return ZoneBounds{Kappa: kappa, DeltaLower: lower, DeltaUpper: upper}, nil
+}
+
+// ImprovedBounds tightens the Theorem 4.1 bounds using the Section 5.2
+// argument: probe the actual boundary distance r along one direction
+// (an O(log(Delta~/delta~)) binary search), then use Theorem 4.2's
+// constant fatness bound phi_beta to squeeze
+//
+//	delta >= r / phi_beta   and   Delta <= r * phi_beta,
+//
+// both Theta(r). The returned bounds are never looser than the
+// Theorem 4.1 ones.
+func (n *Network) ImprovedBounds(i int) (ZoneBounds, error) {
+	raw, err := n.TheoremBounds(i)
+	if err != nil {
+		return ZoneBounds{}, err
+	}
+	z, err := n.Zone(i)
+	if err != nil {
+		return ZoneBounds{}, err
+	}
+	// Probe "north of s_i" as the paper suggests; the tolerance needs
+	// only to be well below delta~, since the fatness bound absorbs
+	// constant factors.
+	r, err := z.RadialBoundary(math.Pi/2, raw.DeltaLower/64)
+	if err != nil {
+		return ZoneBounds{}, err
+	}
+	phi, err := FatnessBound(n.beta)
+	if err != nil {
+		return ZoneBounds{}, err
+	}
+	out := ZoneBounds{
+		Kappa:      raw.Kappa,
+		DeltaLower: math.Max(raw.DeltaLower, r/phi),
+		DeltaUpper: math.Min(raw.DeltaUpper, r*phi),
+	}
+	return out, nil
+}
+
+// SampledBounds computes near-tight certified bounds on delta and
+// Delta from m radial boundary probes, exploiting Theorem 1: in the
+// uniform-power, alpha = 2, beta > 1 regime the zone is convex, so
+//
+//   - the zone contains the convex hull of the m sampled boundary
+//     points, whose inscribed circle about s_i has radius at least
+//     rMin * cos(pi/m) — a certified lower bound on delta; and
+//   - the farthest zone point q sits within angular distance pi/m of
+//     some probe, and the hull of q with the inscribed ball B(s_i,
+//     delta) forces that probe's radius to at least
+//     Delta / (1 + (Delta/delta) * sin(pi/m)), so
+//     Delta <= rMax * (1 + phi_beta * pi / m) — a certified upper
+//     bound using the Theorem 4.2 fatness constant phi_beta.
+//
+// The sample count is raised to at least 32 * phi_beta so the cone
+// correction stays near 1. Results are clamped against the Theorem 4.1
+// bounds (which remain valid regardless of sampling). These bounds
+// track the zone's true fatness (typically Delta/delta < 2) instead of
+// the worst-case phi_beta, which is what keeps the Theorem 3 grid pitch
+// — and hence |T?| — small.
+func (n *Network) SampledBounds(i, samples int) (ZoneBounds, error) {
+	raw, err := n.TheoremBounds(i)
+	if err != nil {
+		return ZoneBounds{}, err
+	}
+	phi, err := FatnessBound(n.beta)
+	if err != nil {
+		return ZoneBounds{}, err
+	}
+	m := samples
+	if min := int(32*phi) + 1; m < min {
+		m = min
+	}
+	z, err := n.Zone(i)
+	if err != nil {
+		return ZoneBounds{}, err
+	}
+	rMin, rMax, _, _, err := z.MinMaxRadius(m, raw.DeltaLower/4096)
+	if err != nil {
+		return ZoneBounds{}, err
+	}
+	lower := rMin * math.Cos(math.Pi/float64(m))
+	upper := rMax * (1 + phi*math.Pi/float64(m))
+	return ZoneBounds{
+		Kappa:      raw.Kappa,
+		DeltaLower: math.Max(raw.DeltaLower, lower),
+		DeltaUpper: math.Min(raw.DeltaUpper, upper),
+	}, nil
+}

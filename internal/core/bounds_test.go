@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestFatnessBound(t *testing.T) {
+	tests := []struct {
+		beta float64
+		want float64
+	}{
+		{4, 3}, // (2+1)/(2-1)
+		{9, 2}, // (3+1)/(3-1)
+		{6, (math.Sqrt(6) + 1) / (math.Sqrt(6) - 1)},
+	}
+	for _, tc := range tests {
+		got, err := FatnessBound(tc.beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("FatnessBound(%v) = %v, want %v", tc.beta, got, tc.want)
+		}
+	}
+	if _, err := FatnessBound(1); err != ErrNeedBetaGT1 {
+		t.Errorf("beta = 1 should fail, got %v", err)
+	}
+	if _, err := FatnessBound(0.5); err == nil {
+		t.Error("beta < 1 should fail")
+	}
+}
+
+func TestTheoremBoundsTwoStationExact(t *testing.T) {
+	// For two stations, kappa = 1, N = 0, beta = 4:
+	// delta >= 1/(sqrt(4*1)+1) = 1/3 and Delta <= 1/(sqrt(4)-1) = 1.
+	// Both are tight for this network (the Apollonius disk).
+	n := twoStation(t)
+	b, err := n.TheoremBounds(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Kappa-1) > 1e-12 {
+		t.Errorf("kappa = %v", b.Kappa)
+	}
+	if math.Abs(b.DeltaLower-1.0/3) > 1e-12 {
+		t.Errorf("DeltaLower = %v, want 1/3", b.DeltaLower)
+	}
+	if math.Abs(b.DeltaUpper-1) > 1e-12 {
+		t.Errorf("DeltaUpper = %v, want 1", b.DeltaUpper)
+	}
+	if math.Abs(b.FatnessRatio()-3) > 1e-12 {
+		t.Errorf("FatnessRatio = %v, want 3", b.FatnessRatio())
+	}
+}
+
+func TestTheoremBoundsValidation(t *testing.T) {
+	if _, err := twoStation(t).TheoremBounds(0); err != nil {
+		t.Fatal(err)
+	}
+	// beta <= 1 rejected.
+	nb := mustNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}, 0, 1)
+	if _, err := nb.TheoremBounds(0); err != ErrNeedBetaGT1 {
+		t.Errorf("err = %v", err)
+	}
+	// single station rejected.
+	ns := mustNet(t, []geom.Point{geom.Pt(0, 0)}, 0, 2)
+	if _, err := ns.TheoremBounds(0); err == nil {
+		t.Error("single station must fail")
+	}
+	// shared location rejected.
+	nd := mustNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(0, 0)}, 0, 2)
+	if _, err := nd.TheoremBounds(0); err != ErrSharedLocation {
+		t.Errorf("err = %v", err)
+	}
+	// non-uniform rejected.
+	nu, err := NewNetwork([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}, 0, 2,
+		WithPowers([]float64{1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nu.TheoremBounds(0); err != ErrNeedUniform {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestTheoremBoundsSandwichMeasured verifies Theorem 4.1 empirically:
+// the measured extreme radii of random networks always fall inside the
+// theorem's sandwich.
+func TestTheoremBoundsSandwichMeasured(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 15; trial++ {
+		nSt := 2 + rng.Intn(8)
+		pts := make([]geom.Point, nSt)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+		}
+		noise := rng.Float64() * 0.05
+		beta := 1.5 + rng.Float64()*6
+		n := mustNet(t, pts, noise, beta)
+		if n.SharesLocation(0) {
+			continue
+		}
+		b, err := n.TheoremBounds(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, _ := n.Zone(0)
+		rMin, rMax, _, _, err := z.MinMaxRadius(128, b.DeltaLower/1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sampling can only overestimate delta and underestimate Delta,
+		// so these comparisons are safe up to tolerance.
+		if rMin < b.DeltaLower*(1-1e-6) {
+			t.Errorf("trial %d: measured delta %v below bound %v", trial, rMin, b.DeltaLower)
+		}
+		if rMax > b.DeltaUpper*(1+1e-6) {
+			t.Errorf("trial %d: measured Delta %v above bound %v", trial, rMax, b.DeltaUpper)
+		}
+	}
+}
+
+// TestFatnessWithinTheorem42 verifies Theorem 4.2: measured fatness is
+// bounded by (sqrt(beta)+1)/(sqrt(beta)-1) on random networks.
+func TestFatnessWithinTheorem42(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 15; trial++ {
+		nSt := 2 + rng.Intn(8)
+		pts := make([]geom.Point, nSt)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+		}
+		beta := 1.5 + rng.Float64()*6
+		n := mustNet(t, pts, rng.Float64()*0.05, beta)
+		if n.SharesLocation(0) {
+			continue
+		}
+		z, _ := n.Zone(0)
+		phi, err := z.MeasuredFatness(128, 1e-8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := FatnessBound(beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if phi > bound*(1+1e-6) {
+			t.Errorf("trial %d: fatness %v exceeds Theorem 4.2 bound %v (beta=%v)",
+				trial, phi, bound, beta)
+		}
+	}
+}
+
+func TestImprovedBoundsTighterAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 10; trial++ {
+		nSt := 3 + rng.Intn(6)
+		pts := make([]geom.Point, nSt)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+		}
+		n := mustNet(t, pts, rng.Float64()*0.02, 2+rng.Float64()*4)
+		if n.SharesLocation(0) {
+			continue
+		}
+		raw, err := n.TheoremBounds(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imp, err := n.ImprovedBounds(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Never looser.
+		if imp.DeltaLower < raw.DeltaLower-1e-12 || imp.DeltaUpper > raw.DeltaUpper+1e-12 {
+			t.Fatalf("trial %d: improved bounds looser than raw: %+v vs %+v", trial, imp, raw)
+		}
+		// Still valid.
+		z, _ := n.Zone(0)
+		rMin, rMax, _, _, err := z.MinMaxRadius(128, raw.DeltaLower/1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rMin < imp.DeltaLower*(1-1e-6) {
+			t.Fatalf("trial %d: improved delta bound %v exceeds measured %v", trial, imp.DeltaLower, rMin)
+		}
+		if rMax > imp.DeltaUpper*(1+1e-6) {
+			t.Fatalf("trial %d: improved Delta bound %v below measured %v", trial, imp.DeltaUpper, rMax)
+		}
+		// The improved ratio is O(1): at most phi^2 by construction.
+		phi, _ := FatnessBound(n.Beta())
+		if imp.FatnessRatio() > phi*phi*(1+1e-9) {
+			t.Fatalf("trial %d: improved ratio %v above phi^2 = %v", trial, imp.FatnessRatio(), phi*phi)
+		}
+	}
+}
+
+// TestSampledBoundsCertifiedAndTight: the convexity-certified sampled
+// bounds must still sandwich the measured radii while being much
+// tighter than the worst-case improved bounds.
+func TestSampledBoundsCertifiedAndTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 8; trial++ {
+		nSt := 2 + rng.Intn(8)
+		pts := make([]geom.Point, nSt)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+		}
+		n := mustNet(t, pts, rng.Float64()*0.02, 1.5+rng.Float64()*5)
+		if n.SharesLocation(0) {
+			continue
+		}
+		sb, err := n.SampledBounds(0, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, _ := n.Zone(0)
+		// Validate against a much denser independent measurement.
+		rMin, rMax, _, _, err := z.MinMaxRadius(1024, sb.DeltaLower/1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sb.DeltaLower > rMin*(1+1e-6) {
+			t.Fatalf("trial %d: certified delta bound %v above measured %v", trial, sb.DeltaLower, rMin)
+		}
+		if sb.DeltaUpper < rMax*(1-1e-6) {
+			t.Fatalf("trial %d: certified Delta bound %v below measured %v", trial, sb.DeltaUpper, rMax)
+		}
+		// Tightness: within 10% of measured on both sides.
+		if sb.DeltaLower < rMin*0.9 || sb.DeltaUpper > rMax*1.25 {
+			t.Errorf("trial %d: sampled bounds loose: [%v, %v] vs measured [%v, %v]",
+				trial, sb.DeltaLower, sb.DeltaUpper, rMin, rMax)
+		}
+	}
+}
+
+func TestZoneBoundsFatnessRatioDegenerate(t *testing.T) {
+	if got := (ZoneBounds{DeltaUpper: 1}).FatnessRatio(); !math.IsInf(got, 1) {
+		t.Errorf("ratio = %v, want +Inf", got)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// BRPOptions tunes the Boundary Reconstruction Process.
+type BRPOptions struct {
+	// MaxChord is the maximum allowed distance between consecutive
+	// boundary samples; the trace subdivides until consecutive samples
+	// are at most this far apart. Zero selects gamma/2.
+	MaxChord float64
+	// MaxDeviation is the maximum allowed sagitta (deviation of the
+	// true boundary midpoint from the chord between samples); the trace
+	// subdivides while the midpoint test exceeds it. Zero selects
+	// gamma/4.
+	MaxDeviation float64
+	// InitialRays is the number of evenly spaced starting angles
+	// (minimum 16; default 64).
+	InitialRays int
+	// Tol is the radial bisection tolerance (default gamma/16).
+	Tol float64
+}
+
+// maxBRPDepth bounds the adaptive subdivision per angular wedge.
+const maxBRPDepth = 40
+
+// TraceBoundary runs the Boundary Reconstruction Process of
+// Section 5.1 in its star-shape form: because the reception zone is
+// star-shaped with respect to its station (Lemma 3.1) the boundary is
+// the continuous radial graph r(theta), which the trace walks with
+// adaptive angular subdivision until both (a) consecutive samples are
+// within MaxChord and (b) the midpoint of each wedge deviates from the
+// chord by at most MaxDeviation. The returned samples are in
+// counterclockwise order, one full encirclement of ∂H_k, exactly the
+// traversal the paper's BRP performs at 9-cell granularity.
+func (z *Zone) TraceBoundary(gamma float64, opts BRPOptions) ([]geom.Point, error) {
+	if gamma <= 0 {
+		return nil, fmt.Errorf("core: gamma must be positive")
+	}
+	if opts.MaxChord <= 0 {
+		opts.MaxChord = gamma / 2
+	}
+	if opts.MaxDeviation <= 0 {
+		opts.MaxDeviation = gamma / 4
+	}
+	if opts.InitialRays < 16 {
+		opts.InitialRays = 64
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = gamma / 16
+	}
+
+	type sample struct {
+		theta float64
+		r     float64
+		p     geom.Point
+	}
+	// probe locates the boundary along theta; hint (the radius at a
+	// nearby angle) warm-starts the bisection bracket.
+	probe := func(theta, hint float64) (sample, error) {
+		r, err := z.radialBoundaryHinted(theta, opts.Tol, hint)
+		if err != nil {
+			return sample{}, err
+		}
+		return sample{theta: theta, r: r, p: geom.PolarPoint(z.Station(), r, theta)}, nil
+	}
+
+	initial := make([]sample, opts.InitialRays+1)
+	hint := 0.0
+	for i := 0; i <= opts.InitialRays; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(opts.InitialRays)
+		s, err := probe(theta, hint)
+		if err != nil {
+			return nil, err
+		}
+		initial[i] = s
+		hint = s.r
+	}
+
+	var out []geom.Point
+	var refine func(a, b sample, depth int) error
+	refine = func(a, b sample, depth int) error {
+		mid, err := probe((a.theta+b.theta)/2, (a.r+b.r)/2)
+		if err != nil {
+			return err
+		}
+		chordOK := geom.Dist(a.p, b.p) <= opts.MaxChord
+		devOK := geom.Seg(a.p, b.p).DistTo(mid.p) <= opts.MaxDeviation
+		if (chordOK && devOK) || depth >= maxBRPDepth {
+			out = append(out, a.p, mid.p)
+			return nil
+		}
+		if err := refine(a, mid, depth+1); err != nil {
+			return err
+		}
+		return refine(mid, b, depth+1)
+	}
+	for i := 0; i < opts.InitialRays; i++ {
+		if err := refine(initial[i], initial[i+1], 0); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestTraceBoundaryValidation(t *testing.T) {
+	n := twoStation(t)
+	z, _ := n.Zone(0)
+	if _, err := z.TraceBoundary(0, BRPOptions{}); err == nil {
+		t.Error("gamma = 0 must fail")
+	}
+	if _, err := z.TraceBoundary(-1, BRPOptions{}); err == nil {
+		t.Error("negative gamma must fail")
+	}
+}
+
+// TestTraceBoundaryOnApollonius: every traced point lies on the known
+// circle, consecutive samples respect the chord bound, and the trace
+// closes a full loop.
+func TestTraceBoundaryOnApollonius(t *testing.T) {
+	n := twoStation(t)
+	z, _ := n.Zone(0)
+	const gamma = 0.02
+	pts, err := z.TraceBoundary(gamma, BRPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 100 {
+		t.Fatalf("only %d samples", len(pts))
+	}
+	center := geom.Pt(-1.0/3, 0)
+	for i, p := range pts {
+		if d := geom.Dist(center, p); math.Abs(d-2.0/3) > 1e-2 {
+			t.Fatalf("sample %d at %v is off the Apollonius circle (dist %v)", i, p, d)
+		}
+		if i > 0 {
+			if c := geom.Dist(pts[i-1], p); c > gamma/2+1e-9 {
+				t.Fatalf("chord %d-%d = %v exceeds gamma/2 = %v", i-1, i, c, gamma/2)
+			}
+		}
+	}
+	// Full encirclement: the angular span of samples around the
+	// station covers (almost) 2 pi.
+	var minA, maxA = math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		a := p.Sub(z.Station()).Angle()
+		if a < minA {
+			minA = a
+		}
+		if a > maxA {
+			maxA = a
+		}
+	}
+	if maxA-minA < 2*math.Pi*0.95 {
+		t.Errorf("angular span = %v, want ~2pi", maxA-minA)
+	}
+}
+
+// TestTraceBoundaryDeviationBound: the adaptive subdivision keeps the
+// midpoint sagitta below the configured bound.
+func TestTraceBoundaryDeviationBound(t *testing.T) {
+	n := mustNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(1.3, 0.4), geom.Pt(-0.9, 1.2)}, 0.02, 2.5)
+	z, _ := n.Zone(0)
+	const gamma = 0.01
+	pts, err := z.TraceBoundary(gamma, BRPOptions{MaxChord: gamma / 2, MaxDeviation: gamma / 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot check: boundary membership of every 10th sample.
+	for i := 0; i < len(pts); i += 10 {
+		s := n.SINR(0, pts[i])
+		if math.Abs(s-n.Beta()) > 0.02*n.Beta() {
+			t.Fatalf("sample %d: SINR %v far from beta %v", i, s, n.Beta())
+		}
+	}
+}
+
+func TestTraceBoundaryCellCoverage(t *testing.T) {
+	// The union of traced-sample 9-cells must cover every boundary
+	// crossing of a probe set of vertical lines (the same guarantee
+	// VerifyColumns checks post-build, here asserted pre-inflation+1).
+	n := mustNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(2, 1), geom.Pt(-1, -1.5)}, 0.01, 3)
+	z, _ := n.Zone(0)
+	const gamma = 0.01
+	grid, err := NewGrid(n.Station(0), gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := z.TraceBoundary(gamma, BRPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[Cell]bool{}
+	for _, p := range pts {
+		for _, c := range grid.NineCell(grid.CellOf(p)) {
+			covered[c] = true
+		}
+	}
+	for _, dx := range []float64{-0.2, -0.05, 0.03, 0.11, 0.27} {
+		line := geom.Line{P: geom.Pt(dx, 0), D: geom.Pt(0, 1)}
+		roots, err := n.LineBoundaryCrossings(0, line, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range roots {
+			p := line.At(r)
+			if geom.Dist(p, n.Station(0)) > 2 { // other lobe guard
+				continue
+			}
+			if !covered[grid.CellOf(p)] {
+				t.Errorf("boundary crossing %v not covered by the trace ring", p)
+			}
+		}
+	}
+}
+
+func TestEnclosingBallConsistent(t *testing.T) {
+	n := twoStation(t)
+	z, _ := n.Zone(0)
+	ball, err := z.EnclosingBall(256, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zone is the disk center (-1/3, 0) radius 2/3: its MEB is
+	// itself.
+	if !geom.ApproxEqual(ball.C, geom.Pt(-1.0/3, 0), 1e-3) || math.Abs(ball.R-2.0/3) > 1e-3 {
+		t.Errorf("enclosing ball = %v, want disk(-1/3, 0; 2/3)", ball)
+	}
+	// Circumradius <= Delta(s_0, .) (which is 1 here): the intrinsic
+	// measure never exceeds the station-anchored one.
+	if ball.R > 1+1e-6 {
+		t.Errorf("circumradius %v exceeds anchored Delta", ball.R)
+	}
+}
+
+func TestConvexHullAreaMatchesApproxArea(t *testing.T) {
+	n := mustNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(2, 0.5), geom.Pt(-1, 1.5)}, 0.02, 2.5)
+	z, _ := n.Zone(0)
+	a1, err := z.ApproxArea(256, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := z.ConvexHullArea(256, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a1-a2) > 0.02*a1 {
+		t.Errorf("areas disagree: polygon %v vs hull %v", a1, a2)
+	}
+}

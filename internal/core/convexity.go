@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/poly"
+)
+
+// ConvexityReport summarizes a convexity certification run for one
+// reception zone.
+type ConvexityReport struct {
+	LinesTested        int // random lines submitted to the Sturm root count
+	MaxLineCrossings   int // max distinct boundary crossings over all lines
+	MidpointsTested    int // membership midpoint checks performed
+	MidpointViolations int // midpoints outside the zone despite endpoints inside
+}
+
+// Convex reports whether no evidence of non-convexity was found:
+// every line met the boundary at most twice (Lemma 2.1) and every
+// midpoint of in-zone pairs stayed in the zone.
+func (r ConvexityReport) Convex() bool {
+	return r.MaxLineCrossings <= 2 && r.MidpointViolations == 0
+}
+
+// String implements fmt.Stringer.
+func (r ConvexityReport) String() string {
+	return fmt.Sprintf("lines=%d maxCrossings=%d midpoints=%d violations=%d convex=%v",
+		r.LinesTested, r.MaxLineCrossings, r.MidpointsTested, r.MidpointViolations, r.Convex())
+}
+
+// CheckConvexity probes the convexity of station k's reception zone
+// with two independent certificates:
+//
+//  1. the Lemma 2.1 line test — for random lines through the zone's
+//     vicinity, count distinct real roots of the boundary polynomial
+//     with Sturm's condition (Theorem 1 predicts <= 2 for uniform
+//     power, alpha = 2, beta >= 1; Figure 5 shows beta < 1 breaking
+//     it), and
+//  2. a midpoint test — random pairs of in-zone points must have their
+//     midpoint in the zone.
+//
+// Points are drawn within radius `radius` of the station; rng drives
+// the sampling and must not be nil.
+func (n *Network) CheckConvexity(k, lines, midpoints int, radius float64, rng *rand.Rand) (ConvexityReport, error) {
+	if rng == nil {
+		return ConvexityReport{}, fmt.Errorf("core: nil rng")
+	}
+	if n.alpha != 2 {
+		return ConvexityReport{}, ErrNeedAlpha2
+	}
+	s := n.stations[k]
+	var report ConvexityReport
+
+	for i := 0; i < lines; i++ {
+		// Random line through a random point near the zone at a random
+		// angle.
+		anchor := geom.PolarPoint(s, rng.Float64()*radius, 2*math.Pi*rng.Float64())
+		theta := math.Pi * rng.Float64()
+		line := geom.Line{P: anchor, D: geom.Pt(math.Cos(theta), math.Sin(theta))}
+		count, err := n.LineRootCount(k, line)
+		if err != nil {
+			return report, err
+		}
+		report.LinesTested++
+		if count > report.MaxLineCrossings {
+			report.MaxLineCrossings = count
+		}
+	}
+
+	inZone := func() (geom.Point, bool) {
+		for try := 0; try < 200; try++ {
+			p := geom.PolarPoint(s, rng.Float64()*radius, 2*math.Pi*rng.Float64())
+			if n.Heard(k, p) {
+				return p, true
+			}
+		}
+		return geom.Point{}, false
+	}
+	for i := 0; i < midpoints; i++ {
+		p1, ok1 := inZone()
+		p2, ok2 := inZone()
+		if !ok1 || !ok2 {
+			break
+		}
+		report.MidpointsTested++
+		if !n.Heard(k, geom.Midpoint(p1, p2)) {
+			report.MidpointViolations++
+		}
+	}
+	return report, nil
+}
+
+// StarShapeViolations probes Lemma 3.1: along the segment from s_k to
+// any in-zone point, SINR must strictly increase toward the station.
+// It samples `pairs` random in-zone points, checks `steps`
+// intermediate points each, and returns the number of monotonicity
+// violations (0 expected for uniform power networks).
+func (n *Network) StarShapeViolations(k, pairs, steps int, radius float64, rng *rand.Rand) (int, error) {
+	if rng == nil {
+		return 0, fmt.Errorf("core: nil rng")
+	}
+	s := n.stations[k]
+	violations := 0
+	for i := 0; i < pairs; i++ {
+		var p geom.Point
+		found := false
+		for try := 0; try < 200; try++ {
+			p = geom.PolarPoint(s, rng.Float64()*radius, 2*math.Pi*rng.Float64())
+			if n.Heard(k, p) && !geom.ApproxEqual(p, s, geom.Eps) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		prev := n.SINR(k, p)
+		for j := 1; j <= steps; j++ {
+			t := 1 - float64(j)/float64(steps+1) // walk toward the station
+			q := geom.Lerp(s, p, t)
+			cur := n.SINR(k, q)
+			if cur <= prev*(1-1e-12) {
+				violations++
+			}
+			prev = cur
+		}
+	}
+	return violations, nil
+}
+
+// ThreeStationReport carries the Section 3.2 quantities for a
+// three-station noise-free uniform network: the restricted quartic
+// H(x) on the line y = 1 (after the canonical normalization s0 at the
+// origin), the parabola roots r1, r2, their midpoint r̄, the shifted
+// polynomial Ĥ(z), and the Sturm sign-change counts at ±∞ that the
+// paper bounds (SC(+∞) >= 1, SC(−∞) <= 3, hence <= 2 real roots).
+type ThreeStationReport struct {
+	H           poly.Poly // quartic in x on the line y = 1
+	R1, R2      float64   // x-intercepts of the separation lines L1, L2 with y = 1
+	RBar        float64   // (R1 + R2) / 2
+	HHat        poly.Poly // H shifted by z = x - r̄
+	SCNegInf    int       // sign changes of the Sturm chain of Ĥ at -∞
+	SCPosInf    int       // sign changes at +∞
+	DistinctPos int       // distinct real roots of H (== of Ĥ)
+}
+
+// ThreeStationAnalysis reproduces the Section 3.2 construction for a
+// network {s0 = (0,0), s1, s2} with N = 0 and beta = 1 on the line
+// y = 1. Both interferers must lie strictly above the line (b_j >= 1)
+// with positive abscissae (a_j > 0), which is the normalized hard case
+// the paper reduces everything else to; other placements return an
+// error directing callers to the reductions (Proposition 3.4 and the
+// mirror symmetry).
+func ThreeStationAnalysis(s1, s2 geom.Point) (ThreeStationReport, error) {
+	if s1.X <= 0 || s2.X <= 0 {
+		return ThreeStationReport{}, fmt.Errorf("core: Section 3.2 analysis requires a1, a2 > 0 (Prop. 3.4 covers the rest)")
+	}
+	if s1.Y < 1 || s2.Y < 1 {
+		return ThreeStationReport{}, fmt.Errorf("core: Section 3.2 analysis requires b1, b2 >= 1 (mirror symmetry covers the rest)")
+	}
+	net, err := NewUniform([]geom.Point{geom.Origin, s1, s2}, 0, 1)
+	if err != nil {
+		return ThreeStationReport{}, err
+	}
+	lineY1 := geom.Line{P: geom.Pt(0, 1), D: geom.Pt(1, 0)}
+	h, err := net.BoundaryPoly(0, lineY1)
+	if err != nil {
+		return ThreeStationReport{}, err
+	}
+
+	// r_j = (a_j^2 + (b_j - 2) b_j) / (2 a_j): the x-coordinate where
+	// the separation line of s0 and s_j crosses y = 1.
+	r1 := (s1.X*s1.X + (s1.Y-2)*s1.Y) / (2 * s1.X)
+	r2 := (s2.X*s2.X + (s2.Y-2)*s2.Y) / (2 * s2.X)
+	rbar := (r1 + r2) / 2
+
+	hhat := h.Shift(rbar)
+	seq := poly.NewSturmSequence(hhat)
+	return ThreeStationReport{
+		H:           h,
+		R1:          r1,
+		R2:          r2,
+		RBar:        rbar,
+		HHat:        hhat,
+		SCNegInf:    seq.SignChangesAtNegInf(),
+		SCPosInf:    seq.SignChangesAtPosInf(),
+		DistinctPos: seq.CountRealRoots(),
+	}, nil
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestTheorem1ConvexityRandom is the headline empirical validation of
+// Theorem 1: reception zones of uniform power networks with alpha = 2
+// and beta > 1 pass both convexity certificates on random instances.
+func TestTheorem1ConvexityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 12; trial++ {
+		nSt := 2 + rng.Intn(7)
+		pts := make([]geom.Point, nSt)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+		}
+		beta := 1.1 + rng.Float64()*6
+		noise := rng.Float64() * 0.05
+		n := mustNet(t, pts, noise, beta)
+		report, err := n.CheckConvexity(0, 40, 40, 12, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !report.Convex() {
+			t.Fatalf("trial %d (beta=%v): %v", trial, beta, report)
+		}
+	}
+}
+
+// TestTheorem1BetaEqualsOne: the convexity proof still holds at
+// beta = 1 (the paper notes this explicitly after Theorem 1).
+func TestTheorem1BetaEqualsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(3, 1), geom.Pt(-2, 2), geom.Pt(1, -3)}
+	n := mustNet(t, pts, 0.05, 1) // noise > 0 keeps the zone bounded
+	report, err := n.CheckConvexity(0, 40, 40, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Convex() {
+		t.Fatalf("beta=1 zone not convex: %v", report)
+	}
+}
+
+// TestFigure5NonConvexity reproduces the Figure 5 phenomenon: with
+// beta < 1 reception zones need not be convex. The two-station variant
+// with a hole around the interferer is the sharpest certificate.
+func TestFigure5NonConvexity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := mustNet(t, []geom.Point{geom.Pt(-2, 0), geom.Pt(2, 0)}, 0.005, 0.3)
+	report, err := n.CheckConvexity(0, 60, 200, 15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Convex() {
+		t.Fatalf("expected non-convexity evidence for beta < 1: %v", report)
+	}
+	if report.MaxLineCrossings <= 2 && report.MidpointViolations == 0 {
+		t.Fatalf("no certificate found: %v", report)
+	}
+}
+
+func TestCheckConvexityValidation(t *testing.T) {
+	n := twoStation(t)
+	if _, err := n.CheckConvexity(0, 1, 1, 1, nil); err == nil {
+		t.Error("nil rng must fail")
+	}
+	n4, err := NewNetwork(n.Stations(), 0, 4, WithAlpha(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n4.CheckConvexity(0, 1, 1, 1, rand.New(rand.NewSource(1))); err != ErrNeedAlpha2 {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestConvexityReportString(t *testing.T) {
+	r := ConvexityReport{LinesTested: 5, MaxLineCrossings: 2, MidpointsTested: 7}
+	if got := r.String(); got == "" {
+		t.Error("empty string")
+	}
+	if !r.Convex() {
+		t.Error("report with <=2 crossings and no violations is convex")
+	}
+}
+
+// TestLemma31StarShape validates Lemma 3.1: SINR strictly increases
+// along segments toward the station, for uniform networks.
+func TestLemma31StarShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		nSt := 2 + rng.Intn(6)
+		pts := make([]geom.Point, nSt)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+		}
+		n := mustNet(t, pts, rng.Float64()*0.05, 1+rng.Float64()*4)
+		v, err := n.StarShapeViolations(0, 20, 15, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 0 {
+			t.Fatalf("trial %d: %d star-shape violations", trial, v)
+		}
+	}
+}
+
+func TestStarShapeNilRNG(t *testing.T) {
+	if _, err := twoStation(t).StarShapeViolations(0, 1, 1, 1, nil); err == nil {
+		t.Error("nil rng must fail")
+	}
+}
+
+// TestThreeStationAnalysis exercises the Section 3.2 machinery: the
+// quartic H(x) on the line y = 1, the separation-line roots r1, r2,
+// and the Sturm sign-change bounds SC(+inf) >= 1, SC(-inf) <= 3 that
+// imply at most two distinct real roots (Propositions 3.7 and 3.8).
+func TestThreeStationAnalysis(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		s1 := geom.Pt(0.2+rng.Float64()*5, 1+rng.Float64()*5)
+		s2 := geom.Pt(0.2+rng.Float64()*5, 1+rng.Float64()*5)
+		rep, err := ThreeStationAnalysis(s1, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.H.Degree() != 4 {
+			t.Fatalf("trial %d: H degree = %d, want 4", trial, rep.H.Degree())
+		}
+		if rep.SCPosInf < 1 {
+			t.Errorf("trial %d: SC(+inf) = %d, want >= 1 (Prop. 3.7)", trial, rep.SCPosInf)
+		}
+		if rep.SCNegInf > 3 {
+			t.Errorf("trial %d: SC(-inf) = %d, want <= 3 (Prop. 3.8)", trial, rep.SCNegInf)
+		}
+		if rep.DistinctPos > 2 {
+			t.Errorf("trial %d: %d distinct real roots, want <= 2 (Lemma 3.3)", trial, rep.DistinctPos)
+		}
+		// r̄ is the mean of r1 and r2.
+		if math.Abs(rep.RBar-(rep.R1+rep.R2)/2) > 1e-12 {
+			t.Errorf("trial %d: rbar inconsistent", trial)
+		}
+	}
+}
+
+// TestThreeStationSeparationLineRoots verifies the paper's claim that
+// r_j is the x-coordinate where the separation line of s0 and s_j
+// crosses y = 1: the point (r_j, 1) is equidistant from s0 and s_j.
+func TestThreeStationSeparationLineRoots(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		s1 := geom.Pt(0.2+rng.Float64()*5, 1+rng.Float64()*5)
+		s2 := geom.Pt(0.2+rng.Float64()*5, 1+rng.Float64()*5)
+		rep, err := ThreeStationAnalysis(s1, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1 := geom.Pt(rep.R1, 1)
+		if d0, d1 := geom.Dist(geom.Origin, p1), geom.Dist(s1, p1); math.Abs(d0-d1) > 1e-9 {
+			t.Errorf("trial %d: (r1, 1) not equidistant: %v vs %v", trial, d0, d1)
+		}
+		p2 := geom.Pt(rep.R2, 1)
+		if d0, d2 := geom.Dist(geom.Origin, p2), geom.Dist(s2, p2); math.Abs(d0-d2) > 1e-9 {
+			t.Errorf("trial %d: (r2, 1) not equidistant: %v vs %v", trial, d0, d2)
+		}
+	}
+}
+
+// TestCorollary35NoRootsBeyondSeparation verifies Corollary 3.5: H(x)
+// has no real root at or beyond min{r1, r2}.
+func TestCorollary35NoRootsBeyondSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		s1 := geom.Pt(0.2+rng.Float64()*5, 1+rng.Float64()*5)
+		s2 := geom.Pt(0.2+rng.Float64()*5, 1+rng.Float64()*5)
+		rep, err := ThreeStationAnalysis(s1, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rMin := math.Min(rep.R1, rep.R2)
+		// Count roots of H in (rMin, +bigBound].
+		net, _ := NewUniform([]geom.Point{geom.Origin, s1, s2}, 0, 1)
+		line := geom.Line{P: geom.Pt(0, 1), D: geom.Pt(1, 0)}
+		roots, err := net.LineBoundaryCrossings(0, line, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range roots {
+			if r >= rMin+1e-6 {
+				t.Errorf("trial %d: root %v at or beyond min(r1,r2)=%v", trial, r, rMin)
+			}
+		}
+	}
+}
+
+func TestThreeStationAnalysisValidation(t *testing.T) {
+	if _, err := ThreeStationAnalysis(geom.Pt(-1, 2), geom.Pt(1, 2)); err == nil {
+		t.Error("negative abscissa must be rejected")
+	}
+	if _, err := ThreeStationAnalysis(geom.Pt(1, 0.5), geom.Pt(1, 2)); err == nil {
+		t.Error("station below the line must be rejected")
+	}
+}
+
+// TestProposition34DiscriminantCase checks Prop. 3.4's discriminant
+// argument directly: when sign(a1) != sign(a2) the quartic H has at
+// most two distinct real roots because its derivative has exactly one.
+func TestProposition34DiscriminantCase(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		// Opposite-side interferers relative to x = 0, both above y=1.
+		s1 := geom.Pt(-(0.2 + rng.Float64()*4), 1+rng.Float64()*4)
+		s2 := geom.Pt(0.2+rng.Float64()*4, 1+rng.Float64()*4)
+		net, err := NewUniform([]geom.Point{geom.Origin, s1, s2}, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, err := net.LineRootCount(0, geom.Line{P: geom.Pt(0, 1), D: geom.Pt(1, 0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count > 2 {
+			t.Errorf("trial %d: %d roots with opposite-sign interferers", trial, count)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// nonUniformNet returns a two-station network with unequal powers —
+// the canonical input that every uniform-only API must reject.
+func nonUniformNet(t *testing.T) *Network {
+	t.Helper()
+	n, err := NewNetwork([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}, 0.01, 2,
+		WithPowers([]float64{1, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestErrorPathsPropagate exercises the error branches of the zone
+// measurement APIs: each wraps RadialBoundary, so a non-uniform
+// network must surface ErrNeedUniform through every one of them.
+func TestErrorPathsPropagate(t *testing.T) {
+	n := nonUniformNet(t)
+	z, err := n.Zone(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := z.BoundaryPoint(0, 1e-6); err == nil {
+		t.Error("BoundaryPoint must propagate")
+	}
+	if _, _, _, _, err := z.MinMaxRadius(8, 1e-6); err == nil {
+		t.Error("MinMaxRadius must propagate")
+	}
+	if _, err := z.MeasuredFatness(8, 1e-6); err == nil {
+		t.Error("MeasuredFatness must propagate")
+	}
+	if _, err := z.ApproxArea(8, 1e-6); err == nil {
+		t.Error("ApproxArea must propagate")
+	}
+	if _, err := z.ApproxPerimeter(8, 1e-6); err == nil {
+		t.Error("ApproxPerimeter must propagate")
+	}
+	if _, err := z.EnclosingBall(8, 1e-6); err == nil {
+		t.Error("EnclosingBall must propagate")
+	}
+	if _, err := z.ConvexHullArea(8, 1e-6); err == nil {
+		t.Error("ConvexHullArea must propagate")
+	}
+	if _, err := z.TraceBoundary(0.1, BRPOptions{}); err == nil {
+		t.Error("TraceBoundary must propagate")
+	}
+	if _, err := n.ImprovedBounds(0); err == nil {
+		t.Error("ImprovedBounds must propagate")
+	}
+	if _, err := n.SampledBounds(0, 32); err == nil {
+		t.Error("SampledBounds must propagate")
+	}
+	if _, err := n.BuildQDS(0, 0.2); err == nil {
+		t.Error("BuildQDS must propagate")
+	}
+}
+
+// TestPolynomialAPIErrorPaths: the polynomial-based APIs require
+// alpha = 2 and valid geometry.
+func TestPolynomialAPIErrorPaths(t *testing.T) {
+	n4, err := NewNetwork([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}, 0, 2, WithAlpha(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := geom.Line{P: geom.Pt(0, 0), D: geom.Pt(1, 0)}
+	if _, err := n4.LineRootCount(0, line); err == nil {
+		t.Error("LineRootCount must reject alpha != 2")
+	}
+	if _, err := n4.LineBoundaryCrossings(0, line, 1e-9); err == nil {
+		t.Error("LineBoundaryCrossings must reject alpha != 2")
+	}
+	if _, err := n4.SegmentTest(0, geom.Seg(geom.Pt(0, 0), geom.Pt(1, 0))); err == nil {
+		t.Error("SegmentTest must reject alpha != 2")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	n := twoStation(t)
+	s := n.String()
+	for _, want := range []string{"n=2", "uniform", "beta=4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Network.String() = %q missing %q", s, want)
+		}
+	}
+	nu := nonUniformNet(t)
+	if !strings.Contains(nu.String(), "general") {
+		t.Errorf("non-uniform String() = %q", nu.String())
+	}
+	rep := GeneralConvexityReport{Alpha: 3, MidpointsTested: 5}
+	if got := rep.String(); !strings.Contains(got, "alpha=3") || !strings.Contains(got, "convex=true") {
+		t.Errorf("report String() = %q", got)
+	}
+}
+
+func TestNonConvexExampleIsWellFormed(t *testing.T) {
+	net, p1, p2, err := NonConvexNonUniformExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumStations() != 2 || p1 == p2 {
+		t.Error("malformed witness")
+	}
+	// VerifyColumns error path: the point-zone fast path returns 0.
+	dup := mustNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(3, 0)}, 0, 4)
+	q, err := dup.BuildQDS(0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := q.VerifyColumns()
+	if err != nil || bad != 0 {
+		t.Errorf("point-zone VerifyColumns = %d, %v", bad, err)
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// This file implements probes for the extensions the paper lists as
+// open problems (Section 1.4): path-loss exponents alpha != 2 and
+// non-uniform transmission powers. The polynomial/Sturm machinery is
+// specific to alpha = 2, but direct SINR evaluation is not, so the
+// sampling-based certificates generalize.
+//
+// Star-shape note: Lemma 3.1's proof rotates interferers onto the
+// positive axis and shows f(x) = sum_i (x/(a_i+x))^2 + x^2 N is
+// increasing on (0, 1]. The same argument works for any alpha > 0
+// (each term (x/(a_i+x))^alpha and x^alpha * N is increasing), so for
+// uniform power networks with beta >= 1 the zone is star-shaped for
+// every alpha — which is what makes radial probing sound beyond
+// alpha = 2.
+
+// GeneralConvexityReport is a sampling-only convexity probe result for
+// settings outside the Theorem 1 regime.
+type GeneralConvexityReport struct {
+	Alpha              float64
+	MidpointsTested    int
+	MidpointViolations int
+	ChordsTested       int
+	ChordViolations    int // interior chord samples outside the zone
+}
+
+// Convex reports whether no violation was found (evidence of, not
+// proof of, convexity).
+func (r GeneralConvexityReport) Convex() bool {
+	return r.MidpointViolations == 0 && r.ChordViolations == 0
+}
+
+// String implements fmt.Stringer.
+func (r GeneralConvexityReport) String() string {
+	return fmt.Sprintf("alpha=%.3g midpoints=%d/%d chords=%d/%d convex=%v",
+		r.Alpha, r.MidpointViolations, r.MidpointsTested,
+		r.ChordViolations, r.ChordsTested, r.Convex())
+}
+
+// ProbeConvexity is the sampling-only convexity certificate usable for
+// any alpha and any power assignment: draw pairs of in-zone points and
+// test midpoints plus several interior chord samples. radius bounds the
+// sampling disk around the station.
+func (n *Network) ProbeConvexity(k, pairs int, radius float64, rng *rand.Rand) (GeneralConvexityReport, error) {
+	if rng == nil {
+		return GeneralConvexityReport{}, fmt.Errorf("core: nil rng")
+	}
+	if k < 0 || k >= len(n.stations) {
+		return GeneralConvexityReport{}, fmt.Errorf("core: station index %d out of range", k)
+	}
+	report := GeneralConvexityReport{Alpha: n.alpha}
+	s := n.stations[k]
+	inZone := func() (geom.Point, bool) {
+		for try := 0; try < 300; try++ {
+			p := geom.PolarPoint(s, rng.Float64()*radius, 2*math.Pi*rng.Float64())
+			if n.Heard(k, p) {
+				return p, true
+			}
+		}
+		return geom.Point{}, false
+	}
+	for i := 0; i < pairs; i++ {
+		p1, ok1 := inZone()
+		p2, ok2 := inZone()
+		if !ok1 || !ok2 {
+			break
+		}
+		report.MidpointsTested++
+		if !n.Heard(k, geom.Midpoint(p1, p2)) {
+			report.MidpointViolations++
+		}
+		for _, t := range []float64{0.25, 0.5, 0.75} {
+			report.ChordsTested++
+			if !n.Heard(k, geom.Lerp(p1, p2, t)) {
+				report.ChordViolations++
+			}
+		}
+	}
+	return report, nil
+}
+
+// NonConvexNonUniformExample returns a deterministic witness that
+// dropping the uniform-power assumption breaks Theorem 1 even for
+// beta > 1 and two stations: a strong station (psi = 100) whose zone
+// wraps around a weak interferer (psi = 1), leaving a hole — the
+// beta < 1 phenomenon of Figure 5 reproduced via power imbalance (the
+// effective ratio becomes sqrt(beta * psi_weak / psi_strong) < 1). The
+// returned chord p1 p2 has in-zone endpoints and an out-of-zone
+// midpoint.
+func NonConvexNonUniformExample() (*Network, geom.Point, geom.Point, error) {
+	net, err := NewNetwork(
+		[]geom.Point{geom.Pt(0, 0), geom.Pt(3, 0)},
+		0.001, 2,
+		WithPowers([]float64{100, 1}),
+	)
+	if err != nil {
+		return nil, geom.Point{}, geom.Point{}, err
+	}
+	return net, geom.Pt(3, 0.6), geom.Pt(3, -0.6), nil
+}
+
+// FindNonConvexNonUniform searches random non-uniform power
+// configurations for a convexity violation — the phenomenon the paper
+// flags as making general networks "harder to deal with"
+// (Section 1.4). Station 0 gets power maxPowerRatio (the strongest;
+// its zone is the one that wraps around weaker interferers), the rest
+// draw powers in [1, maxPowerRatio). Chords are aimed across each
+// interferer, where holes form. Returns the first violating network
+// and witness chord, or ok = false after the trial budget.
+func FindNonConvexNonUniform(stations, trials int, maxPowerRatio, beta float64, seed int64) (*Network, geom.Point, geom.Point, bool, error) {
+	if stations < 2 {
+		return nil, geom.Point{}, geom.Point{}, false, fmt.Errorf("core: need >= 2 stations")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		pts := make([]geom.Point, stations)
+		powers := make([]float64, stations)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+			powers[i] = 1 + rng.Float64()*(maxPowerRatio-1)
+		}
+		powers[0] = maxPowerRatio
+		net, err := NewNetwork(pts, 0.001, beta, WithPowers(powers))
+		if err != nil {
+			return nil, geom.Point{}, geom.Point{}, false, err
+		}
+		// Aim chords across each interferer at a few offsets.
+		for j := 1; j < stations; j++ {
+			sj := net.Station(j)
+			for _, off := range []float64{0.3, 0.6, 1.0, 1.6} {
+				theta := 2 * math.Pi * rng.Float64()
+				d := geom.Pt(math.Cos(theta), math.Sin(theta)).Scale(off)
+				p1, p2 := sj.Add(d), sj.Sub(d)
+				if !net.Heard(0, p1) || !net.Heard(0, p2) {
+					continue
+				}
+				for _, t := range []float64{0.25, 0.5, 0.75} {
+					if !net.Heard(0, geom.Lerp(p1, p2, t)) {
+						return net, p1, p2, true, nil
+					}
+				}
+			}
+		}
+	}
+	return nil, geom.Point{}, geom.Point{}, false, nil
+}
+
+// ZoneConnectivityProbe estimates whether zone k is connected by
+// sampling: it collects in-zone samples in a disk of the given radius
+// and checks that each is reachable from the station by a short
+// in-zone polyline via the straight segment (for star-shaped zones) —
+// returning the number of samples whose segment to the station leaves
+// the zone. Uniform power zones must report zero (Lemma 3.1);
+// non-uniform zones may not (the paper's open Section 1.4 notes that
+// general networks behave differently — later work showed their zones
+// can even be disconnected).
+func (n *Network) ZoneConnectivityProbe(k, samples int, radius float64, rng *rand.Rand) (int, error) {
+	if rng == nil {
+		return 0, fmt.Errorf("core: nil rng")
+	}
+	s := n.stations[k]
+	broken := 0
+	for i := 0; i < samples; i++ {
+		p := geom.PolarPoint(s, rng.Float64()*radius, 2*math.Pi*rng.Float64())
+		if !n.Heard(k, p) {
+			continue
+		}
+		for _, t := range []float64{0.2, 0.4, 0.6, 0.8} {
+			if !n.Heard(k, geom.Lerp(s, p, t)) {
+				broken++
+				break
+			}
+		}
+	}
+	return broken, nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestProbeConvexityGeneralAlpha: the sampling probe finds no
+// violations for uniform networks across path-loss exponents — the
+// open-problem regime the paper conjectures behaves like alpha = 2.
+func TestProbeConvexityGeneralAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for _, alpha := range []float64{1.5, 2, 2.5, 3, 4} {
+		for trial := 0; trial < 4; trial++ {
+			pts := make([]geom.Point, 3+rng.Intn(4))
+			for i := range pts {
+				pts[i] = geom.Pt(rng.Float64()*8-4, rng.Float64()*8-4)
+			}
+			n, err := NewNetwork(pts, 0.01, 2+rng.Float64()*3, WithAlpha(alpha))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := n.ProbeConvexity(0, 60, 10, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Convex() {
+				t.Fatalf("alpha=%v trial %d: %v", alpha, trial, rep)
+			}
+		}
+	}
+}
+
+// TestProbeConvexityDetectsBetaLT1: the general probe still catches
+// the Figure 5 non-convexity.
+func TestProbeConvexityDetectsBetaLT1(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	n := mustNet(t, []geom.Point{geom.Pt(-2, 0), geom.Pt(2, 0)}, 0.005, 0.3)
+	rep, err := n.ProbeConvexity(0, 400, 15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Convex() {
+		t.Fatalf("probe missed the beta<1 hole: %v", rep)
+	}
+}
+
+func TestProbeConvexityValidation(t *testing.T) {
+	n := twoStation(t)
+	if _, err := n.ProbeConvexity(0, 1, 1, nil); err == nil {
+		t.Error("nil rng must fail")
+	}
+	if _, err := n.ProbeConvexity(9, 1, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("bad index must fail")
+	}
+}
+
+// TestRadialBoundaryGeneralAlpha: radial probing is sound beyond
+// alpha = 2 (the Lemma 3.1 argument generalizes), so the boundary
+// points it returns must lie on the SINR = beta level set.
+func TestRadialBoundaryGeneralAlpha(t *testing.T) {
+	for _, alpha := range []float64{2.5, 3, 4} {
+		n, err := NewNetwork(
+			[]geom.Point{geom.Pt(0, 0), geom.Pt(2, 1), geom.Pt(-1, 2)},
+			0.01, 2.5, WithAlpha(alpha))
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := n.Zone(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, theta := range []float64{0.3, 1.9, 4.4} {
+			p, err := z.BoundaryPoint(theta, 1e-10)
+			if err != nil {
+				t.Fatalf("alpha=%v: %v", alpha, err)
+			}
+			if s := n.SINR(0, p); s < n.Beta()*(1-1e-5) || s > n.Beta()*(1+1e-5) {
+				t.Errorf("alpha=%v theta=%v: boundary SINR = %v, want %v", alpha, theta, s, n.Beta())
+			}
+		}
+	}
+}
+
+// TestNonConvexNonUniformExample: the deterministic witness holds —
+// endpoints in zone 0, midpoint out.
+func TestNonConvexNonUniformExample(t *testing.T) {
+	net, p1, p2, err := NonConvexNonUniformExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.Heard(0, p1) || !net.Heard(0, p2) {
+		t.Fatalf("endpoints must be heard: SINR %v / %v vs beta %v",
+			net.SINR(0, p1), net.SINR(0, p2), net.Beta())
+	}
+	if net.Heard(0, geom.Midpoint(p1, p2)) {
+		t.Fatal("midpoint must not be heard (hole around the weak interferer)")
+	}
+	if net.IsUniform() {
+		t.Fatal("witness must be non-uniform")
+	}
+	if net.Beta() <= 1 {
+		t.Fatal("witness must have beta > 1 to matter")
+	}
+}
+
+// TestFindNonConvexNonUniform: the searcher must find a verified
+// witness within a modest budget now that it probes the strong
+// station's zone across interferers.
+func TestFindNonConvexNonUniform(t *testing.T) {
+	net, p1, p2, ok, err := FindNonConvexNonUniform(3, 60, 50, 1.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("no non-convex non-uniform instance found in budget")
+	}
+	if !net.Heard(0, p1) || !net.Heard(0, p2) {
+		t.Fatal("witness endpoints must be in the zone")
+	}
+	found := false
+	for _, tt := range []float64{0.25, 0.5, 0.75} {
+		if !net.Heard(0, geom.Lerp(p1, p2, tt)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("witness chord has no violating sample")
+	}
+	if net.IsUniform() {
+		t.Error("witness must be non-uniform")
+	}
+}
+
+func TestFindNonConvexNonUniformValidation(t *testing.T) {
+	if _, _, _, _, err := FindNonConvexNonUniform(1, 1, 2, 1.5, 1); err == nil {
+		t.Error("single station must fail")
+	}
+}
+
+// TestZoneConnectivityProbeUniform: uniform zones are star-shaped, so
+// the segment-to-station probe never leaves the zone.
+func TestZoneConnectivityProbeUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	for trial := 0; trial < 6; trial++ {
+		pts := make([]geom.Point, 2+rng.Intn(6))
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*8-4, rng.Float64()*8-4)
+		}
+		n := mustNet(t, pts, 0.02, 1+rng.Float64()*4)
+		broken, err := n.ZoneConnectivityProbe(0, 300, 10, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if broken != 0 {
+			t.Fatalf("trial %d: %d broken segments in a uniform network", trial, broken)
+		}
+	}
+}
+
+func TestZoneConnectivityProbeNilRNG(t *testing.T) {
+	if _, err := twoStation(t).ZoneConnectivityProbe(0, 1, 1, nil); err == nil {
+		t.Error("nil rng must fail")
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Grid is the gamma-spaced grid of Section 5.1, aligned so that a
+// designated anchor point (the station) is a grid vertex. Cells are
+// half-open: cell (cx, cy) covers [x0, x0+gamma) x [y0, y0+gamma),
+// which realizes the paper's tie-breaking (south and west edges belong
+// to the cell, the north-west and south-east corners do not).
+type Grid struct {
+	Anchor geom.Point
+	Gamma  float64
+}
+
+// NewGrid returns a grid with the given anchor and spacing gamma > 0.
+func NewGrid(anchor geom.Point, gamma float64) (Grid, error) {
+	if gamma <= 0 || math.IsNaN(gamma) || math.IsInf(gamma, 0) {
+		return Grid{}, fmt.Errorf("core: grid spacing must be positive, got %v", gamma)
+	}
+	return Grid{Anchor: anchor, Gamma: gamma}, nil
+}
+
+// Cell identifies one grid cell by its integer column and row.
+type Cell struct {
+	Col, Row int
+}
+
+// CellOf returns the cell containing p.
+func (g Grid) CellOf(p geom.Point) Cell {
+	return Cell{
+		Col: int(math.Floor((p.X - g.Anchor.X) / g.Gamma)),
+		Row: int(math.Floor((p.Y - g.Anchor.Y) / g.Gamma)),
+	}
+}
+
+// CellBox returns the axis-aligned box of cell c (closed box; the
+// half-open ownership convention applies to CellOf, not the geometry).
+func (g Grid) CellBox(c Cell) geom.Box {
+	x0 := g.Anchor.X + float64(c.Col)*g.Gamma
+	y0 := g.Anchor.Y + float64(c.Row)*g.Gamma
+	return geom.NewBox(geom.Pt(x0, y0), geom.Pt(x0+g.Gamma, y0+g.Gamma))
+}
+
+// CellCenter returns the center point of cell c.
+func (g Grid) CellCenter(c Cell) geom.Point {
+	return geom.Pt(
+		g.Anchor.X+(float64(c.Col)+0.5)*g.Gamma,
+		g.Anchor.Y+(float64(c.Row)+0.5)*g.Gamma,
+	)
+}
+
+// ColumnX returns the x-coordinate of the west edge of column col.
+func (g Grid) ColumnX(col int) float64 {
+	return g.Anchor.X + float64(col)*g.Gamma
+}
+
+// RowY returns the y-coordinate of the south edge of row.
+func (g Grid) RowY(row int) float64 {
+	return g.Anchor.Y + float64(row)*g.Gamma
+}
+
+// NineCell returns the 3x3 block of cells centered on c — the paper's
+// ♯C used to inflate boundary cells into the uncertainty ring.
+func (g Grid) NineCell(c Cell) [9]Cell {
+	var out [9]Cell
+	i := 0
+	for dc := -1; dc <= 1; dc++ {
+		for dr := -1; dr <= 1; dr++ {
+			out[i] = Cell{Col: c.Col + dc, Row: c.Row + dr}
+			i++
+		}
+	}
+	return out
+}

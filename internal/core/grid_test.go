@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestNewGridValidation(t *testing.T) {
+	for _, gamma := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewGrid(geom.Origin, gamma); err == nil {
+			t.Errorf("gamma = %v should fail", gamma)
+		}
+	}
+	if _, err := NewGrid(geom.Origin, 0.5); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestCellOfHalfOpenConvention(t *testing.T) {
+	g, _ := NewGrid(geom.Origin, 1)
+	tests := []struct {
+		p    geom.Point
+		want Cell
+	}{
+		{geom.Pt(0, 0), Cell{0, 0}}, // anchor belongs to cell (0,0)
+		{geom.Pt(0.5, 0.5), Cell{0, 0}},
+		{geom.Pt(1, 0), Cell{1, 0}}, // east edge belongs to the next cell
+		{geom.Pt(0, 1), Cell{0, 1}}, // north edge belongs to the next cell
+		{geom.Pt(-0.001, 0), Cell{-1, 0}},
+		{geom.Pt(-1, -1), Cell{-1, -1}},
+		{geom.Pt(2.7, -3.2), Cell{2, -4}},
+	}
+	for _, tc := range tests {
+		if got := g.CellOf(tc.p); got != tc.want {
+			t.Errorf("CellOf(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestCellOfAnchorOffset(t *testing.T) {
+	g, _ := NewGrid(geom.Pt(10, -5), 2)
+	if got := g.CellOf(geom.Pt(10, -5)); got != (Cell{0, 0}) {
+		t.Errorf("anchor cell = %v", got)
+	}
+	if got := g.CellOf(geom.Pt(13, -2)); got != (Cell{1, 1}) {
+		t.Errorf("cell = %v", got)
+	}
+}
+
+func TestCellBoxRoundTrip(t *testing.T) {
+	g, _ := NewGrid(geom.Pt(0.3, -0.7), 0.25)
+	for _, c := range []Cell{{0, 0}, {3, -2}, {-5, 7}} {
+		box := g.CellBox(c)
+		if got := box.Width(); math.Abs(got-0.25) > 1e-12 {
+			t.Errorf("cell width = %v", got)
+		}
+		// The box center maps back to the cell.
+		if got := g.CellOf(box.Center()); got != c {
+			t.Errorf("CellOf(center of %v) = %v", c, got)
+		}
+		if got := g.CellCenter(c); !geom.ApproxEqual(got, box.Center(), 1e-12) {
+			t.Errorf("CellCenter = %v, box center = %v", got, box.Center())
+		}
+	}
+}
+
+func TestColumnXRowY(t *testing.T) {
+	g, _ := NewGrid(geom.Pt(1, 2), 0.5)
+	if got := g.ColumnX(0); got != 1 {
+		t.Errorf("ColumnX(0) = %v", got)
+	}
+	if got := g.ColumnX(3); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("ColumnX(3) = %v", got)
+	}
+	if got := g.RowY(-2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("RowY(-2) = %v", got)
+	}
+}
+
+func TestNineCell(t *testing.T) {
+	g, _ := NewGrid(geom.Origin, 1)
+	cells := g.NineCell(Cell{2, 3})
+	if len(cells) != 9 {
+		t.Fatalf("len = %d", len(cells))
+	}
+	seen := map[Cell]bool{}
+	for _, c := range cells {
+		seen[c] = true
+		if c.Col < 1 || c.Col > 3 || c.Row < 2 || c.Row > 4 {
+			t.Errorf("cell %v outside 3x3 block", c)
+		}
+	}
+	if len(seen) != 9 {
+		t.Errorf("duplicate cells in 9-cell: %v", cells)
+	}
+	if !seen[Cell{2, 3}] {
+		t.Error("center cell missing")
+	}
+}
+
+func TestCellTypeString(t *testing.T) {
+	if TPlus.String() != "T+" || TMinus.String() != "T-" || TQuestion.String() != "T?" {
+		t.Error("CellType strings wrong")
+	}
+	if CellType(9).String() == "" {
+		t.Error("unknown cell type should still render")
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestBoundaryPolySignMatchesSINR is the keystone correctness test:
+// along random lines through random networks, the sign of H(t) must
+// agree with the SINR reception predicate at every sample parameter.
+func TestBoundaryPolySignMatchesSINR(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		nSt := 2 + rng.Intn(6)
+		pts := make([]geom.Point, nSt)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+		}
+		noise := 0.0
+		if trial%2 == 0 {
+			noise = rng.Float64() * 0.1
+		}
+		n := mustNet(t, pts, noise, 1+rng.Float64()*5)
+		k := rng.Intn(nSt)
+		line := geom.Line{
+			P: geom.Pt(rng.Float64()*10-5, rng.Float64()*10-5),
+			D: geom.Pt(rng.Float64()*2-1, rng.Float64()*2-1),
+		}
+		if line.D.Norm() < 0.1 {
+			continue
+		}
+		h, err := n.BoundaryPoly(k, line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 60; s++ {
+			tt := rng.Float64()*8 - 4
+			p := line.At(tt)
+			sinr := n.SINR(k, p)
+			hv := h.Eval(tt)
+			// Skip points numerically on the boundary.
+			if math.Abs(sinr-n.Beta()) < 1e-6*n.Beta() {
+				continue
+			}
+			if (sinr >= n.Beta()) != (hv <= 0) {
+				t.Fatalf("trial %d: sign mismatch at t=%v: SINR=%v beta=%v H=%v",
+					trial, tt, sinr, n.Beta(), hv)
+			}
+		}
+	}
+}
+
+func TestBoundaryPolyDegree(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(3, 0), geom.Pt(0, 3)}
+	line := geom.Line{P: geom.Pt(-1, -1), D: geom.Pt(1, 0.5)}
+
+	// With noise: degree 2n = 6.
+	n := mustNet(t, pts, 0.05, 2)
+	h, err := n.BoundaryPoly(0, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Degree(); got != 6 {
+		t.Errorf("degree with noise = %d, want 6", got)
+	}
+
+	// Without noise: degree 2n-2 = 4.
+	n0 := mustNet(t, pts, 0, 2)
+	h0, err := n0.BoundaryPoly(0, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h0.Degree(); got != 4 {
+		t.Errorf("degree without noise = %d, want 4", got)
+	}
+}
+
+func TestBoundaryPolyValidation(t *testing.T) {
+	n := twoStation(t)
+	line := geom.Line{P: geom.Pt(0, 0), D: geom.Pt(1, 0)}
+	if _, err := n.BoundaryPoly(5, line); err == nil {
+		t.Error("out-of-range station must fail")
+	}
+	if _, err := n.BoundaryPoly(0, geom.Line{P: geom.Pt(0, 0)}); err == nil {
+		t.Error("degenerate direction must fail")
+	}
+	n4, err := NewNetwork(n.Stations(), 0, 4, WithAlpha(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n4.BoundaryPoly(0, line); err != ErrNeedAlpha2 {
+		t.Errorf("alpha != 2 should yield ErrNeedAlpha2, got %v", err)
+	}
+}
+
+func TestBoundaryPolyRootsTwoStationAnalytic(t *testing.T) {
+	n := twoStation(t)
+	// Along the x-axis the roots are exactly mu_l = -1 and mu_r = 1/3.
+	line := geom.Line{P: geom.Pt(0, 0), D: geom.Pt(1, 0)}
+	roots, err := n.LineBoundaryCrossings(0, line, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 2 {
+		t.Fatalf("roots = %v, want 2", roots)
+	}
+	if math.Abs(roots[0]+1) > 1e-9 || math.Abs(roots[1]-1.0/3) > 1e-9 {
+		t.Errorf("roots = %v, want [-1, 1/3]", roots)
+	}
+}
+
+func TestSegmentTestCounts(t *testing.T) {
+	n := twoStation(t)
+	// Zone of s0 on the x-axis is [-1, 1/3].
+	tests := []struct {
+		name string
+		seg  geom.Segment
+		want int
+	}{
+		{"crossesOnce", geom.Seg(geom.Pt(0, 0), geom.Pt(0.5, 0)), 1},
+		{"insideZone", geom.Seg(geom.Pt(-0.5, 0), geom.Pt(0.2, 0)), 0},
+		{"outsideZone", geom.Seg(geom.Pt(0.5, 0), geom.Pt(0.9, 0)), 0},
+		{"spansZone", geom.Seg(geom.Pt(-2, 0), geom.Pt(0.5, 0)), 2},
+		{"leftCrossing", geom.Seg(geom.Pt(-2, 0), geom.Pt(-0.5, 0)), 1},
+		{"verticalThroughZone", geom.Seg(geom.Pt(0, -2), geom.Pt(0, 2)), 2},
+		{"verticalOutside", geom.Seg(geom.Pt(2, -2), geom.Pt(2, 2)), 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := n.SegmentTest(0, tc.seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("SegmentTest = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSegmentTestEndpointRoot(t *testing.T) {
+	n := twoStation(t)
+	// Segment starting exactly on the boundary point (1/3, 0).
+	got, err := n.SegmentTest(0, geom.Seg(geom.Pt(1.0/3, 0), geom.Pt(1, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("count = %d, want 1 (boundary start point)", got)
+	}
+}
+
+// TestLineRootCountConvexUniform provides Sturm-side evidence for
+// Theorem 1: in uniform power networks with beta > 1 no line meets a
+// zone boundary more than twice.
+func TestLineRootCountConvexUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		nSt := 2 + rng.Intn(5)
+		pts := make([]geom.Point, nSt)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*8-4, rng.Float64()*8-4)
+		}
+		n := mustNet(t, pts, rng.Float64()*0.05, 1.2+rng.Float64()*5)
+		for l := 0; l < 20; l++ {
+			theta := math.Pi * rng.Float64()
+			line := geom.Line{
+				P: geom.Pt(rng.Float64()*8-4, rng.Float64()*8-4),
+				D: geom.Pt(math.Cos(theta), math.Sin(theta)),
+			}
+			count, err := n.LineRootCount(0, line)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if count > 2 {
+				t.Fatalf("trial %d: line %v crosses boundary %d times (Theorem 1 violated?)",
+					trial, line, count)
+			}
+		}
+	}
+}
+
+// TestLineRootCountNonConvexBetaLT1 reproduces the Figure 5 phenomenon
+// in its sharpest form: with beta < 1 a zone can have a hole around an
+// interferer, so some line crosses its boundary four times.
+func TestLineRootCountNonConvexBetaLT1(t *testing.T) {
+	n := mustNet(t, []geom.Point{geom.Pt(-2, 0), geom.Pt(2, 0)}, 0.005, 0.3)
+	// Sanity: the midpoint is in zone 0, points near s1 are not, points
+	// well beyond s1 are back in (noise is low enough for re-entry).
+	if !n.Heard(0, geom.Pt(0, 0)) {
+		t.Fatal("midpoint should be in zone 0")
+	}
+	if n.Heard(0, geom.Pt(2.01, 0)) {
+		t.Fatal("point adjacent to the interferer should not be in zone 0")
+	}
+	if !n.Heard(0, geom.Pt(10, 0)) {
+		t.Fatal("zone 0 should re-emerge behind the interferer")
+	}
+	line := geom.Line{P: geom.Pt(0, 0), D: geom.Pt(1, 0)}
+	count, err := n.LineRootCount(0, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count <= 2 {
+		t.Fatalf("x-axis crossings = %d, want > 2 (hole around interferer)", count)
+	}
+}
+
+func TestLineBoundaryCrossingsMatchMembership(t *testing.T) {
+	// The sign of membership must flip exactly at the reported roots.
+	n := mustNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(2, 1), geom.Pt(-1, 2)}, 0.02, 2.5)
+	line := geom.Line{P: geom.Pt(-3, -0.7), D: geom.Pt(1, 0.3)}
+	roots, err := n.LineBoundaryCrossings(0, line, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range roots {
+		p := line.At(r)
+		if got := math.Abs(n.SINR(0, p) - n.Beta()); got > 1e-5*n.Beta() {
+			t.Errorf("root t=%v: |SINR - beta| = %v, not on boundary", r, got)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// MergeStations realizes the Lemma 3.10 construction: given two unit
+// power stations at s1 and s2 and two distinct points p1, p2, it
+// returns a location s* for a single unit-power station such that
+//
+//	(1) E(s*, p_i) = E({s1, s2}, p_i) for i = 1, 2, and
+//	(2) E(s*, q) >= E({s1, s2}, q) for every q on the segment p1 p2.
+//
+// s* is an intersection point of the two circles of radii
+// rho_i = 1/sqrt(E({s1,s2}, p_i)) centered at p_i. Proposition 3.11
+// guarantees the circles intersect whenever some station s0 satisfies
+// E(s0, p_i) >= E({s1,s2}, p_i) at both points; if they fail to
+// intersect numerically an error is returned.
+func MergeStations(s1, s2, p1, p2 geom.Point) (geom.Point, error) {
+	if geom.ApproxEqual(p1, p2, geom.Eps) {
+		return geom.Point{}, fmt.Errorf("core: merge needs two distinct anchor points")
+	}
+	e1 := pairEnergy(s1, s2, p1)
+	e2 := pairEnergy(s1, s2, p2)
+	if math.IsInf(e1, 1) || math.IsInf(e2, 1) {
+		return geom.Point{}, fmt.Errorf("core: anchor point coincides with a station")
+	}
+	b1 := geom.NewBall(p1, 1/math.Sqrt(e1))
+	b2 := geom.NewBall(p2, 1/math.Sqrt(e2))
+	pts := geom.IntersectCircles(b1, b2)
+	if len(pts) == 0 {
+		return geom.Point{}, fmt.Errorf("core: energy circles do not intersect (Prop. 3.11 precondition violated)")
+	}
+	return pts[0], nil
+}
+
+// pairEnergy returns E({s1, s2}, p) for unit powers and alpha = 2.
+func pairEnergy(s1, s2, p geom.Point) float64 {
+	d1, d2 := geom.Dist2(s1, p), geom.Dist2(s2, p)
+	if d1 == 0 || d2 == 0 {
+		return math.Inf(1)
+	}
+	return 1/d1 + 1/d2
+}
+
+// RemoveNoise realizes the Section 3.4 reduction: given a uniform
+// power network with background noise N > 0 and two points p1, p2
+// heard by station k, it returns an (n+1)-station uniform network with
+// no noise in which a new unit-power station s_n placed on the
+// intersection of the circles of radius 1/sqrt(N) around p1 and p2
+// replaces the noise. The construction guarantees
+//
+//	E(s_n, p_i) = N  for i = 1, 2, and
+//	E(s_n, q)  >= N  for all q on p1 p2,
+//
+// so SINR values at p1, p2 are preserved and SINR along the segment
+// only drops — exactly what the convexity induction needs.
+func (n *Network) RemoveNoise(k int, p1, p2 geom.Point) (*Network, geom.Point, error) {
+	if !n.uniform {
+		return nil, geom.Point{}, ErrNeedUniform
+	}
+	if n.noise <= 0 {
+		return nil, geom.Point{}, fmt.Errorf("core: network has no background noise to remove")
+	}
+	if !n.Heard(k, p1) || !n.Heard(k, p2) {
+		return nil, geom.Point{}, fmt.Errorf("core: both anchor points must be heard by station %d", k)
+	}
+	r := 1 / math.Sqrt(n.noise)
+	var pts []geom.Point
+	if geom.ApproxEqual(p1, p2, geom.Eps) {
+		// Coincident anchors: any point on the radius-r circle works.
+		pts = []geom.Point{p1.Add(geom.Pt(r, 0))}
+	} else {
+		pts = geom.IntersectCircles(geom.NewBall(p1, r), geom.NewBall(p2, r))
+	}
+	if len(pts) == 0 {
+		return nil, geom.Point{}, fmt.Errorf("core: noise circles do not intersect (points too far apart: dist=%v >= 2/sqrt(N)=%v)",
+			geom.Dist(p1, p2), 2*r)
+	}
+	sn := pts[0]
+	out, err := n.WithStation(sn, n.powers[0])
+	if err != nil {
+		return nil, geom.Point{}, err
+	}
+	out, err = out.WithNoise(0)
+	if err != nil {
+		return nil, geom.Point{}, err
+	}
+	return out, sn, nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestMergeStationsLemma310 validates both clauses of Lemma 3.10 on
+// random instances satisfying the precondition (a dominating station
+// exists): the merged station reproduces the pair energy exactly at
+// the anchors and dominates it along the whole segment.
+func TestMergeStationsLemma310(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	checked := 0
+	for trial := 0; trial < 400 && checked < 100; trial++ {
+		s0 := geom.Pt(rng.Float64()*4-2, rng.Float64()*4-2)
+		s1 := geom.Pt(rng.Float64()*8-4, rng.Float64()*8-4)
+		s2 := geom.Pt(rng.Float64()*8-4, rng.Float64()*8-4)
+		p1 := geom.Pt(rng.Float64()*4-2, rng.Float64()*4-2)
+		p2 := geom.Pt(rng.Float64()*4-2, rng.Float64()*4-2)
+		if geom.Dist(p1, p2) < 0.1 {
+			continue
+		}
+		// Precondition of Lemma 3.10: E(s0, p_i) >= E({s1,s2}, p_i).
+		e0p1 := 1 / geom.Dist2(s0, p1)
+		e0p2 := 1 / geom.Dist2(s0, p2)
+		if e0p1 < pairEnergy(s1, s2, p1) || e0p2 < pairEnergy(s1, s2, p2) {
+			continue
+		}
+		checked++
+		sStar, err := MergeStations(s1, s2, p1, p2)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Clause (1): exact energy at the anchors.
+		for _, p := range []geom.Point{p1, p2} {
+			got := 1 / geom.Dist2(sStar, p)
+			want := pairEnergy(s1, s2, p)
+			if math.Abs(got-want) > 1e-6*want {
+				t.Fatalf("trial %d: E(s*, %v) = %v, want %v", trial, p, got, want)
+			}
+		}
+		// Clause (2): domination along the segment.
+		for k := 1; k < 20; k++ {
+			q := geom.Lerp(p1, p2, float64(k)/20)
+			got := 1 / geom.Dist2(sStar, q)
+			want := pairEnergy(s1, s2, q)
+			if got < want*(1-1e-9) {
+				t.Fatalf("trial %d: E(s*, q) = %v < E(pair, q) = %v at %v", trial, got, want, q)
+			}
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d instances satisfied the precondition; broaden sampling", checked)
+	}
+}
+
+func TestMergeStationsValidation(t *testing.T) {
+	if _, err := MergeStations(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 2), geom.Pt(2, 2)); err == nil {
+		t.Error("coincident anchors must fail")
+	}
+	if _, err := MergeStations(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 0), geom.Pt(2, 2)); err == nil {
+		t.Error("anchor on a station must fail")
+	}
+	// Disjoint energy circles: p1, p2 far apart with strong pair energy
+	// near p1 only.
+	if _, err := MergeStations(geom.Pt(0, 0), geom.Pt(0.1, 0), geom.Pt(0.05, 0.01), geom.Pt(100, 0)); err == nil {
+		t.Error("expected non-intersecting circles error")
+	}
+}
+
+// TestRemoveNoiseSection34 validates the Section 3.4 reduction: the
+// new station reproduces the noise energy exactly at the anchors and
+// dominates it along the segment, so SINR is preserved at the anchors
+// and only decreases between them.
+func TestRemoveNoiseSection34(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	n := mustNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(0, 5)}, 0.04, 2)
+	z, _ := n.Zone(0)
+	checked := 0
+	for trial := 0; trial < 200 && checked < 50; trial++ {
+		// Draw two in-zone points.
+		p1 := geom.PolarPoint(geom.Origin, rng.Float64()*2, rng.Float64()*2*math.Pi)
+		p2 := geom.PolarPoint(geom.Origin, rng.Float64()*2, rng.Float64()*2*math.Pi)
+		if !z.Contains(p1) || !z.Contains(p2) || geom.Dist(p1, p2) < 0.05 {
+			continue
+		}
+		checked++
+		n2, sn, err := n.RemoveNoise(0, p1, p2)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if n2.Noise() != 0 {
+			t.Fatal("noise must be zero in the reduced network")
+		}
+		if n2.NumStations() != n.NumStations()+1 {
+			t.Fatal("reduced network must gain one station")
+		}
+		// E(s_n, p_i) = N at the anchors.
+		for _, p := range []geom.Point{p1, p2} {
+			if got := 1 / geom.Dist2(sn, p); math.Abs(got-n.Noise()) > 1e-6*n.Noise() {
+				t.Fatalf("trial %d: E(s_n, anchor) = %v, want N = %v", trial, got, n.Noise())
+			}
+		}
+		// SINR preserved at the anchors.
+		for _, p := range []geom.Point{p1, p2} {
+			a, b := n.SINR(0, p), n2.SINR(0, p)
+			if math.Abs(a-b) > 1e-6*(1+a) {
+				t.Fatalf("trial %d: SINR changed at anchor: %v vs %v", trial, a, b)
+			}
+		}
+		// SINR only decreases along the segment.
+		for k := 1; k < 10; k++ {
+			q := geom.Lerp(p1, p2, float64(k)/10)
+			if a, b := n.SINR(0, q), n2.SINR(0, q); b > a*(1+1e-9) {
+				t.Fatalf("trial %d: SINR increased along segment: %v -> %v", trial, a, b)
+			}
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d instances checked", checked)
+	}
+}
+
+func TestRemoveNoiseValidation(t *testing.T) {
+	// No noise to remove.
+	n0 := twoStation(t)
+	if _, _, err := n0.RemoveNoise(0, geom.Pt(0.1, 0), geom.Pt(-0.1, 0)); err == nil {
+		t.Error("zero-noise network must fail")
+	}
+	// Anchors must be heard.
+	n := mustNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}, 0.01, 4)
+	if _, _, err := n.RemoveNoise(0, geom.Pt(0.9, 0), geom.Pt(0, 0.01)); err == nil {
+		t.Error("unheard anchor must fail")
+	}
+	// Non-uniform rejected.
+	nu, err := NewNetwork([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}, 0.01, 2,
+		WithPowers([]float64{1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nu.RemoveNoise(0, geom.Pt(0.1, 0), geom.Pt(-0.1, 0)); err != ErrNeedUniform {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRemoveNoiseCoincidentAnchors(t *testing.T) {
+	n := mustNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(4, 0)}, 0.01, 2)
+	p := geom.Pt(0.2, 0.1)
+	if !n.Heard(0, p) {
+		t.Fatal("anchor should be heard")
+	}
+	n2, sn, err := n.RemoveNoise(0, p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := 1 / geom.Dist2(sn, p); math.Abs(got-n.Noise()) > 1e-9 {
+		t.Errorf("E(s_n, p) = %v, want %v", got, n.Noise())
+	}
+	if n2.Noise() != 0 {
+		t.Error("noise must be removed")
+	}
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// twoStation returns the canonical analytic test network: unit-power
+// stations at (0,0) and (1,0), no noise, beta = 4. The reception zone
+// of station 0 is the Apollonius disk of ratio sqrt(beta) = 2:
+// center (-1/3, 0), radius 2/3, so delta = 1/3 and Delta = 1.
+func twoStation(t *testing.T) *Network {
+	t.Helper()
+	n, err := NewUniform([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	s := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
+	tests := []struct {
+		name string
+		fn   func() (*Network, error)
+	}{
+		{"noStations", func() (*Network, error) { return NewUniform(nil, 0, 2) }},
+		{"negativeNoise", func() (*Network, error) { return NewUniform(s, -1, 2) }},
+		{"zeroBeta", func() (*Network, error) { return NewUniform(s, 0, 0) }},
+		{"nanBeta", func() (*Network, error) { return NewUniform(s, 0, math.NaN()) }},
+		{"badAlpha", func() (*Network, error) { return NewNetwork(s, 0, 2, WithAlpha(0)) }},
+		{"powerCountMismatch", func() (*Network, error) {
+			return NewNetwork(s, 0, 2, WithPowers([]float64{1}))
+		}},
+		{"nonPositivePower", func() (*Network, error) {
+			return NewNetwork(s, 0, 2, WithPowers([]float64{1, 0}))
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.fn(); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestAccessorsAndDefaults(t *testing.T) {
+	n := twoStation(t)
+	if n.NumStations() != 2 {
+		t.Errorf("NumStations = %d", n.NumStations())
+	}
+	if n.Alpha() != 2 {
+		t.Errorf("Alpha = %v, want default 2", n.Alpha())
+	}
+	if n.Beta() != 4 || n.Noise() != 0 {
+		t.Errorf("Beta=%v Noise=%v", n.Beta(), n.Noise())
+	}
+	if !n.IsUniform() {
+		t.Error("uniform default expected")
+	}
+	if n.Power(0) != 1 || n.Power(1) != 1 {
+		t.Error("default powers should be 1")
+	}
+	if n.Station(1) != geom.Pt(1, 0) {
+		t.Errorf("Station(1) = %v", n.Station(1))
+	}
+	st := n.Stations()
+	st[0] = geom.Pt(99, 99)
+	if n.Station(0) != geom.Pt(0, 0) {
+		t.Error("Stations() must return a copy")
+	}
+}
+
+func TestIsTrivial(t *testing.T) {
+	s := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
+	trivial, _ := NewUniform(s, 0, 1)
+	if !trivial.IsTrivial() {
+		t.Error("2 stations, N=0, beta=1 is trivial")
+	}
+	for _, n := range []*Network{
+		mustNet(t, s, 0.1, 1),
+		mustNet(t, s, 0, 2),
+		mustNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)}, 0, 1),
+	} {
+		if n.IsTrivial() {
+			t.Errorf("%v should not be trivial", n)
+		}
+	}
+}
+
+func mustNet(t *testing.T, s []geom.Point, noise, beta float64) *Network {
+	t.Helper()
+	n, err := NewUniform(s, noise, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestEnergyKnownValues(t *testing.T) {
+	n := twoStation(t)
+	// E(s0, (2,0)) = 1/4.
+	if got := n.Energy(0, geom.Pt(2, 0)); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Energy = %v, want 0.25", got)
+	}
+	// At the station itself, energy is infinite.
+	if got := n.Energy(0, geom.Pt(0, 0)); !math.IsInf(got, 1) {
+		t.Errorf("Energy at station = %v, want +Inf", got)
+	}
+}
+
+func TestEnergyGeneralAlpha(t *testing.T) {
+	n, err := NewNetwork([]geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)}, 0, 2, WithAlpha(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E = dist^-4 = 2^-4 at distance 2.
+	if got := n.Energy(0, geom.Pt(2, 0)); math.Abs(got-1.0/16) > 1e-12 {
+		t.Errorf("Energy = %v, want 1/16", got)
+	}
+}
+
+func TestSINRFormula(t *testing.T) {
+	// Three stations; verify Equation (1) by hand at one point.
+	n := mustNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(0, 3)}, 0.01, 2)
+	p := geom.Pt(1, 0)
+	e0 := 1.0 / 1.0  // dist 1
+	e1 := 1.0 / 9.0  // dist 3
+	e2 := 1.0 / 10.0 // dist sqrt(10)
+	want := e0 / (e1 + e2 + 0.01)
+	if got := n.SINR(0, p); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SINR = %v, want %v", got, want)
+	}
+	// SINR at own station is +Inf; at an interferer it is 0.
+	if got := n.SINR(0, geom.Pt(0, 0)); !math.IsInf(got, 1) {
+		t.Errorf("SINR at own station = %v", got)
+	}
+	if got := n.SINR(0, geom.Pt(4, 0)); got != 0 {
+		t.Errorf("SINR at interferer = %v", got)
+	}
+}
+
+func TestHeardTwoStationAnalytic(t *testing.T) {
+	n := twoStation(t)
+	// Along the x-axis the zone of s0 is [mu_l, mu_r] with
+	// mu_r = 1/(1+sqrt(beta)) = 1/3, mu_l = -1/(sqrt(beta)-1) = -1.
+	tests := []struct {
+		p    geom.Point
+		want bool
+	}{
+		{geom.Pt(1.0/3, 0), true}, // right boundary (closed zone)
+		{geom.Pt(0.3333, 0), true},
+		{geom.Pt(0.34, 0), false},
+		{geom.Pt(-1, 0), true}, // left boundary
+		{geom.Pt(-1.01, 0), false},
+		{geom.Pt(0, 0), true},          // the station itself
+		{geom.Pt(-1.0/3, 2.0/3), true}, // top of the Apollonius disk
+		{geom.Pt(-1.0/3, 0.67), false},
+	}
+	for _, tc := range tests {
+		if got := n.Heard(0, tc.p); got != tc.want {
+			t.Errorf("Heard(0, %v) = %v, want %v (SINR=%v)", tc.p, got, tc.want, n.SINR(0, tc.p))
+		}
+	}
+}
+
+func TestHeardByUniqueForBetaGT1(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		pts := make([]geom.Point, 5)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		}
+		n := mustNet(t, pts, 0.001, 1.5)
+		for k := 0; k < 50; k++ {
+			p := geom.Pt(rng.Float64()*10, rng.Float64()*10)
+			heard := 0
+			for i := 0; i < n.NumStations(); i++ {
+				if n.Heard(i, p) {
+					heard++
+				}
+			}
+			if heard > 1 {
+				t.Fatalf("trial %d: %d stations heard at %v with beta>1", trial, heard, p)
+			}
+			if i, ok := n.HeardBy(p); ok && !n.Heard(i, p) {
+				t.Fatalf("HeardBy returned unheard station %d", i)
+			}
+		}
+	}
+}
+
+func TestKappa(t *testing.T) {
+	n := mustNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(3, 4), geom.Pt(1, 0)}, 0, 2)
+	if got := n.Kappa(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Kappa(0) = %v, want 1", got)
+	}
+	if got := n.Kappa(1); math.Abs(got-math.Hypot(2, 4)) > 1e-12 {
+		t.Errorf("Kappa(1) = %v", got)
+	}
+	single := mustNet(t, []geom.Point{geom.Pt(0, 0)}, 0, 2)
+	if got := single.Kappa(0); got != 0 {
+		t.Errorf("single-station Kappa = %v", got)
+	}
+}
+
+func TestSharesLocation(t *testing.T) {
+	n := mustNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(1, 1)}, 0, 2)
+	if !n.SharesLocation(0) || !n.SharesLocation(1) {
+		t.Error("coincident stations should share location")
+	}
+	if n.SharesLocation(2) {
+		t.Error("station 2 is alone at its location")
+	}
+}
+
+// TestTransformPreservesSINR verifies Lemma 2.3: a similarity transform
+// with noise rescaled by 1/sigma^2 preserves all SINR values.
+func TestTransformPreservesSINR(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(2, 1), geom.Pt(-1, 3)}
+	n := mustNet(t, pts, 0.07, 3)
+	for trial := 0; trial < 25; trial++ {
+		theta := rng.Float64() * 2 * math.Pi
+		sigma := 0.2 + rng.Float64()*5
+		d := geom.Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+		f := geom.Similarity(theta, sigma, d)
+		fn, err := n.Transform(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := n.Noise() / (sigma * sigma); math.Abs(fn.Noise()-want) > 1e-12*(1+want) {
+			t.Fatalf("noise = %v, want %v", fn.Noise(), want)
+		}
+		for k := 0; k < 10; k++ {
+			p := geom.Pt(rng.Float64()*8-4, rng.Float64()*8-4)
+			for i := 0; i < n.NumStations(); i++ {
+				a := n.SINR(i, p)
+				b := fn.SINR(i, f.Apply(p))
+				if math.IsInf(a, 1) != math.IsInf(b, 1) {
+					t.Fatalf("infinity mismatch at station %d", i)
+				}
+				if !math.IsInf(a, 1) && math.Abs(a-b) > 1e-6*(1+a) {
+					t.Fatalf("SINR not preserved: %v vs %v (sigma=%v)", a, b, sigma)
+				}
+			}
+		}
+	}
+}
+
+func TestTransformRejectsDegenerate(t *testing.T) {
+	n := twoStation(t)
+	if _, err := n.Transform(geom.Scaling(0)); err == nil {
+		t.Error("expected error for sigma = 0")
+	}
+}
+
+func TestSubnetwork(t *testing.T) {
+	n := mustNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)}, 0.1, 2)
+	sub, err := n.Subnetwork([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumStations() != 2 || sub.Station(1) != geom.Pt(2, 0) {
+		t.Errorf("subnetwork = %v", sub)
+	}
+	if sub.Noise() != 0.1 || sub.Beta() != 2 {
+		t.Error("parameters must carry over")
+	}
+	if _, err := n.Subnetwork(nil); err == nil {
+		t.Error("empty keep list must fail")
+	}
+	if _, err := n.Subnetwork([]int{5}); err == nil {
+		t.Error("out-of-range index must fail")
+	}
+}
+
+func TestWithStationAndWithNoise(t *testing.T) {
+	n := twoStation(t)
+	n2, err := n.WithStation(geom.Pt(5, 5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.NumStations() != 3 || n2.Power(2) != 2 {
+		t.Errorf("WithStation result: %v", n2)
+	}
+	if n2.IsUniform() {
+		t.Error("mixed powers should not be uniform")
+	}
+	n3, err := n.WithNoise(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3.Noise() != 0.5 {
+		t.Errorf("Noise = %v", n3.Noise())
+	}
+	// Original untouched.
+	if n.NumStations() != 2 || n.Noise() != 0 {
+		t.Error("source network mutated")
+	}
+}
+
+func TestSilencingGrowsZones(t *testing.T) {
+	// Figure 1(C): silencing a station can only grow the others' zones.
+	n := mustNet(t, []geom.Point{geom.Pt(-3, 0), geom.Pt(3, 0), geom.Pt(0, 4)}, 0.02, 1.5)
+	sub, err := n.Subnetwork([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	for k := 0; k < 300; k++ {
+		p := geom.Pt(rng.Float64()*12-6, rng.Float64()*12-6)
+		if n.Heard(0, p) && !sub.Heard(0, p) {
+			t.Fatalf("silencing station 2 shrank zone 0 at %v", p)
+		}
+	}
+}

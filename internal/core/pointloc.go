@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+)
+
+// LocationKind is the answer category of an approximate point-location
+// query (Theorem 3): the query point is certified inside some H_i+,
+// certified outside every zone (H-), or in an uncertainty ring H_i?.
+type LocationKind int
+
+// Query answer categories.
+const (
+	NoReception LocationKind = iota // p in H-: no station is heard
+	Reception                       // p in H_i+: station i is heard
+	Uncertain                       // p in H_i?: within eps-ring of zone i
+)
+
+// String implements fmt.Stringer.
+func (k LocationKind) String() string {
+	switch k {
+	case NoReception:
+		return "H-"
+	case Reception:
+		return "H+"
+	case Uncertain:
+		return "H?"
+	default:
+		return fmt.Sprintf("LocationKind(%d)", int(k))
+	}
+}
+
+// Location is the result of a point-location query.
+type Location struct {
+	Kind    LocationKind
+	Station int // meaningful for Reception and Uncertain
+}
+
+// Locator is the Theorem 3 data structure DS: a nearest-station index
+// (Observation 2.2 reduces the candidate set to the Voronoi owner)
+// combined with one QDS per station. Total size O(n * eps^-1), built
+// in O(n^3 * eps^-1), answering queries in O(log n).
+type Locator struct {
+	net  *Network
+	tree *kdtree.Tree
+	qds  []*QDS
+	eps  float64
+}
+
+// BuildLocator constructs the combined point-location structure with
+// performance parameter eps for every station of the network. The
+// network must satisfy the Theorem 3 preconditions (uniform power,
+// alpha = 2, beta > 1).
+func (n *Network) BuildLocator(eps float64) (*Locator, error) {
+	loc := &Locator{
+		net:  n,
+		tree: kdtree.New(n.stations),
+		qds:  make([]*QDS, len(n.stations)),
+		eps:  eps,
+	}
+	for i := range n.stations {
+		q, err := n.BuildQDS(i, eps)
+		if err != nil {
+			return nil, fmt.Errorf("core: building QDS for station %d: %w", i, err)
+		}
+		loc.qds[i] = q
+	}
+	return loc, nil
+}
+
+// Eps returns the performance parameter.
+func (l *Locator) Eps() float64 { return l.eps }
+
+// QDSFor returns the per-station structure (for inspection and tests).
+func (l *Locator) QDSFor(i int) *QDS { return l.qds[i] }
+
+// NumUncertainCells sums |T?| over all stations — the O(n/eps) size
+// driver of the combined structure.
+func (l *Locator) NumUncertainCells() int {
+	total := 0
+	for _, q := range l.qds {
+		total += q.NumUncertainCells()
+	}
+	return total
+}
+
+// Locate answers an approximate point-location query in O(log n):
+// nearest-station lookup (kd-tree), then an O(1) cell classification
+// in that station's QDS. By Observation 2.2 no other station can be
+// heard at p, so a T- answer for the nearest station implies H-.
+func (l *Locator) Locate(p geom.Point) Location {
+	idx, _, ok := l.tree.Nearest(p)
+	if !ok {
+		return Location{Kind: NoReception}
+	}
+	switch l.qds[idx].Classify(p) {
+	case TPlus:
+		return Location{Kind: Reception, Station: idx}
+	case TQuestion:
+		return Location{Kind: Uncertain, Station: idx}
+	default:
+		return Location{Kind: NoReception}
+	}
+}
+
+// LocateExact resolves a query exactly: it uses the fast path of
+// Locate and falls back to one direct SINR evaluation (O(n)) only for
+// points landing in an uncertainty ring. This is the natural way
+// downstream users consume the structure: O(log n) for all but an
+// eps-fraction of the plane.
+func (l *Locator) LocateExact(p geom.Point) Location {
+	loc := l.Locate(p)
+	if loc.Kind != Uncertain {
+		return loc
+	}
+	if l.net.Heard(loc.Station, p) {
+		return Location{Kind: Reception, Station: loc.Station}
+	}
+	return Location{Kind: NoReception}
+}
+
+// NaiveLocate is the O(n^2)-flavored baseline the paper mentions:
+// evaluate the SINR of every station at p (each evaluation is O(n))
+// and report the heard station, if any.
+func (n *Network) NaiveLocate(p geom.Point) Location {
+	if i, ok := n.HeardBy(p); ok {
+		return Location{Kind: Reception, Station: i}
+	}
+	return Location{Kind: NoReception}
+}
+
+// VoronoiLocate is the O(n) baseline: identify the unique candidate
+// station via a nearest-station query (Observation 2.2), then one
+// direct SINR evaluation. The tree parameter lets callers amortize the
+// index; pass nil to build a throwaway index (turning the query into
+// the O(n log n)-preprocessed, O(n)-query algorithm of the paper's
+// introduction).
+func (n *Network) VoronoiLocate(p geom.Point, tree *kdtree.Tree) Location {
+	if tree == nil {
+		tree = kdtree.New(n.stations)
+	}
+	idx, _, ok := tree.Nearest(p)
+	if !ok {
+		return Location{Kind: NoReception}
+	}
+	if n.Heard(idx, p) {
+		return Location{Kind: Reception, Station: idx}
+	}
+	return Location{Kind: NoReception}
+}

@@ -1,0 +1,229 @@
+// Package diagram builds first-class SINR diagram objects: per-zone
+// polygonal geometry with areas, perimeters and radii, whole-diagram
+// coverage statistics, and the communication graph induced by
+// concurrent transmission (which station hears which) — the object
+// the paper names its central concept ("an SINR diagram is a
+// reception map characterizing the reception zones of the stations").
+package diagram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// ZoneInfo is the measured geometry of one reception zone.
+type ZoneInfo struct {
+	Station    int
+	Location   geom.Point
+	Degenerate bool         // H_i = {s_i} (shared location)
+	Boundary   geom.Polygon // polygonal approximation of ∂H_i (ccw)
+	Area       float64
+	Perimeter  float64
+	RMin       float64 // delta(s_i, H_i) estimate
+	RMax       float64 // Delta(s_i, H_i) estimate
+}
+
+// Fatness returns the zone's measured fatness parameter RMax/RMin
+// (+Inf for degenerate zones).
+func (z ZoneInfo) Fatness() float64 {
+	if z.RMin == 0 {
+		return math.Inf(1)
+	}
+	return z.RMax / z.RMin
+}
+
+// Diagram is a measured SINR diagram of a network.
+type Diagram struct {
+	net   *core.Network
+	zones []ZoneInfo
+}
+
+// Build measures every reception zone with the given boundary sample
+// count (>= 16; radial probes at tol precision). Requirements are
+// those of bounded zones: a uniform power network with alpha = 2 and
+// beta > 1... beta >= 1 with positive noise also works; the actual
+// requirement enforced is that radial probing succeeds, so any
+// uniform network with beta >= 1 and bounded zones is accepted.
+func Build(net *core.Network, samples int, tol float64) (*Diagram, error) {
+	if net == nil {
+		return nil, errors.New("diagram: nil network")
+	}
+	if samples < 16 {
+		samples = 64
+	}
+	d := &Diagram{net: net, zones: make([]ZoneInfo, net.NumStations())}
+	for i := 0; i < net.NumStations(); i++ {
+		info := ZoneInfo{Station: i, Location: net.Station(i)}
+		if net.SharesLocation(i) {
+			info.Degenerate = true
+			d.zones[i] = info
+			continue
+		}
+		z, err := net.Zone(i)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := z.SampleBoundary(samples, tol)
+		if err != nil {
+			return nil, fmt.Errorf("diagram: zone %d: %w", i, err)
+		}
+		info.Boundary = geom.Polygon(pts)
+		info.Area = math.Abs(info.Boundary.Area())
+		info.Perimeter = info.Boundary.Perimeter()
+		info.RMin, info.RMax = math.Inf(1), 0
+		for _, p := range pts {
+			r := geom.Dist(net.Station(i), p)
+			if r < info.RMin {
+				info.RMin = r
+			}
+			if r > info.RMax {
+				info.RMax = r
+			}
+		}
+		d.zones[i] = info
+	}
+	return d, nil
+}
+
+// Network returns the underlying network.
+func (d *Diagram) Network() *core.Network { return d.net }
+
+// NumZones returns the number of zones (== stations).
+func (d *Diagram) NumZones() int { return len(d.zones) }
+
+// Zone returns the measured info of zone i.
+func (d *Diagram) Zone(i int) ZoneInfo { return d.zones[i] }
+
+// TotalArea returns the summed reception area over all zones. Zones
+// are pairwise disjoint for beta > 1, so the sum is the area where
+// anybody is heard.
+func (d *Diagram) TotalArea() float64 {
+	var a float64
+	for _, z := range d.zones {
+		a += z.Area
+	}
+	return a
+}
+
+// CoverageFraction returns TotalArea divided by box area — the
+// fraction of the deployment region with reception.
+func (d *Diagram) CoverageFraction(box geom.Box) float64 {
+	ba := box.Area()
+	if ba <= 0 {
+		return 0
+	}
+	return d.TotalArea() / ba
+}
+
+// MaxFatness returns the largest measured fatness over non-degenerate
+// zones (0 when all zones are degenerate).
+func (d *Diagram) MaxFatness() float64 {
+	var m float64
+	for _, z := range d.zones {
+		if z.Degenerate {
+			continue
+		}
+		if f := z.Fatness(); f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// CommunicationGraph returns the directed graph induced by concurrent
+// transmission: edge i -> j iff station j successfully receives i's
+// transmission at its own location while every station except j
+// transmits (receivers are half-duplex, so j is not part of its own
+// interference). This is the "real" connectivity a graph-based model
+// tries to approximate.
+func (d *Diagram) CommunicationGraph() [][]bool {
+	n := d.net.NumStations()
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+		for j := range adj[i] {
+			if i == j {
+				continue
+			}
+			rx := d.net.Station(j)
+			signal := d.net.Energy(i, rx)
+			if math.IsInf(signal, 1) {
+				// Transmitter colocated with the receiver: treat the
+				// degenerate zero-distance link as connected.
+				adj[i][j] = true
+				continue
+			}
+			interference := 0.0
+			for m := 0; m < n; m++ {
+				if m == i || m == j {
+					continue
+				}
+				interference += d.net.Energy(m, rx)
+			}
+			adj[i][j] = signal >= d.net.Beta()*(interference+d.net.Noise())
+		}
+	}
+	return adj
+}
+
+// SymmetricLinks returns the pairs (i, j), i < j, connected in both
+// directions of the communication graph — the bidirectional links a
+// protocol could actually use.
+func (d *Diagram) SymmetricLinks() [][2]int {
+	adj := d.CommunicationGraph()
+	var out [][2]int
+	for i := range adj {
+		for j := i + 1; j < len(adj); j++ {
+			if adj[i][j] && adj[j][i] {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// WeakComponents returns the weakly connected components of the
+// communication graph (treating edges as undirected), as sorted index
+// slices. With beta > 1, concurrent transmission usually shatters the
+// network into many components — the capacity phenomenon behind the
+// paper's scheduling references.
+func (d *Diagram) WeakComponents() [][]int {
+	n := d.net.NumStations()
+	adj := d.CommunicationGraph()
+	seen := make([]bool, n)
+	var comps [][]int
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		var comp []int
+		stack := []int{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for w := 0; w < n; w++ {
+				if !seen[w] && (adj[v][w] || adj[w][v]) {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		insertionSort(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package diagram
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func twoStationNet(t *testing.T) *core.Network {
+	t.Helper()
+	n, err := core.NewUniform([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 64, 1e-6); err == nil {
+		t.Error("nil network must fail")
+	}
+}
+
+func TestBuildApolloniusGeometry(t *testing.T) {
+	d, err := Build(twoStationNet(t), 256, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumZones() != 2 {
+		t.Fatalf("zones = %d", d.NumZones())
+	}
+	z0 := d.Zone(0)
+	// Known: disk of radius 2/3 -> area 4pi/9, perimeter 4pi/3,
+	// rMin 1/3, rMax 1.
+	if math.Abs(z0.Area-4*math.Pi/9) > 0.01*4*math.Pi/9 {
+		t.Errorf("area = %v", z0.Area)
+	}
+	if math.Abs(z0.Perimeter-4*math.Pi/3) > 0.01*4*math.Pi/3 {
+		t.Errorf("perimeter = %v", z0.Perimeter)
+	}
+	if math.Abs(z0.RMin-1.0/3) > 1e-3 || math.Abs(z0.RMax-1) > 1e-3 {
+		t.Errorf("radii = [%v, %v]", z0.RMin, z0.RMax)
+	}
+	if math.Abs(z0.Fatness()-3) > 0.02 {
+		t.Errorf("fatness = %v", z0.Fatness())
+	}
+	if !z0.Boundary.IsConvex() {
+		t.Error("boundary sample of a convex zone should be convex")
+	}
+	// Symmetry: the two zones have equal areas.
+	if z1 := d.Zone(1); math.Abs(z1.Area-z0.Area) > 0.01*z0.Area {
+		t.Errorf("zone areas differ: %v vs %v", z0.Area, z1.Area)
+	}
+	if got := d.TotalArea(); math.Abs(got-2*z0.Area) > 1e-9 {
+		t.Errorf("TotalArea = %v", got)
+	}
+}
+
+func TestDegenerateZone(t *testing.T) {
+	n, err := core.NewUniform(
+		[]geom.Point{geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(3, 0)}, 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Build(n, 64, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Zone(0).Degenerate || !d.Zone(1).Degenerate {
+		t.Error("shared-location zones must be degenerate")
+	}
+	if d.Zone(2).Degenerate {
+		t.Error("zone 2 must be measured")
+	}
+	if !math.IsInf(d.Zone(0).Fatness(), 1) {
+		t.Error("degenerate fatness must be +Inf")
+	}
+}
+
+func TestCoverageFraction(t *testing.T) {
+	d, err := Build(twoStationNet(t), 128, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := geom.NewBox(geom.Pt(-3, -3), geom.Pt(3, 3))
+	frac := d.CoverageFraction(box)
+	want := d.TotalArea() / 36
+	if math.Abs(frac-want) > 1e-12 {
+		t.Errorf("coverage = %v, want %v", frac, want)
+	}
+	if got := d.CoverageFraction(geom.Box{}); got != 0 {
+		t.Errorf("degenerate box coverage = %v", got)
+	}
+}
+
+func TestMaxFatnessWithinBound(t *testing.T) {
+	n, err := core.NewUniform([]geom.Point{
+		geom.Pt(0, 0), geom.Pt(3, 1), geom.Pt(-2, 2), geom.Pt(1, -3),
+	}, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Build(n, 128, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := core.FatnessBound(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.MaxFatness(); got <= 0 || got > bound*(1+1e-6) {
+		t.Errorf("MaxFatness = %v, bound %v", got, bound)
+	}
+}
+
+func TestCommunicationGraph(t *testing.T) {
+	// Two clusters of two nearby stations, clusters far apart: with
+	// concurrent transmission, each station hears its close partner's
+	// signal only if SINR clears beta. Here partners are at distance
+	// 0.1 while the other cluster is 100 away: links inside clusters
+	// are symmetric, across clusters absent.
+	n, err := core.NewUniform([]geom.Point{
+		geom.Pt(0, 0), geom.Pt(0.1, 0),
+		geom.Pt(100, 0), geom.Pt(100.1, 0),
+	}, 0.0001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Build(n, 64, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := d.CommunicationGraph()
+	if !adj[0][1] || !adj[1][0] || !adj[2][3] || !adj[3][2] {
+		t.Errorf("intra-cluster links missing: %v", adj)
+	}
+	if adj[0][2] || adj[2][0] || adj[1][3] {
+		t.Errorf("cross-cluster links present: %v", adj)
+	}
+	if adj[0][0] {
+		t.Error("self loop")
+	}
+	links := d.SymmetricLinks()
+	if len(links) != 2 {
+		t.Errorf("symmetric links = %v", links)
+	}
+	comps := d.WeakComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+	if len(comps[0]) != 2 || len(comps[1]) != 2 {
+		t.Errorf("component sizes: %v", comps)
+	}
+}
+
+func TestCommunicationGraphJam(t *testing.T) {
+	// Three colinear stations, middle one jammed from both sides: with
+	// beta = 2 nobody hears anybody (symmetric interference).
+	n, err := core.NewUniform([]geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0),
+	}, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Build(n, 64, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := d.CommunicationGraph()
+	// Station 1 (middle) is 1 away from both others; each signal gets
+	// SINR = (1)/(1/4 [other] + 0) = 4 >= 2? dist(0, s1)=1, interferer
+	// s2 at dist 1 from s1: SINR(0, s1) = 1/(1) = 1 < 2: not heard.
+	if adj[0][1] {
+		t.Errorf("edge 0->1 should be jammed by station 2: %v", adj)
+	}
+	// Outer stations: s0 at s2's location: signal 1/4, interference
+	// from s1 at dist 1 = 1: SINR = 0.25 < 2.
+	if adj[0][2] {
+		t.Error("edge 0->2 should be jammed")
+	}
+}

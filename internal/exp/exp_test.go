@@ -1,0 +1,235 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{
+		ID:         "T0",
+		Title:      "demo",
+		PaperClaim: "claim",
+		Headers:    []string{"a", "bb"},
+		Pass:       true,
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRowf(3.14159, 42)
+	tbl.Note("note %d", 7)
+	s := tbl.String()
+	for _, want := range []string{"T0", "demo", "claim", "PASS", "3.142", "42", "note 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	tbl.Pass = false
+	if !strings.Contains(tbl.String(), "FAIL") {
+		t.Error("expected FAIL marker")
+	}
+}
+
+func TestFig1Reception(t *testing.T) {
+	tbl, err := Fig1Reception()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Pass {
+		t.Fatalf("Figure 1 story does not reproduce:\n%s", tbl)
+	}
+}
+
+func TestFig2Cumulative(t *testing.T) {
+	tbl, err := Fig2Cumulative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Pass {
+		t.Fatalf("Figure 2 story does not reproduce:\n%s", tbl)
+	}
+}
+
+func TestFig34StepSeries(t *testing.T) {
+	tbl, err := Fig34StepSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Pass {
+		t.Fatalf("Figures 3-4 progression does not reproduce:\n%s", tbl)
+	}
+}
+
+func TestFig5NonConvex(t *testing.T) {
+	tbl, err := Fig5NonConvex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Pass {
+		t.Fatalf("Figure 5 non-convexity does not reproduce:\n%s", tbl)
+	}
+}
+
+func TestTheorem1Convexity(t *testing.T) {
+	tbl, err := Theorem1Convexity(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Pass {
+		t.Fatalf("Theorem 1 validation failed:\n%s", tbl)
+	}
+}
+
+func TestTheorem2Fatness(t *testing.T) {
+	tbl, err := Theorem2Fatness(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Pass {
+		t.Fatalf("Theorem 2 validation failed:\n%s", tbl)
+	}
+}
+
+func TestTheorem3QDS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("QDS build sweep is slow")
+	}
+	tbl, err := Theorem3QDS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Pass {
+		t.Fatalf("Theorem 3 validation failed:\n%s", tbl)
+	}
+}
+
+func TestStarShapeObs22(t *testing.T) {
+	tbl, err := StarShapeObs22(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Pass {
+		t.Fatalf("E9 validation failed:\n%s", tbl)
+	}
+}
+
+func TestSturmSection32(t *testing.T) {
+	tbl, err := SturmSection32(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Pass {
+		t.Fatalf("E10 validation failed:\n%s", tbl)
+	}
+}
+
+func TestMergeConstructions(t *testing.T) {
+	tbl, err := MergeConstructions(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Pass {
+		t.Fatalf("E10b validation failed:\n%s", tbl)
+	}
+}
+
+func TestGridAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid ablation sweep is slow")
+	}
+	tbl, err := GridAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Pass {
+		t.Fatalf("E11 validation failed:\n%s", tbl)
+	}
+}
+
+func TestGeneralAlphaConvexity(t *testing.T) {
+	tbl, err := GeneralAlphaConvexity(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Pass {
+		t.Fatalf("E12 validation failed:\n%s", tbl)
+	}
+}
+
+func TestNonUniformPower(t *testing.T) {
+	tbl, err := NonUniformPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Pass {
+		t.Fatalf("E13 validation failed:\n%s", tbl)
+	}
+}
+
+func TestRenderFigureNames(t *testing.T) {
+	for _, name := range []string{"fig1a", "fig1b", "fig1c", "fig2-udg", "fig2-sinr", "fig5"} {
+		rm, err := RenderFigure(name, 40, 40)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rm.Width != 40 || rm.Height != 40 {
+			t.Errorf("%s: size %dx%d", name, rm.Width, rm.Height)
+		}
+	}
+	if _, err := RenderFigure("nope", 10, 10); err == nil {
+		t.Error("unknown figure must error")
+	}
+}
+
+func TestMeasureQueryScalingSmall(t *testing.T) {
+	timings, err := MeasureQueryScaling([]int{4, 8}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timings) != 2 {
+		t.Fatalf("timings = %v", timings)
+	}
+	for _, tm := range timings {
+		if tm.BuildTime <= 0 || tm.NaivePerOp <= 0 || tm.DSPerOp <= 0 {
+			t.Errorf("non-positive timing: %+v", tm)
+		}
+	}
+}
+
+func TestScheduling(t *testing.T) {
+	tbl, err := Scheduling(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Pass {
+		t.Fatalf("E14 validation failed:\n%s", tbl)
+	}
+}
+
+func TestCommunicationGraphExperiment(t *testing.T) {
+	tbl, err := CommunicationGraph(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Pass {
+		t.Fatalf("E15 validation failed:\n%s", tbl)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	reg := Registry(1)
+	if len(reg) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(reg))
+	}
+	for _, e := range reg {
+		if e.ID == "" || e.Run == nil {
+			t.Fatalf("malformed entry %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// GeneralAlphaConvexity runs E12: the Section 1.4 open problem "study
+// SINR diagrams for path-loss alpha > 2". The polynomial machinery is
+// alpha = 2 specific, but the sampling certificates are not; across
+// exponents the probes find no convexity violation for uniform power,
+// supporting the conjecture that Theorem 1 extends (later literature
+// proved it for all alpha > 0).
+func GeneralAlphaConvexity(trialsPerCell int) (*Table, error) {
+	t := &Table{
+		ID:         "E12",
+		Title:      "Open problem (Sec. 1.4): convexity beyond alpha = 2",
+		PaperClaim: "the paper leaves alpha != 2 open; probes should find no violation for uniform power, beta > 1",
+		Headers:    []string{"alpha", "trials", "midpointViolations", "chordViolations"},
+	}
+	t.Pass = true
+	rng := rand.New(rand.NewSource(1201))
+	for _, alpha := range []float64{1.5, 2, 2.5, 3, 4, 6} {
+		gen := workload.NewGenerator(int64(alpha * 1000))
+		midViol, chordViol := 0, 0
+		for trial := 0; trial < trialsPerCell; trial++ {
+			box := geom.NewBox(geom.Pt(-5, -5), geom.Pt(5, 5))
+			pts, err := gen.UniformSeparated(2+trial%6, box, 0.05)
+			if err != nil {
+				return nil, err
+			}
+			net, err := core.NewNetwork(pts, 0.01, 2.5, core.WithAlpha(alpha))
+			if err != nil {
+				return nil, err
+			}
+			rep, err := net.ProbeConvexity(0, 60, 10, rng)
+			if err != nil {
+				return nil, err
+			}
+			midViol += rep.MidpointViolations
+			chordViol += rep.ChordViolations
+		}
+		t.AddRowf(alpha, trialsPerCell, midViol, chordViol)
+		if midViol > 0 || chordViol > 0 {
+			t.Pass = false
+		}
+	}
+	return t, nil
+}
+
+// NonUniformPower runs E13: the Section 1.4 open problem "different
+// transmission energies". The experiment exhibits a concrete beta > 1
+// non-uniform network whose strong station's zone is non-convex (a
+// hole wraps the weak interferer), and measures how often randomized
+// search finds such violations.
+func NonUniformPower() (*Table, error) {
+	t := &Table{
+		ID:         "E13",
+		Title:      "Open problem (Sec. 1.4): non-uniform power breaks convexity",
+		PaperClaim: "the paper notes general networks are harder; a power-imbalanced witness shows Theorem 1's uniformity assumption is necessary",
+		Headers:    []string{"check", "result"},
+	}
+	// Deterministic witness.
+	net, p1, p2, err := core.NonConvexNonUniformExample()
+	if err != nil {
+		return nil, err
+	}
+	mid := geom.Midpoint(p1, p2)
+	witnessOK := net.Heard(0, p1) && net.Heard(0, p2) && !net.Heard(0, mid)
+	t.AddRowf("deterministic witness (psi=100 vs 1, beta=2)", witnessOK)
+	t.Note("endpoints %v, %v in zone 0; midpoint %v outside (SINR=%.3g < beta=%.3g)",
+		p1, p2, mid, net.SINR(0, mid), net.Beta())
+
+	// Randomized search.
+	found := 0
+	const seeds = 10
+	for seed := int64(0); seed < seeds; seed++ {
+		_, _, _, ok, err := core.FindNonConvexNonUniform(3, 30, 50, 1.5, seed)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			found++
+		}
+	}
+	t.AddRowf("random 3-station searches finding a violation", found)
+	t.Pass = witnessOK && found > 0
+	return t, nil
+}

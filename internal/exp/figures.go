@@ -1,0 +1,185 @@
+package exp
+
+import (
+	"math/rand"
+	"strconv"
+
+	"repro/internal/geom"
+	"repro/internal/raster"
+	"repro/internal/udg"
+)
+
+// Fig1Reception regenerates Figure 1: the reception outcome at the
+// fixed receiver across the three scenarios.
+func Fig1Reception() (*Table, error) {
+	a, b, c, err := Fig1Scenario()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:         "E1",
+		Title:      "Figure 1: reception flips as stations move or go silent",
+		PaperClaim: "(A) p hears s2; (B) after s1 moves, p hears nothing; (C) with s3 silent, p hears s1",
+		Headers:    []string{"scenario", "active", "heard@p", "expected"},
+	}
+	p := Fig1Receiver
+
+	heardA := stationIdx(a.HeardBy(p))
+	heardB := stationIdx(b.HeardBy(p))
+	heardC := stationIdx(c.HeardBy(p))
+	t.AddRow("A", "s1,s2,s3", stationName(heardA), "s2")
+	t.AddRow("B", "s1,s2,s3", stationName(heardB), "-")
+	t.AddRow("C", "s1,s2", stationName(heardC), "s1")
+	t.Pass = heardA == 1 && heardB == -1 && heardC == 0
+	return t, nil
+}
+
+func stationIdx(i int, ok bool) int {
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Fig2Cumulative regenerates Figure 2: cumulative interference makes
+// the UDG model report a false positive.
+func Fig2Cumulative() (*Table, error) {
+	m, n, p, err := Fig2Scenario()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:         "E2",
+		Title:      "Figure 2: cumulative interference (UDG false positive)",
+		PaperClaim: "UDG: p hears s1; SINR: cumulative interference of s2,s3,s4 prevents reception",
+		Headers:    []string{"model", "heard@p", "SINR(s1,p)", "beta"},
+	}
+	udgHeard := stationIdx(m.HeardBy(p))
+	sinrHeard := stationIdx(n.HeardBy(p))
+	t.AddRowf("UDG", stationName(udgHeard), "-", "-")
+	t.AddRowf("SINR", stationName(sinrHeard), n.SINR(0, p), n.Beta())
+	v, err := udg.Compare(m, n, p)
+	if err != nil {
+		return nil, err
+	}
+	t.Note("comparator verdict: %v", v)
+	t.Pass = udgHeard == 0 && sinrHeard == -1 && v == udg.FalsePositive
+	return t, nil
+}
+
+// Fig34StepSeries regenerates Figures 3-4: the four-step transmitter
+// progression and the per-step UDG/SINR outcomes.
+func Fig34StepSeries() (*Table, error) {
+	steps, err := RunFig34()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:         "E3",
+		Title:      "Figures 3-4: adding transmitters one at a time",
+		PaperClaim: "step1 agree (s1); step2 UDG false negative (SINR keeps s1); step3 UDG false negative (SINR decodes s3); step4 outcomes shift again",
+		Headers:    []string{"step", "active", "UDG", "SINR"},
+	}
+	for _, s := range steps {
+		active := ""
+		for i, idx := range s.Transmitting {
+			if i > 0 {
+				active += ","
+			}
+			active += stationName(idx)
+		}
+		t.AddRow(
+			strconv.Itoa(s.Step), active,
+			stationName(s.UDGStation), stationName(s.SINRStation),
+		)
+	}
+	t.Pass = len(steps) == 4 &&
+		steps[0].UDGStation == 0 && steps[0].SINRStation == 0 &&
+		steps[1].UDGStation == -1 && steps[1].SINRStation == 0 &&
+		steps[2].UDGStation == -1 && steps[2].SINRStation == 2 &&
+		steps[3].SINRStation != 2
+	return t, nil
+}
+
+// Fig5NonConvex regenerates Figure 5: with beta < 1, reception zones
+// stop being convex. Both the paper-style three-station layout and the
+// two-station hole certificate are checked.
+func Fig5NonConvex() (*Table, error) {
+	t := &Table{
+		ID:         "E4",
+		Title:      "Figure 5: non-convex zones at beta < 1",
+		PaperClaim: "beta = 0.3 < 1 yields clearly non-convex reception zones",
+		Headers:    []string{"layout", "maxLineCrossings", "midpointViolations", "nonConvex"},
+	}
+	rng := rand.New(rand.NewSource(5))
+
+	three, err := Fig5Scenario()
+	if err != nil {
+		return nil, err
+	}
+	rep3, err := three.CheckConvexity(0, 80, 300, 12, rng)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRowf("3 stations (paper)", rep3.MaxLineCrossings, rep3.MidpointViolations, !rep3.Convex())
+
+	two, err := Fig5TwoStation()
+	if err != nil {
+		return nil, err
+	}
+	rep2, err := two.CheckConvexity(0, 80, 300, 15, rng)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRowf("2 stations (hole)", rep2.MaxLineCrossings, rep2.MidpointViolations, !rep2.Convex())
+
+	t.Pass = !rep2.Convex() && !rep3.Convex()
+	return t, nil
+}
+
+// RenderFigure produces the reception map for one of the paper's
+// figure scenarios by name ("fig1a", "fig1b", "fig1c", "fig2-udg",
+// "fig2-sinr", "fig5") at the given resolution. Used by cmd/sinrmap.
+func RenderFigure(name string, width, height int) (*raster.ReceptionMap, error) {
+	box := geom.NewBox(geom.Pt(-6, -6), geom.Pt(6, 6))
+	switch name {
+	case "fig1a", "fig1b", "fig1c":
+		a, b, c, err := Fig1Scenario()
+		if err != nil {
+			return nil, err
+		}
+		switch name {
+		case "fig1a":
+			return raster.Render(a, box, width, height)
+		case "fig1b":
+			return raster.Render(b, box, width, height)
+		default:
+			return raster.Render(c, box, width, height)
+		}
+	case "fig2-udg", "fig2-sinr":
+		m, n, _, err := Fig2Scenario()
+		if err != nil {
+			return nil, err
+		}
+		box = geom.NewBox(geom.Pt(-10, -10), geom.Pt(10, 10))
+		if name == "fig2-udg" {
+			return raster.Render(m, box, width, height)
+		}
+		return raster.Render(n, box, width, height)
+	case "fig5":
+		n, err := Fig5Scenario()
+		if err != nil {
+			return nil, err
+		}
+		box = geom.NewBox(geom.Pt(-5, -5), geom.Pt(5, 5))
+		return raster.Render(n, box, width, height)
+	default:
+		return nil, errUnknownFigure(name)
+	}
+}
+
+type errUnknownFigure string
+
+func (e errUnknownFigure) Error() string {
+	return "exp: unknown figure " + string(e) + " (want fig1a|fig1b|fig1c|fig2-udg|fig2-sinr|fig5)"
+}

@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestProfileQDSPieces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling only")
+	}
+	gen := workload.NewGenerator(48000)
+	net, err := randomUniformNet(gen, 16, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	q, err := net.BuildQDS(0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BuildQDS eps=0.05: %v, |T?|=%d cols=%d", time.Since(start), q.NumUncertainCells(), q.NumColumns())
+	start = time.Now()
+	bad, err := q.VerifyColumns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("VerifyColumns: %v (bad=%d)", time.Since(start), bad)
+	z, _ := net.Zone(0)
+	start = time.Now()
+	if _, err := z.ApproxArea(720, q.Gamma()/16); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ApproxArea: %v", time.Since(start))
+}

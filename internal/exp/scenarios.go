@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/udg"
+)
+
+// Fig1Receiver is the fixed receiver point of the Figure 1 scenarios.
+var Fig1Receiver = geom.Pt(0, 0)
+
+// Fig1Scenario builds the three-station networks of Figure 1. The
+// layout is chosen so the paper's story plays out exactly:
+//
+//	(A) s1 is far away           -> the receiver hears s2,
+//	(B) s1 moves close           -> the receiver hears nobody,
+//	(C) same as (B), s3 silent   -> the receiver hears s1.
+//
+// The returned networks use stations indexed [s1, s2, s3] for A and B,
+// and [s1, s2] for C (s3 silenced via Subnetwork).
+func Fig1Scenario() (a, b, c *core.Network, err error) {
+	const (
+		beta  = 2
+		noise = 0.02
+	)
+	s2 := geom.Pt(1.5, 0)
+	s3 := geom.Pt(-1.9, 2.53)
+	s1Far := geom.Pt(-5, 0)
+	s1Near := geom.Pt(-1, 0)
+
+	a, err = core.NewUniform([]geom.Point{s1Far, s2, s3}, noise, beta)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	b, err = core.NewUniform([]geom.Point{s1Near, s2, s3}, noise, beta)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	c, err = b.Subnetwork([]int{0, 1})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return a, b, c, nil
+}
+
+// Fig2Scenario builds the cumulative-interference example of Figure 2:
+// four stations where the receiver p is adjacent to s1 in the UDG
+// sense but the combined energy of the three out-of-range stations
+// pushes the SINR below threshold.
+func Fig2Scenario() (*udg.Model, *core.Network, geom.Point, error) {
+	stations := []geom.Point{
+		geom.Pt(0, 0),  // s1
+		geom.Pt(5, 5),  // s2
+		geom.Pt(5, -5), // s3
+		geom.Pt(-5, 5), // s4
+	}
+	p := geom.Pt(3.2, 0)
+	m, err := udg.NewUDG(stations, 4)
+	if err != nil {
+		return nil, nil, geom.Point{}, err
+	}
+	n, err := core.NewUniform(stations, 0, 2)
+	if err != nil {
+		return nil, nil, geom.Point{}, err
+	}
+	return m, n, p, nil
+}
+
+// Fig34Step describes one step of the Figures 3-4 progression.
+type Fig34Step struct {
+	Step         int
+	Transmitting []int // indices of active stations
+	UDGStation   int   // station heard under UDG (-1 for none)
+	SINRStation  int   // station heard under SINR (-1 for none)
+}
+
+// Fig34Scenario builds the station set and receiver of Figures 3-4:
+// transmitters are enabled one at a time (s1; +s2; +s3; +s4) and the
+// reception outcome under both models is recorded per step. The
+// paper's qualitative sequence:
+//
+//	step 1: both models hear s1 (Figure 3);
+//	step 2: UDG reports collision, SINR still decodes s1 (false negative);
+//	step 3: UDG still collides, SINR now decodes the nearby s3;
+//	step 4: the added interferer kills s3 in SINR too — the models'
+//	        answers change shape once more (Figure 4(E)/(F)).
+func Fig34Scenario() (stations []geom.Point, p geom.Point, udgRadius float64) {
+	stations = []geom.Point{
+		geom.Pt(0, 0),        // s1
+		geom.Pt(4, 0),        // s2
+		geom.Pt(0.65, -0.15), // s3: very close to the receiver
+		geom.Pt(0.55, -0.25), // s4: even closer, jamming s3
+	}
+	return stations, geom.Pt(0.5, 0), 4
+}
+
+// RunFig34 executes the four steps and returns the outcomes.
+func RunFig34() ([]Fig34Step, error) {
+	stations, p, radius := Fig34Scenario()
+	m, err := udg.NewUDG(stations, radius)
+	if err != nil {
+		return nil, err
+	}
+	var steps []Fig34Step
+	for step := 1; step <= 4; step++ {
+		keep := make([]int, step)
+		active := make(map[int]bool, step)
+		for i := 0; i < step; i++ {
+			keep[i] = i
+			active[i] = true
+		}
+		sub, err := core.NewUniform(stations[:step], 0.02, 2)
+		if err != nil {
+			return nil, err
+		}
+		st := Fig34Step{Step: step, Transmitting: keep, UDGStation: -1, SINRStation: -1}
+		for i := 0; i < step; i++ {
+			if m.HeardAmong(i, p, active) {
+				st.UDGStation = i
+				break
+			}
+		}
+		if i, ok := sub.HeardBy(p); ok {
+			st.SINRStation = i
+		}
+		steps = append(steps, st)
+	}
+	return steps, nil
+}
+
+// Fig5Scenario builds a beta < 1 network in the spirit of Figure 5
+// (uniform power, alpha = 2, beta = 0.3, noise low enough that zones
+// wrap around interferers), whose reception zones are non-convex.
+func Fig5Scenario() (*core.Network, error) {
+	return core.NewUniform(
+		[]geom.Point{geom.Pt(-2, 0), geom.Pt(2, 2), geom.Pt(2, -2)},
+		0.005, 0.3,
+	)
+}
+
+// Fig5TwoStation is the sharpest non-convexity certificate: two
+// stations with beta < 1, where zone 0 has a hole around the
+// interferer so the x-axis crosses its boundary four times.
+func Fig5TwoStation() (*core.Network, error) {
+	return core.NewUniform([]geom.Point{geom.Pt(-2, 0), geom.Pt(2, 0)}, 0.005, 0.3)
+}
+
+// stationName formats a station index the way the paper labels them
+// (1-based: s1, s2, ...), with "-" for none.
+func stationName(idx int) string {
+	if idx < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("s%d", idx+1)
+}

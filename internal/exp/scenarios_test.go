@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestFig1ScenarioNumbers(t *testing.T) {
+	a, b, c, err := Fig1Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Fig1Receiver
+	// Scenario A: SINR(s2, p) must clear beta = 2 with margin; by
+	// construction E2 = 1/1.5^2, E1 = 1/25, E3 ~ 0.1, N = 0.02.
+	if got := a.SINR(1, p); got < 2 {
+		t.Errorf("A: SINR(s2) = %v, want >= 2", got)
+	}
+	// Scenario B: nobody clears the threshold.
+	for i := 0; i < b.NumStations(); i++ {
+		if got := b.SINR(i, p); got >= 2 {
+			t.Errorf("B: SINR(s%d) = %v, want < 2", i+1, got)
+		}
+	}
+	// Scenario C: s1 (index 0) clears it.
+	if got := c.SINR(0, p); got < 2 {
+		t.Errorf("C: SINR(s1) = %v, want >= 2", got)
+	}
+	// C is B minus s3: station sets must match on the survivors.
+	if c.NumStations() != 2 || c.Station(0) != b.Station(0) || c.Station(1) != b.Station(1) {
+		t.Error("scenario C must be B with s3 silenced")
+	}
+	// A and B differ only in s1's position.
+	if a.Station(1) != b.Station(1) || a.Station(2) != b.Station(2) {
+		t.Error("only s1 moves between A and B")
+	}
+	if a.Station(0) == b.Station(0) {
+		t.Error("s1 must move between A and B")
+	}
+}
+
+func TestFig2ScenarioEnergies(t *testing.T) {
+	m, n, p, err := Fig2Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p is within UDG range of s1 only.
+	if geom.Dist(m.Station(0), p) > m.ConnRadius() {
+		t.Error("p must be UDG-adjacent to s1")
+	}
+	for i := 1; i < m.NumStations(); i++ {
+		if geom.Dist(m.Station(i), p) <= m.InterfRadius() {
+			t.Errorf("s%d must be out of UDG range of p", i+1)
+		}
+	}
+	// The single strongest interferer alone would NOT kill reception —
+	// it is genuinely the cumulative effect.
+	strongest := 0.0
+	for i := 1; i < n.NumStations(); i++ {
+		if e := n.Energy(i, p); e > strongest {
+			strongest = e
+		}
+	}
+	signal := n.Energy(0, p)
+	if signal < n.Beta()*strongest {
+		t.Error("a single interferer suffices; scenario must need the cumulative sum")
+	}
+	if signal >= n.Beta()*n.Interference(0, p) {
+		t.Error("the cumulative interference must kill reception")
+	}
+}
+
+func TestFig5ScenarioProperties(t *testing.T) {
+	n, err := Fig5Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Beta() >= 1 {
+		t.Error("Figure 5 requires beta < 1")
+	}
+	if !n.IsUniform() || n.Alpha() != 2 {
+		t.Error("Figure 5 is a uniform alpha=2 network")
+	}
+	two, err := Fig5TwoStation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hole: in-zone on both sides of the interferer along the
+	// x-axis, out-of-zone at the interferer.
+	if !two.Heard(0, geom.Pt(0, 0)) || !two.Heard(0, geom.Pt(10, 0)) {
+		t.Error("zone must be present on both sides of the hole")
+	}
+	if two.Heard(0, geom.Pt(2.05, 0)) {
+		t.Error("hole must exist near the interferer")
+	}
+}
+
+func TestStationName(t *testing.T) {
+	if stationName(-1) != "-" {
+		t.Errorf("stationName(-1) = %q", stationName(-1))
+	}
+	if stationName(0) != "s1" || stationName(11) != "s12" {
+		t.Error("stationName formatting wrong")
+	}
+}
+
+func TestRunFig34StepInvariants(t *testing.T) {
+	steps, err := RunFig34()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 4 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	for i, s := range steps {
+		if s.Step != i+1 || len(s.Transmitting) != i+1 {
+			t.Errorf("step %d malformed: %+v", i+1, s)
+		}
+		if s.UDGStation >= 0 && s.SINRStation >= 0 && s.UDGStation != s.SINRStation {
+			// Both models can hear someone, but it must be the same
+			// station in this scenario family.
+			t.Errorf("step %d: UDG %d vs SINR %d", i+1, s.UDGStation, s.SINRStation)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package exp
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// randomUniformNet draws a uniform power network with n stations in a
+// 10x10 box, rejecting shared locations for station 0.
+func randomUniformNet(gen *workload.Generator, n int, noise, beta float64) (*core.Network, error) {
+	box := geom.NewBox(geom.Pt(-5, -5), geom.Pt(5, 5))
+	pts, err := gen.UniformSeparated(n, box, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewUniform(pts, noise, beta)
+}
+
+// Theorem1Convexity runs the E5 validation: across station counts and
+// thresholds, no convexity certificate fails (Theorem 1).
+func Theorem1Convexity(trialsPerCell int) (*Table, error) {
+	t := &Table{
+		ID:         "E5",
+		Title:      "Theorem 1: convexity of reception zones (uniform power, alpha=2, beta>=1)",
+		PaperClaim: "every line meets each zone boundary at most twice; zones pass midpoint convexity checks",
+		Headers:    []string{"n", "beta", "trials", "maxCrossings", "midpointViolations"},
+	}
+	t.Pass = true
+	rng := rand.New(rand.NewSource(1002))
+	for _, n := range []int{2, 4, 8, 16} {
+		for _, beta := range []float64{1, 2, 6} {
+			gen := workload.NewGenerator(int64(1000*n) + int64(beta*10))
+			maxCross, viol := 0, 0
+			for trial := 0; trial < trialsPerCell; trial++ {
+				noise := 0.02 // keeps beta=1 zones bounded
+				net, err := randomUniformNet(gen, n, noise, beta)
+				if err != nil {
+					return nil, err
+				}
+				rep, err := net.CheckConvexity(0, 15, 15, 12, rng)
+				if err != nil {
+					return nil, err
+				}
+				if rep.MaxLineCrossings > maxCross {
+					maxCross = rep.MaxLineCrossings
+				}
+				viol += rep.MidpointViolations
+			}
+			t.AddRowf(n, beta, trialsPerCell, maxCross, viol)
+			if maxCross > 2 || viol > 0 {
+				t.Pass = false
+			}
+		}
+	}
+	return t, nil
+}
+
+// Theorem2Fatness runs the E6 validation: measured fatness against the
+// Theorem 4.2 bound and the Theorem 4.1 delta/Delta sandwich.
+func Theorem2Fatness(trialsPerCell int) (*Table, error) {
+	t := &Table{
+		ID:         "E6",
+		Title:      "Theorem 2 / 4.1 / 4.2: fatness of reception zones",
+		PaperClaim: "delta, Delta within Theorem 4.1 bounds; phi <= (sqrt(beta)+1)/(sqrt(beta)-1) (Theorem 4.2)",
+		Headers: []string{
+			"n", "beta", "maxPhi", "bound", "sandwichOK",
+		},
+	}
+	t.Pass = true
+	for _, n := range []int{2, 8, 32} {
+		for _, beta := range []float64{1.5, 2, 4, 6, 9} {
+			gen := workload.NewGenerator(int64(2000*n) + int64(beta*10))
+			bound, err := core.FatnessBound(beta)
+			if err != nil {
+				return nil, err
+			}
+			maxPhi := 0.0
+			sandwichOK := true
+			for trial := 0; trial < trialsPerCell; trial++ {
+				net, err := randomUniformNet(gen, n, 0.01, beta)
+				if err != nil {
+					return nil, err
+				}
+				zb, err := net.TheoremBounds(0)
+				if err != nil {
+					return nil, err
+				}
+				z, err := net.Zone(0)
+				if err != nil {
+					return nil, err
+				}
+				rMin, rMax, _, _, err := z.MinMaxRadius(96, zb.DeltaLower/1e5)
+				if err != nil {
+					return nil, err
+				}
+				if rMin < zb.DeltaLower*(1-1e-6) || rMax > zb.DeltaUpper*(1+1e-6) {
+					sandwichOK = false
+				}
+				if phi := rMax / rMin; phi > maxPhi {
+					maxPhi = phi
+				}
+			}
+			t.AddRowf(n, beta, maxPhi, bound, sandwichOK)
+			if maxPhi > bound*(1+1e-6) || !sandwichOK {
+				t.Pass = false
+			}
+		}
+	}
+	t.Note("two-station networks attain the bound exactly (Lemma 4.3 equality at psi=1)")
+	return t, nil
+}
+
+// StarShapeObs22 runs E9: Lemma 3.1 monotonicity along rays and
+// Observation 2.2 (zones inside Voronoi cells).
+func StarShapeObs22(trials int) (*Table, error) {
+	t := &Table{
+		ID:         "E9",
+		Title:      "Lemma 3.1 + Observation 2.2: star shape and Voronoi confinement",
+		PaperClaim: "SINR increases toward the station along in-zone segments; heard points are nearest-station points",
+		Headers:    []string{"check", "trials", "violations"},
+	}
+	rng := rand.New(rand.NewSource(1003))
+	gen := workload.NewGenerator(1004)
+
+	star := 0
+	for i := 0; i < trials; i++ {
+		net, err := randomUniformNet(gen, 2+rng.Intn(8), rng.Float64()*0.05, 1+rng.Float64()*5)
+		if err != nil {
+			return nil, err
+		}
+		v, err := net.StarShapeViolations(0, 10, 10, 10, rng)
+		if err != nil {
+			return nil, err
+		}
+		star += v
+	}
+	t.AddRowf("Lemma 3.1 monotone SINR", trials, star)
+
+	voronoi := 0
+	for i := 0; i < trials; i++ {
+		net, err := randomUniformNet(gen, 2+rng.Intn(8), rng.Float64()*0.05, 1.1+rng.Float64()*5)
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < 200; k++ {
+			p := geom.Pt(rng.Float64()*12-6, rng.Float64()*12-6)
+			h, ok := net.HeardBy(p)
+			if !ok {
+				continue
+			}
+			dh := geom.Dist2(net.Station(h), p)
+			for j := 0; j < net.NumStations(); j++ {
+				if j != h && geom.Dist2(net.Station(j), p) < dh-1e-12 {
+					voronoi++
+				}
+			}
+		}
+	}
+	t.AddRowf("Observation 2.2 Voronoi confinement", trials*200, voronoi)
+	t.Pass = star == 0 && voronoi == 0
+	return t, nil
+}
+
+// SturmSection32 runs E10: the three-station Sturm machinery of
+// Section 3.2 — SC bounds and the at-most-two-roots conclusion.
+func SturmSection32(trials int) (*Table, error) {
+	t := &Table{
+		ID:         "E10",
+		Title:      "Section 3.2: Sturm analysis of the three-station quartic",
+		PaperClaim: "SC(+inf) >= 1 (Prop 3.7), SC(-inf) <= 3 (Prop 3.8), hence <= 2 distinct real roots (Lemma 3.3)",
+		Headers:    []string{"trials", "minSC+inf", "maxSC-inf", "maxDistinctRoots"},
+	}
+	rng := rand.New(rand.NewSource(1005))
+	minPos, maxNeg, maxRoots := 99, 0, 0
+	for i := 0; i < trials; i++ {
+		s1 := geom.Pt(0.2+rng.Float64()*5, 1+rng.Float64()*5)
+		s2 := geom.Pt(0.2+rng.Float64()*5, 1+rng.Float64()*5)
+		rep, err := core.ThreeStationAnalysis(s1, s2)
+		if err != nil {
+			return nil, err
+		}
+		if rep.SCPosInf < minPos {
+			minPos = rep.SCPosInf
+		}
+		if rep.SCNegInf > maxNeg {
+			maxNeg = rep.SCNegInf
+		}
+		if rep.DistinctPos > maxRoots {
+			maxRoots = rep.DistinctPos
+		}
+	}
+	t.AddRowf(trials, minPos, maxNeg, maxRoots)
+	t.Pass = minPos >= 1 && maxNeg <= 3 && maxRoots <= 2
+	return t, nil
+}
+
+// MergeConstructions runs the Lemma 3.10 and Section 3.4 constructions
+// as an experiment (the induction engines behind Theorem 1).
+func MergeConstructions(trials int) (*Table, error) {
+	t := &Table{
+		ID:         "E10b",
+		Title:      "Lemma 3.10 merge + Section 3.4 noise removal",
+		PaperClaim: "merged station matches pair energy at anchors, dominates on the segment; noise station preserves SINR at anchors",
+		Headers:    []string{"construction", "instances", "violations"},
+	}
+	rng := rand.New(rand.NewSource(1006))
+
+	mergeViol, mergeOK := 0, 0
+	for i := 0; i < trials*4 && mergeOK < trials; i++ {
+		s0 := geom.Pt(rng.Float64()*4-2, rng.Float64()*4-2)
+		s1 := geom.Pt(rng.Float64()*8-4, rng.Float64()*8-4)
+		s2 := geom.Pt(rng.Float64()*8-4, rng.Float64()*8-4)
+		p1 := geom.Pt(rng.Float64()*4-2, rng.Float64()*4-2)
+		p2 := geom.Pt(rng.Float64()*4-2, rng.Float64()*4-2)
+		if geom.Dist(p1, p2) < 0.1 {
+			continue
+		}
+		e := func(s, p geom.Point) float64 { return 1 / geom.Dist2(s, p) }
+		if e(s0, p1) < e(s1, p1)+e(s2, p1) || e(s0, p2) < e(s1, p2)+e(s2, p2) {
+			continue
+		}
+		mergeOK++
+		sStar, err := core.MergeStations(s1, s2, p1, p2)
+		if err != nil {
+			mergeViol++
+			continue
+		}
+		for k := 0; k <= 10; k++ {
+			q := geom.Lerp(p1, p2, float64(k)/10)
+			if e(sStar, q) < (e(s1, q)+e(s2, q))*(1-1e-9) {
+				mergeViol++
+				break
+			}
+		}
+	}
+	t.AddRowf("Lemma 3.10 merge", mergeOK, mergeViol)
+
+	noiseViol, noiseOK := 0, 0
+	net, err := core.NewUniform(
+		[]geom.Point{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(0, 5)}, 0.04, 2)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < trials*6 && noiseOK < trials; i++ {
+		p1 := geom.PolarPoint(geom.Origin, rng.Float64()*2, rng.Float64()*6.28)
+		p2 := geom.PolarPoint(geom.Origin, rng.Float64()*2, rng.Float64()*6.28)
+		if !net.Heard(0, p1) || !net.Heard(0, p2) || geom.Dist(p1, p2) < 0.05 {
+			continue
+		}
+		noiseOK++
+		reduced, _, err := net.RemoveNoise(0, p1, p2)
+		if err != nil {
+			noiseViol++
+			continue
+		}
+		for _, p := range []geom.Point{p1, p2} {
+			a, b := net.SINR(0, p), reduced.SINR(0, p)
+			if a < b*(1-1e-6) || a > b*(1+1e-6) {
+				noiseViol++
+			}
+		}
+	}
+	t.AddRowf("Section 3.4 noise removal", noiseOK, noiseViol)
+	t.Pass = mergeViol == 0 && noiseViol == 0
+	if mergeOK < trials/2 {
+		t.Note("warning: only %d merge instances satisfied preconditions", mergeOK)
+	}
+	return t, nil
+}

@@ -1,0 +1,196 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// ConvexHull returns the convex hull of pts in counterclockwise order
+// using Andrew's monotone chain algorithm, O(n log n). Collinear points
+// on the hull boundary are dropped. Degenerate inputs return what is
+// available: fewer than three non-coincident points yield a hull with
+// fewer than three vertices.
+func ConvexHull(pts []Point) []Point {
+	if len(pts) < 3 {
+		out := make([]Point, len(pts))
+		copy(out, pts)
+		return out
+	}
+	sorted := make([]Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	// Deduplicate coincident points.
+	dedup := sorted[:1]
+	for _, p := range sorted[1:] {
+		if !ApproxEqual(p, dedup[len(dedup)-1], Eps) {
+			dedup = append(dedup, p)
+		}
+	}
+	sorted = dedup
+	if len(sorted) < 3 {
+		return sorted
+	}
+
+	var hull []Point
+	// Lower hull.
+	for _, p := range sorted {
+		for len(hull) >= 2 && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(p.Sub(hull[len(hull)-2])) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(sorted) - 2; i >= 0; i-- {
+		p := sorted[i]
+		for len(hull) >= lower && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(p.Sub(hull[len(hull)-2])) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1]
+}
+
+// Polygon is a simple polygon given by its vertices in order
+// (counterclockwise for positive area).
+type Polygon []Point
+
+// Area returns the signed area via the shoelace formula: positive for
+// counterclockwise orientation.
+func (pg Polygon) Area() float64 {
+	if len(pg) < 3 {
+		return 0
+	}
+	var s float64
+	for i, p := range pg {
+		q := pg[(i+1)%len(pg)]
+		s += p.Cross(q)
+	}
+	return s / 2
+}
+
+// Perimeter returns the total boundary length.
+func (pg Polygon) Perimeter() float64 {
+	if len(pg) < 2 {
+		return 0
+	}
+	var s float64
+	for i, p := range pg {
+		s += Dist(p, pg[(i+1)%len(pg)])
+	}
+	return s
+}
+
+// Centroid returns the area centroid of the polygon (falling back to
+// the vertex mean for degenerate polygons).
+func (pg Polygon) Centroid() Point {
+	a := pg.Area()
+	if math.Abs(a) < Eps {
+		return Centroid(pg)
+	}
+	var cx, cy float64
+	for i, p := range pg {
+		q := pg[(i+1)%len(pg)]
+		w := p.Cross(q)
+		cx += (p.X + q.X) * w
+		cy += (p.Y + q.Y) * w
+	}
+	return Point{cx / (6 * a), cy / (6 * a)}
+}
+
+// IsConvex reports whether the polygon is convex (all turns the same
+// orientation, collinear runs allowed).
+func (pg Polygon) IsConvex() bool {
+	n := len(pg)
+	if n < 3 {
+		return true
+	}
+	sign := 0
+	for i := 0; i < n; i++ {
+		o := Orientation(pg[i], pg[(i+1)%n], pg[(i+2)%n])
+		if o == 0 {
+			continue
+		}
+		if sign == 0 {
+			sign = o
+		} else if o != sign {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether p lies inside or on the polygon boundary
+// (even-odd rule with boundary tolerance).
+func (pg Polygon) Contains(p Point) bool {
+	n := len(pg)
+	if n < 3 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if Seg(pg[i], pg[(i+1)%n]).Contains(p, Eps) {
+			return true
+		}
+	}
+	inside := false
+	for i, a := range pg {
+		b := pg[(i+1)%n]
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			x := a.X + (p.Y-a.Y)*(b.X-a.X)/(b.Y-a.Y)
+			if x > p.X {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// HalfPlane is the closed half plane {p : <p, N> <= C} with outward
+// normal N.
+type HalfPlane struct {
+	N Point
+	C float64
+}
+
+// HalfPlaneOf returns the half plane of points at least as close to a
+// as to b, i.e. the side of the separation line of a and b containing
+// a. This is the building block of Voronoi cells.
+func HalfPlaneOf(a, b Point) HalfPlane {
+	n := b.Sub(a)
+	return HalfPlane{N: n, C: n.Dot(Midpoint(a, b))}
+}
+
+// Contains reports whether p satisfies the half-plane inequality.
+func (h HalfPlane) Contains(p Point) bool { return h.N.Dot(p) <= h.C+Eps*(1+math.Abs(h.C)) }
+
+// ClipPolygon clips a convex polygon by the half plane using the
+// Sutherland-Hodgman step, returning the (possibly empty) clipped
+// polygon. The input must be convex and counterclockwise; the output
+// preserves both properties.
+func ClipPolygon(pg Polygon, h HalfPlane) Polygon {
+	if len(pg) == 0 {
+		return nil
+	}
+	val := func(p Point) float64 { return h.N.Dot(p) - h.C }
+	out := make(Polygon, 0, len(pg)+1)
+	for i, cur := range pg {
+		next := pg[(i+1)%len(pg)]
+		vc, vn := val(cur), val(next)
+		if vc <= 0 {
+			out = append(out, cur)
+		}
+		if (vc < 0 && vn > 0) || (vc > 0 && vn < 0) {
+			t := vc / (vc - vn)
+			out = append(out, Lerp(cur, next, t))
+		}
+	}
+	if len(out) < 3 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1),
+		Pt(0.5, 0.5), Pt(0.25, 0.75), // interior points
+	}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull has %d vertices: %v", len(hull), hull)
+	}
+	if !Polygon(hull).IsConvex() {
+		t.Error("hull not convex")
+	}
+	if got := Polygon(hull).Area(); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("area = %v, want 1", got)
+	}
+}
+
+func TestConvexHullCollinear(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(1, 1), Pt(2, 2), Pt(3, 3)}
+	hull := ConvexHull(pts)
+	if len(hull) > 2 {
+		t.Fatalf("collinear hull has %d vertices: %v", len(hull), hull)
+	}
+}
+
+func TestConvexHullSmallInputs(t *testing.T) {
+	if got := ConvexHull(nil); len(got) != 0 {
+		t.Errorf("nil input: %v", got)
+	}
+	if got := ConvexHull([]Point{Pt(1, 2)}); len(got) != 1 {
+		t.Errorf("single point: %v", got)
+	}
+	if got := ConvexHull([]Point{Pt(1, 2), Pt(3, 4)}); len(got) != 2 {
+		t.Errorf("two points: %v", got)
+	}
+	// Duplicates collapse.
+	if got := ConvexHull([]Point{Pt(1, 2), Pt(1, 2), Pt(1, 2)}); len(got) != 1 {
+		t.Errorf("duplicates: %v", got)
+	}
+}
+
+func TestConvexHullContainsAllPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		pts := make([]Point, 50)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+		}
+		hull := Polygon(ConvexHull(pts))
+		if !hull.IsConvex() {
+			t.Fatalf("trial %d: hull not convex", trial)
+		}
+		for _, p := range pts {
+			if !hull.Contains(p) {
+				t.Fatalf("trial %d: hull misses point %v", trial, p)
+			}
+		}
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	tests := []struct {
+		name string
+		pg   Polygon
+		want float64
+	}{
+		{"ccwTriangle", Polygon{Pt(0, 0), Pt(2, 0), Pt(0, 2)}, 2},
+		{"cwTriangle", Polygon{Pt(0, 0), Pt(0, 2), Pt(2, 0)}, -2},
+		{"unitSquare", Polygon{Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1)}, 1},
+		{"degenerate", Polygon{Pt(0, 0), Pt(1, 1)}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.pg.Area(); !almostEqual(got, tc.want, 1e-12) {
+				t.Fatalf("Area = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPolygonPerimeter(t *testing.T) {
+	sq := Polygon{Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1)}
+	if got := sq.Perimeter(); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Perimeter = %v, want 4", got)
+	}
+	if got := (Polygon{Pt(1, 1)}).Perimeter(); got != 0 {
+		t.Errorf("single-vertex perimeter = %v", got)
+	}
+}
+
+func TestPolygonCentroid(t *testing.T) {
+	sq := Polygon{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	if got := sq.Centroid(); !ApproxEqual(got, Pt(1, 1), 1e-12) {
+		t.Errorf("Centroid = %v, want (1,1)", got)
+	}
+}
+
+func TestPolygonIsConvex(t *testing.T) {
+	convex := Polygon{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	if !convex.IsConvex() {
+		t.Error("square should be convex")
+	}
+	nonConvex := Polygon{Pt(0, 0), Pt(2, 0), Pt(1, 0.5), Pt(2, 2), Pt(0, 2)}
+	if nonConvex.IsConvex() {
+		t.Error("dented polygon should not be convex")
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	pg := Polygon{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)}
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(2, 2), true},
+		{Pt(0, 0), true}, // vertex
+		{Pt(2, 0), true}, // edge
+		{Pt(5, 2), false},
+		{Pt(-1, -1), false},
+		{Pt(2, 4.001), false},
+	}
+	for _, tc := range tests {
+		if got := pg.Contains(tc.p); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestHalfPlaneOf(t *testing.T) {
+	a, b := Pt(0, 0), Pt(2, 0)
+	h := HalfPlaneOf(a, b)
+	if !h.Contains(a) {
+		t.Error("half plane must contain its defining site a")
+	}
+	if h.Contains(b) && !h.Contains(Midpoint(a, b)) {
+		t.Error("inconsistent half plane")
+	}
+	if !h.Contains(Midpoint(a, b)) {
+		t.Error("boundary midpoint must be contained (closed half plane)")
+	}
+	if h.Contains(Pt(1.5, 0)) {
+		t.Error("points nearer b must be excluded")
+	}
+}
+
+func TestClipPolygon(t *testing.T) {
+	sq := Polygon{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)}
+	// Clip by half plane x <= 2.
+	h := HalfPlane{N: Pt(1, 0), C: 2}
+	clipped := ClipPolygon(sq, h)
+	if got := clipped.Area(); !almostEqual(got, 8, 1e-9) {
+		t.Fatalf("clipped area = %v, want 8", got)
+	}
+	if !clipped.IsConvex() {
+		t.Error("clip must preserve convexity")
+	}
+	// Clip away everything.
+	hAll := HalfPlane{N: Pt(1, 0), C: -1}
+	if got := ClipPolygon(sq, hAll); got != nil {
+		t.Errorf("expected empty clip, got %v", got)
+	}
+	// Clip that removes nothing.
+	hNone := HalfPlane{N: Pt(1, 0), C: 100}
+	if got := ClipPolygon(sq, hNone).Area(); !almostEqual(got, 16, 1e-9) {
+		t.Errorf("no-op clip area = %v", got)
+	}
+	// Empty input.
+	if got := ClipPolygon(nil, h); got != nil {
+		t.Errorf("nil polygon clip = %v", got)
+	}
+}
+
+func TestClipPolygonSequence(t *testing.T) {
+	// Clipping a big square by the half planes of a ball approximation
+	// should shrink the area monotonically toward the ball area.
+	pg := Polygon{Pt(-10, -10), Pt(10, -10), Pt(10, 10), Pt(-10, 10)}
+	prev := pg.Area()
+	for k := 0; k < 16; k++ {
+		theta := 2 * math.Pi * float64(k) / 16
+		n := Pt(math.Cos(theta), math.Sin(theta))
+		pg = ClipPolygon(pg, HalfPlane{N: n, C: 1})
+		if pg == nil {
+			t.Fatal("polygon vanished")
+		}
+		a := pg.Area()
+		if a > prev+1e-9 {
+			t.Fatalf("area increased: %v -> %v", prev, a)
+		}
+		prev = a
+	}
+	// The 16-gon circumscribing radius-1 ball has area 16*tan(pi/16).
+	want := 16 * math.Tan(math.Pi/16)
+	if !almostEqual(prev, want, 1e-6) {
+		t.Errorf("final area = %v, want %v", prev, want)
+	}
+}

@@ -1,0 +1,86 @@
+package geom
+
+import "math/rand"
+
+// Circumcircle returns the circle through three points. ok is false
+// when the points are (near-)collinear.
+func Circumcircle(a, b, c Point) (Ball, bool) {
+	// Solve the perpendicular-bisector intersection.
+	abMid, bcMid := Midpoint(a, b), Midpoint(b, c)
+	abDir := b.Sub(a).Perp()
+	bcDir := c.Sub(b).Perp()
+	t, _, ok := IntersectLines(Line{P: abMid, D: abDir}, Line{P: bcMid, D: bcDir})
+	if !ok {
+		return Ball{}, false
+	}
+	center := abMid.Add(abDir.Scale(t))
+	return Ball{C: center, R: Dist(center, a)}, true
+}
+
+// ballFrom2 returns the smallest ball through two points.
+func ballFrom2(a, b Point) Ball {
+	return Ball{C: Midpoint(a, b), R: Dist(a, b) / 2}
+}
+
+// mebEps is the containment slack used inside the Welzl recursion so
+// boundary points do not oscillate in float64.
+const mebEps = 1e-9
+
+func mebContains(b Ball, p Point) bool {
+	return Dist(b.C, p) <= b.R*(1+mebEps)+mebEps
+}
+
+// MinEnclosingBall returns the smallest ball containing all points
+// (Welzl's algorithm, expected O(n) after shuffling with rng; pass nil
+// for a deterministic — still correct, possibly slower — run). An
+// empty input yields the empty ball at the origin.
+func MinEnclosingBall(pts []Point, rng *rand.Rand) Ball {
+	if len(pts) == 0 {
+		return Ball{}
+	}
+	work := make([]Point, len(pts))
+	copy(work, pts)
+	if rng != nil {
+		rng.Shuffle(len(work), func(i, j int) { work[i], work[j] = work[j], work[i] })
+	}
+	b := Ball{C: work[0], R: 0}
+	for i := 1; i < len(work); i++ {
+		if mebContains(b, work[i]) {
+			continue
+		}
+		// work[i] is on the boundary of the ball of the prefix.
+		b = Ball{C: work[i], R: 0}
+		for j := 0; j < i; j++ {
+			if mebContains(b, work[j]) {
+				continue
+			}
+			b = ballFrom2(work[i], work[j])
+			for k := 0; k < j; k++ {
+				if mebContains(b, work[k]) {
+					continue
+				}
+				if cc, ok := Circumcircle(work[i], work[j], work[k]); ok {
+					b = cc
+				} else {
+					// Collinear triple: the diametral ball of the two
+					// extreme points covers the third.
+					b = maxPairBall(work[i], work[j], work[k])
+				}
+			}
+		}
+	}
+	return b
+}
+
+// maxPairBall returns the largest of the three diametral balls of a
+// point triple (the correct MEB for collinear points).
+func maxPairBall(a, b, c Point) Ball {
+	best := ballFrom2(a, b)
+	if cand := ballFrom2(a, c); cand.R > best.R {
+		best = cand
+	}
+	if cand := ballFrom2(b, c); cand.R > best.R {
+		best = cand
+	}
+	return best
+}

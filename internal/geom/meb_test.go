@@ -1,0 +1,118 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCircumcircle(t *testing.T) {
+	// Right triangle on the unit circle.
+	b, ok := Circumcircle(Pt(1, 0), Pt(-1, 0), Pt(0, 1))
+	if !ok {
+		t.Fatal("expected a circumcircle")
+	}
+	if !ApproxEqual(b.C, Pt(0, 0), 1e-9) || math.Abs(b.R-1) > 1e-9 {
+		t.Errorf("circumcircle = %v", b)
+	}
+	// Collinear points have none.
+	if _, ok := Circumcircle(Pt(0, 0), Pt(1, 1), Pt(2, 2)); ok {
+		t.Error("collinear points must fail")
+	}
+}
+
+func TestMinEnclosingBallSmallCases(t *testing.T) {
+	if b := MinEnclosingBall(nil, nil); b.R != 0 || b.C != Origin {
+		t.Errorf("empty MEB = %v", b)
+	}
+	if b := MinEnclosingBall([]Point{Pt(2, 3)}, nil); b.R != 0 || b.C != Pt(2, 3) {
+		t.Errorf("single-point MEB = %v", b)
+	}
+	b := MinEnclosingBall([]Point{Pt(0, 0), Pt(2, 0)}, nil)
+	if !ApproxEqual(b.C, Pt(1, 0), 1e-9) || math.Abs(b.R-1) > 1e-9 {
+		t.Errorf("two-point MEB = %v", b)
+	}
+}
+
+func TestMinEnclosingBallKnown(t *testing.T) {
+	// Square corners: MEB is the circumscribed circle.
+	pts := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2), Pt(1, 1)}
+	b := MinEnclosingBall(pts, rand.New(rand.NewSource(1)))
+	if !ApproxEqual(b.C, Pt(1, 1), 1e-6) || math.Abs(b.R-math.Sqrt2) > 1e-6 {
+		t.Errorf("square MEB = %v, want center (1,1) radius sqrt2", b)
+	}
+	// Collinear points: diametral ball of the extremes.
+	line := []Point{Pt(0, 0), Pt(1, 0), Pt(5, 0), Pt(3, 0)}
+	b2 := MinEnclosingBall(line, nil)
+	if !ApproxEqual(b2.C, Pt(2.5, 0), 1e-6) || math.Abs(b2.R-2.5) > 1e-6 {
+		t.Errorf("collinear MEB = %v", b2)
+	}
+}
+
+func TestMinEnclosingBallRandomContainsAllAndTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		}
+		b := MinEnclosingBall(pts, rng)
+		// Containment.
+		for _, p := range pts {
+			if d := Dist(b.C, p); d > b.R*(1+1e-6)+1e-6 {
+				t.Fatalf("trial %d: point %v outside MEB %v (d=%v)", trial, p, b, d)
+			}
+		}
+		// Tightness: at least two points near the boundary (a smaller
+		// ball would be determined by <= 1 point otherwise).
+		onBoundary := 0
+		for _, p := range pts {
+			if math.Abs(Dist(b.C, p)-b.R) <= 1e-6*(1+b.R) {
+				onBoundary++
+			}
+		}
+		if onBoundary < 2 {
+			t.Fatalf("trial %d: only %d boundary points; MEB %v not tight", trial, onBoundary, b)
+		}
+	}
+}
+
+func TestMinEnclosingBallMatchesBruteForcePairsTriples(t *testing.T) {
+	// For small inputs the MEB is determined by a pair or a triple;
+	// compare against exhaustive search.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(7)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*10, rng.Float64()*10)
+		}
+		got := MinEnclosingBall(pts, rng)
+
+		best := math.Inf(1)
+		contains := func(b Ball) bool {
+			for _, p := range pts {
+				if Dist(b.C, p) > b.R*(1+1e-9)+1e-9 {
+					return false
+				}
+			}
+			return true
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if b := ballFrom2(pts[i], pts[j]); contains(b) && b.R < best {
+					best = b.R
+				}
+				for k := j + 1; k < n; k++ {
+					if b, ok := Circumcircle(pts[i], pts[j], pts[k]); ok && contains(b) && b.R < best {
+						best = b.R
+					}
+				}
+			}
+		}
+		if math.Abs(got.R-best) > 1e-6*(1+best) {
+			t.Fatalf("trial %d: MEB radius %v, brute force %v", trial, got.R, best)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package kdtree implements a static 2-d tree over plane points with
+// O(log n) expected nearest-neighbor queries. The SINR point-location
+// data structure of Theorem 3 needs an O(log n) "closest station"
+// pre-filter (Observation 2.2: a point can only be heard from the
+// station whose Voronoi cell contains it); this tree provides it.
+package kdtree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Tree is an immutable 2-d tree over a fixed point set. The zero value
+// is an empty tree; use New to build one.
+type Tree struct {
+	nodes []node
+	root  int
+}
+
+type node struct {
+	p           geom.Point
+	idx         int // index into the original point slice
+	axis        int // 0: split on X, 1: split on Y
+	left, right int // node indices, -1 for none
+}
+
+// New builds a balanced kd-tree over pts in O(n log n). The tree keeps
+// its own copy of the coordinates; indices returned by queries refer
+// to positions in the input slice.
+func New(pts []geom.Point) *Tree {
+	t := &Tree{root: -1}
+	if len(pts) == 0 {
+		return t
+	}
+	items := make([]node, len(pts))
+	for i, p := range pts {
+		items[i] = node{p: p, idx: i}
+	}
+	t.nodes = make([]node, 0, len(pts))
+	t.root = t.build(items, 0)
+	return t
+}
+
+func (t *Tree) build(items []node, axis int) int {
+	if len(items) == 0 {
+		return -1
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if axis == 0 {
+			return items[i].p.X < items[j].p.X
+		}
+		return items[i].p.Y < items[j].p.Y
+	})
+	mid := len(items) / 2
+	n := items[mid]
+	n.axis = axis
+	// Reserve our slot before recursing so child pointers are stable.
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, n)
+	left := t.build(items[:mid], 1-axis)
+	right := t.build(items[mid+1:], 1-axis)
+	t.nodes[self].left = left
+	t.nodes[self].right = right
+	return self
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// Nearest returns the index (into the slice passed to New) of the
+// point closest to q and its distance. ok is false for an empty tree.
+func (t *Tree) Nearest(q geom.Point) (idx int, dist float64, ok bool) {
+	if t == nil || t.root < 0 {
+		return 0, 0, false
+	}
+	best := -1
+	bestD2 := math.Inf(1)
+	t.search(t.root, q, &best, &bestD2)
+	return t.nodes[best].idx, math.Sqrt(bestD2), true
+}
+
+func (t *Tree) search(ni int, q geom.Point, best *int, bestD2 *float64) {
+	n := &t.nodes[ni]
+	if d2 := geom.Dist2(n.p, q); d2 < *bestD2 {
+		*bestD2 = d2
+		*best = ni
+	}
+	var delta float64
+	if n.axis == 0 {
+		delta = q.X - n.p.X
+	} else {
+		delta = q.Y - n.p.Y
+	}
+	near, far := n.left, n.right
+	if delta > 0 {
+		near, far = n.right, n.left
+	}
+	if near >= 0 {
+		t.search(near, q, best, bestD2)
+	}
+	if far >= 0 && delta*delta < *bestD2 {
+		t.search(far, q, best, bestD2)
+	}
+}
+
+// NearestK returns the indices of the k points closest to q in
+// ascending distance order (fewer if the tree holds fewer points).
+func (t *Tree) NearestK(q geom.Point, k int) []int {
+	if t == nil || t.root < 0 || k <= 0 {
+		return nil
+	}
+	h := &maxHeap{}
+	t.searchK(t.root, q, k, h)
+	out := make([]int, len(h.items))
+	for i := len(h.items) - 1; i >= 0; i-- {
+		out[i] = h.pop().idx
+	}
+	return out
+}
+
+func (t *Tree) searchK(ni int, q geom.Point, k int, h *maxHeap) {
+	n := &t.nodes[ni]
+	d2 := geom.Dist2(n.p, q)
+	if len(h.items) < k {
+		h.push(heapItem{idx: n.idx, d2: d2})
+	} else if d2 < h.items[0].d2 {
+		h.pop()
+		h.push(heapItem{idx: n.idx, d2: d2})
+	}
+	var delta float64
+	if n.axis == 0 {
+		delta = q.X - n.p.X
+	} else {
+		delta = q.Y - n.p.Y
+	}
+	near, far := n.left, n.right
+	if delta > 0 {
+		near, far = n.right, n.left
+	}
+	if near >= 0 {
+		t.searchK(near, q, k, h)
+	}
+	if far >= 0 && (len(h.items) < k || delta*delta < h.items[0].d2) {
+		t.searchK(far, q, k, h)
+	}
+}
+
+// InRange returns the indices of all points within radius r of q.
+func (t *Tree) InRange(q geom.Point, r float64) []int {
+	if t == nil || t.root < 0 || r < 0 {
+		return nil
+	}
+	var out []int
+	t.searchRange(t.root, q, r*r, &out)
+	return out
+}
+
+func (t *Tree) searchRange(ni int, q geom.Point, r2 float64, out *[]int) {
+	n := &t.nodes[ni]
+	if geom.Dist2(n.p, q) <= r2 {
+		*out = append(*out, n.idx)
+	}
+	var delta float64
+	if n.axis == 0 {
+		delta = q.X - n.p.X
+	} else {
+		delta = q.Y - n.p.Y
+	}
+	near, far := n.left, n.right
+	if delta > 0 {
+		near, far = n.right, n.left
+	}
+	if near >= 0 {
+		t.searchRange(near, q, r2, out)
+	}
+	if far >= 0 && delta*delta <= r2 {
+		t.searchRange(far, q, r2, out)
+	}
+}
+
+// heapItem pairs an original index with its squared distance.
+type heapItem struct {
+	idx int
+	d2  float64
+}
+
+// maxHeap is a small hand-rolled max-heap on squared distance, used by
+// NearestK (container/heap would allocate an interface per op).
+type maxHeap struct {
+	items []heapItem
+}
+
+func (h *maxHeap) push(it heapItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].d2 >= h.items[i].d2 {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *maxHeap) pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < last && h.items[l].d2 > h.items[largest].d2 {
+			largest = l
+		}
+		if r < last && h.items[r].d2 > h.items[largest].d2 {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+	return top
+}

@@ -1,0 +1,165 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func bruteNearest(pts []geom.Point, q geom.Point) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for i, p := range pts {
+		if d := geom.Dist(p, q); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+func TestNearestEmptyAndSingle(t *testing.T) {
+	if _, _, ok := New(nil).Nearest(geom.Pt(0, 0)); ok {
+		t.Error("empty tree must report !ok")
+	}
+	tree := New([]geom.Point{geom.Pt(2, 3)})
+	idx, d, ok := tree.Nearest(geom.Pt(2, 4))
+	if !ok || idx != 0 || math.Abs(d-1) > 1e-12 {
+		t.Errorf("idx=%d d=%v ok=%v", idx, d, ok)
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*100-50, rng.Float64()*100-50)
+		}
+		tree := New(pts)
+		if tree.Len() != n {
+			t.Fatalf("Len = %d, want %d", tree.Len(), n)
+		}
+		for k := 0; k < 50; k++ {
+			q := geom.Pt(rng.Float64()*120-60, rng.Float64()*120-60)
+			gotIdx, gotD, ok := tree.Nearest(q)
+			if !ok {
+				t.Fatal("expected ok")
+			}
+			wantIdx, wantD := bruteNearest(pts, q)
+			// Ties can resolve to different indices; compare distances.
+			if math.Abs(gotD-wantD) > 1e-9 {
+				t.Fatalf("trial %d: nearest dist %v (idx %d), want %v (idx %d)",
+					trial, gotD, gotIdx, wantD, wantIdx)
+			}
+		}
+	}
+}
+
+func TestNearestExactPointQuery(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(5, 5), geom.Pt(-3, 1)}
+	tree := New(pts)
+	for i, p := range pts {
+		idx, d, ok := tree.Nearest(p)
+		if !ok || idx != i || d != 0 {
+			t.Errorf("query at site %d: idx=%d d=%v", i, idx, d)
+		}
+	}
+}
+
+func TestNearestK(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0), geom.Pt(10, 0),
+	}
+	tree := New(pts)
+	got := tree.NearestK(geom.Pt(0.1, 0), 3)
+	want := []int{0, 1, 2}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// k larger than the point count returns all, still sorted.
+	all := tree.NearestK(geom.Pt(0, 0), 10)
+	if len(all) != len(pts) {
+		t.Fatalf("got %d results", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if geom.Dist(pts[all[i-1]], geom.Pt(0, 0)) > geom.Dist(pts[all[i]], geom.Pt(0, 0)) {
+			t.Fatal("results not sorted by distance")
+		}
+	}
+	if got := tree.NearestK(geom.Pt(0, 0), 0); got != nil {
+		t.Errorf("k=0 should return nil, got %v", got)
+	}
+}
+
+func TestNearestKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pts := make([]geom.Point, 100)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	tree := New(pts)
+	for trial := 0; trial < 20; trial++ {
+		q := geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		k := 1 + rng.Intn(10)
+		got := tree.NearestK(q, k)
+		// Brute force: sort all indices by distance.
+		idxs := make([]int, len(pts))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		sort.Slice(idxs, func(a, b int) bool {
+			return geom.Dist2(pts[idxs[a]], q) < geom.Dist2(pts[idxs[b]], q)
+		})
+		for i := 0; i < k; i++ {
+			if geom.Dist2(pts[got[i]], q) != geom.Dist2(pts[idxs[i]], q) {
+				t.Fatalf("trial %d: k=%d position %d: got idx %d (d2=%v), want idx %d (d2=%v)",
+					trial, k, i, got[i], geom.Dist2(pts[got[i]], q), idxs[i], geom.Dist2(pts[idxs[i]], q))
+			}
+		}
+	}
+}
+
+func TestInRange(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 2), geom.Pt(5, 5),
+	}
+	tree := New(pts)
+	got := tree.InRange(geom.Pt(0, 0), 2)
+	sort.Ints(got)
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if got := tree.InRange(geom.Pt(0, 0), -1); got != nil {
+		t.Errorf("negative radius should return nil, got %v", got)
+	}
+	if got := tree.InRange(geom.Pt(100, 100), 1); len(got) != 0 {
+		t.Errorf("far query should return empty, got %v", got)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := []geom.Point{geom.Pt(1, 1), geom.Pt(1, 1), geom.Pt(2, 2)}
+	tree := New(pts)
+	idx, d, ok := tree.Nearest(geom.Pt(1, 1))
+	if !ok || d != 0 || (idx != 0 && idx != 1) {
+		t.Errorf("idx=%d d=%v ok=%v", idx, d, ok)
+	}
+	got := tree.InRange(geom.Pt(1, 1), 0.5)
+	if len(got) != 2 {
+		t.Errorf("InRange = %v, want both duplicates", got)
+	}
+}

@@ -1,0 +1,50 @@
+package poly
+
+// GCD returns a (normalized, monic up to scaling) greatest common
+// divisor of p and q over the reals, computed by the Euclidean
+// remainder cascade with relative trimming. Over float64 the result is
+// approximate: common factors are detected up to the trimming
+// tolerance, which suits its use here — collapsing multiple roots
+// before Sturm analysis (a square-free input shortens the chain and
+// sharpens sign behavior).
+func GCD(p, q Poly) Poly {
+	a := p.TrimRelative(sturmTrimRel).Normalize()
+	b := q.TrimRelative(sturmTrimRel).Normalize()
+	// Operands stay normalized to unit max-coefficient, so remainders
+	// are trimmed on an absolute scale: a coefficient that is tiny
+	// relative to the dividend is cascade noise, even if it is the
+	// remainder's own largest term.
+	const remTol = 1e-10
+	for len(b) > 0 {
+		_, rem, ok := a.DivMod(b)
+		if !ok {
+			break
+		}
+		a, b = b, rem.Trim(remTol).Normalize()
+	}
+	if len(a) == 0 {
+		return nil
+	}
+	// Scale so the leading coefficient is 1 (monic), for a canonical
+	// representative.
+	return a.Scale(1 / a.Lead())
+}
+
+// SquareFree returns the square-free part p / gcd(p, p'): a polynomial
+// with the same distinct real roots as p but all of multiplicity one.
+// The zero polynomial maps to nil; constants map to themselves.
+func SquareFree(p Poly) Poly {
+	t := p.TrimRelative(sturmTrimRel)
+	if len(t) <= 1 {
+		return t
+	}
+	g := GCD(t, t.Derivative())
+	if g.Degree() <= 0 {
+		return t
+	}
+	quo, _, ok := t.DivMod(g)
+	if !ok || len(quo) == 0 {
+		return t
+	}
+	return quo
+}

@@ -1,0 +1,119 @@
+package poly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGCDKnownFactors(t *testing.T) {
+	// gcd((x-1)(x-2), (x-1)(x-3)) = (x-1).
+	p := FromRoots(1, 2)
+	q := FromRoots(1, 3)
+	g := GCD(p, q)
+	if g.Degree() != 1 {
+		t.Fatalf("gcd = %v", g)
+	}
+	if r := g.Eval(1); math.Abs(r) > 1e-9 {
+		t.Errorf("gcd(1) = %v, want 0", r)
+	}
+	// Coprime polynomials have a constant gcd.
+	if g := GCD(FromRoots(1), FromRoots(2)); g.Degree() != 0 {
+		t.Errorf("coprime gcd = %v", g)
+	}
+}
+
+func TestGCDZeroCases(t *testing.T) {
+	p := FromRoots(1, 2)
+	if g := GCD(p, nil); !g.Equal(p.Scale(1/p.Lead()), 1e-9) {
+		t.Errorf("gcd(p, 0) = %v, want monic p", g)
+	}
+	if g := GCD(nil, nil); g != nil {
+		t.Errorf("gcd(0, 0) = %v", g)
+	}
+}
+
+func TestGCDDividesBoth(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		common := FromRoots(float64(rng.Intn(9)-4), float64(rng.Intn(9)-4)+10)
+		p := common.Mul(FromRoots(float64(rng.Intn(5) + 20)))
+		q := common.Mul(FromRoots(float64(-rng.Intn(5) - 20)))
+		g := GCD(p, q)
+		if g.Degree() < 2 {
+			t.Fatalf("trial %d: gcd degree %d, want >= 2 (gcd %v)", trial, g.Degree(), g)
+		}
+		for _, target := range []Poly{p, q} {
+			_, rem, ok := target.DivMod(g)
+			if !ok {
+				t.Fatal("division failed")
+			}
+			if rem.MaxAbsCoeff() > 1e-6*(1+target.MaxAbsCoeff()) {
+				t.Fatalf("trial %d: gcd does not divide (rem %v)", trial, rem)
+			}
+		}
+	}
+}
+
+func TestSquareFree(t *testing.T) {
+	// (x-1)^3 (x-2) -> (x-1)(x-2).
+	p := FromRoots(1, 1, 1, 2)
+	sf := SquareFree(p)
+	if sf.Degree() != 2 {
+		t.Fatalf("square-free = %v", sf)
+	}
+	for _, r := range []float64{1, 2} {
+		if v := sf.Eval(r); math.Abs(v) > 1e-6 {
+			t.Errorf("squareFree(%v) = %v, want 0", r, v)
+		}
+	}
+	// Already square-free input is (up to scale) unchanged in roots.
+	q := FromRoots(-1, 4)
+	if got := SquareFree(q); CountDistinctRealRoots(got) != 2 {
+		t.Errorf("square-free of square-free = %v", got)
+	}
+	// Degenerate cases.
+	if got := SquareFree(nil); got != nil {
+		t.Errorf("squareFree(0) = %v", got)
+	}
+	if got := SquareFree(New(7)); got.Degree() != 0 {
+		t.Errorf("squareFree(const) = %v", got)
+	}
+}
+
+func TestSquareFreePreservesDistinctRoots(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		// Random roots with random multiplicities 1..3.
+		distinct := 1 + rng.Intn(3)
+		var roots []float64
+		used := map[int]bool{}
+		var wantRoots []float64
+		for i := 0; i < distinct; i++ {
+			var r int
+			for {
+				r = rng.Intn(13) - 6
+				if !used[r] {
+					used[r] = true
+					break
+				}
+			}
+			wantRoots = append(wantRoots, float64(r))
+			mult := 1 + rng.Intn(3)
+			for m := 0; m < mult; m++ {
+				roots = append(roots, float64(r))
+			}
+		}
+		p := FromRoots(roots...)
+		sf := SquareFree(p)
+		if got := sf.Degree(); got != distinct {
+			t.Fatalf("trial %d: square-free degree %d, want %d (roots %v, sf %v)",
+				trial, got, distinct, roots, sf)
+		}
+		for _, r := range wantRoots {
+			if v := sf.Eval(r); math.Abs(v) > 1e-4*(1+sf.MaxAbsCoeff()) {
+				t.Fatalf("trial %d: sf(%v) = %v, want ~0", trial, r, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package poly
+
+import "math"
+
+// sturmTrimRel is the relative coefficient threshold used to discard
+// numerically-dead leading terms while building Sturm sequences.
+const sturmTrimRel = 1e-12
+
+// SturmSequence is the canonical Sturm chain of a polynomial:
+// P0 = P, P1 = P', P_i = -rem(P_{i-2} / P_{i-1}), terminating when the
+// next remainder vanishes (Section 3.2 of the paper, citing Sturm 1829).
+type SturmSequence []Poly
+
+// NewSturmSequence builds the Sturm chain of p. Each element is
+// normalized to unit max-coefficient (a positive scaling, which
+// preserves all sign information Sturm's theorem consumes) to keep the
+// remainder cascade stable in float64.
+func NewSturmSequence(p Poly) SturmSequence {
+	p = p.TrimRelative(sturmTrimRel)
+	if len(p) == 0 {
+		return nil
+	}
+	seq := SturmSequence{p.Normalize()}
+	d := p.Derivative().TrimRelative(sturmTrimRel)
+	if len(d) == 0 {
+		return seq
+	}
+	seq = append(seq, d.Normalize())
+	for {
+		prev, cur := seq[len(seq)-2], seq[len(seq)-1]
+		_, rem, ok := prev.DivMod(cur)
+		if !ok {
+			break
+		}
+		rem = rem.TrimRelative(sturmTrimRel)
+		if len(rem) == 0 {
+			break
+		}
+		seq = append(seq, rem.Scale(-1).Normalize())
+		if seq[len(seq)-1].Degree() == 0 {
+			break
+		}
+	}
+	return seq
+}
+
+// signOf classifies v with a tolerance band around zero.
+func signOf(v, tol float64) int {
+	switch {
+	case v > tol:
+		return 1
+	case v < -tol:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// SignChangesAt returns SC_P(x): the number of sign changes in the
+// sequence P0(x), P1(x), ..., Pm(x), ignoring zeros as Sturm's theorem
+// prescribes.
+func (s SturmSequence) SignChangesAt(x float64) int {
+	changes, last := 0, 0
+	for _, p := range s {
+		v := p.Eval(x)
+		sg := signOf(v, 0)
+		if sg == 0 {
+			continue
+		}
+		if last != 0 && sg != last {
+			changes++
+		}
+		last = sg
+	}
+	return changes
+}
+
+// SignChangesAtNegInf returns lim_{x -> -inf} SC_P(x), determined by
+// the leading coefficients and parities of the chain members.
+func (s SturmSequence) SignChangesAtNegInf() int {
+	changes, last := 0, 0
+	for _, p := range s {
+		t := p.Trim(0)
+		if len(t) == 0 {
+			continue
+		}
+		sg := signOf(t.Lead(), 0)
+		if (len(t)-1)%2 == 1 {
+			sg = -sg
+		}
+		if sg == 0 {
+			continue
+		}
+		if last != 0 && sg != last {
+			changes++
+		}
+		last = sg
+	}
+	return changes
+}
+
+// SignChangesAtPosInf returns lim_{x -> +inf} SC_P(x).
+func (s SturmSequence) SignChangesAtPosInf() int {
+	changes, last := 0, 0
+	for _, p := range s {
+		sg := signOf(p.Lead(), 0)
+		if sg == 0 {
+			continue
+		}
+		if last != 0 && sg != last {
+			changes++
+		}
+		last = sg
+	}
+	return changes
+}
+
+// CountRealRoots returns the number of distinct real roots of the
+// polynomial underlying the chain (Sturm's theorem over (-inf, +inf)).
+func (s SturmSequence) CountRealRoots() int {
+	if len(s) == 0 {
+		return 0
+	}
+	n := s.SignChangesAtNegInf() - s.SignChangesAtPosInf()
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// CountRootsIn returns the number of distinct real roots in the
+// half-open interval (a, b], per Sturm's condition (Theorem 3.6 of the
+// paper). It requires a < b; swapped bounds return 0.
+func (s SturmSequence) CountRootsIn(a, b float64) int {
+	if len(s) == 0 || a >= b {
+		return 0
+	}
+	n := s.SignChangesAt(a) - s.SignChangesAt(b)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// CountDistinctRealRoots is a convenience wrapper building the chain
+// and counting roots over the whole real line.
+func CountDistinctRealRoots(p Poly) int {
+	return NewSturmSequence(p).CountRealRoots()
+}
+
+// CountRootsInInterval is a convenience wrapper counting distinct real
+// roots of p in (a, b].
+func CountRootsInInterval(p Poly, a, b float64) int {
+	return NewSturmSequence(p).CountRootsIn(a, b)
+}
+
+// CubicDiscriminant returns the discriminant of the cubic
+// c3*x^3 + c2*x^2 + c1*x + c0:
+//
+//	Δ = c1²c2² − 4c0c2³ − 4c1³c3 + 18c0c1c2c3 − 27c0²c3²
+//
+// (exactly the expression used in Proposition 3.4 of the paper). The
+// cubic has one real root when Δ < 0 and three when Δ > 0.
+func CubicDiscriminant(c0, c1, c2, c3 float64) float64 {
+	return c1*c1*c2*c2 - 4*c0*c2*c2*c2 - 4*c1*c1*c1*c3 + 18*c0*c1*c2*c3 - 27*c0*c0*c3*c3
+}
+
+// SolveQuadratic returns the real roots of a + b*x + c*x^2 in
+// ascending order (0, 1, or 2 roots; a double root is reported once).
+// A degenerate (linear/constant) input is handled gracefully.
+func SolveQuadratic(a, b, c float64) []float64 {
+	if c == 0 {
+		if b == 0 {
+			return nil
+		}
+		return []float64{-a / b}
+	}
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return nil
+	}
+	if disc == 0 {
+		return []float64{-b / (2 * c)}
+	}
+	sq := math.Sqrt(disc)
+	// Numerically stable form avoiding catastrophic cancellation.
+	var q float64
+	if b >= 0 {
+		q = -(b + sq) / 2
+	} else {
+		q = -(b - sq) / 2
+	}
+	r1, r2 := q/c, a/q
+	if r1 > r2 {
+		r1, r2 = r2, r1
+	}
+	return []float64{r1, r2}
+}

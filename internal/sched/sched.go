@@ -1,0 +1,276 @@
+// Package sched implements link scheduling on top of the SINR model —
+// the class of higher-layer problems the paper's introduction argues
+// should be solved against the physical model rather than graph
+// abstractions. It provides slot-feasibility checking under both the
+// SINR rule and the UDG/protocol rule, a greedy first-fit scheduler,
+// and ordering heuristics, so the two models' schedule lengths can be
+// compared on the same instances (the phenomenon behind the paper's
+// references [8], [12], [13]).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Link is one sender-receiver pair to be scheduled.
+type Link struct {
+	Sender   geom.Point
+	Receiver geom.Point
+	Power    float64 // transmission power; <= 0 means 1
+}
+
+// Length returns the sender-receiver distance.
+func (l Link) Length() float64 { return geom.Dist(l.Sender, l.Receiver) }
+
+func (l Link) power() float64 {
+	if l.Power <= 0 {
+		return 1
+	}
+	return l.Power
+}
+
+// Feasibility decides whether a set of links can share a time slot.
+type Feasibility interface {
+	// NumLinks returns the instance size.
+	NumLinks() int
+	// SlotFeasible reports whether every link in active (indices into
+	// the instance) is successfully received when all of them transmit
+	// concurrently.
+	SlotFeasible(active []int) bool
+}
+
+// SINRProblem checks slot feasibility under the physical model: link
+// j succeeds iff its receiver's SINR from its own sender, against all
+// other active senders plus noise, reaches Beta.
+type SINRProblem struct {
+	Links []Link
+	Noise float64
+	Beta  float64
+	Alpha float64 // <= 0 means 2
+}
+
+// NewSINRProblem validates and returns a SINR scheduling instance.
+func NewSINRProblem(links []Link, noise, beta float64) (*SINRProblem, error) {
+	if len(links) == 0 {
+		return nil, errors.New("sched: no links")
+	}
+	if noise < 0 || beta <= 0 {
+		return nil, fmt.Errorf("sched: invalid noise %v or beta %v", noise, beta)
+	}
+	for i, l := range links {
+		if geom.Dist2(l.Sender, l.Receiver) == 0 {
+			return nil, fmt.Errorf("sched: link %d has coincident endpoints", i)
+		}
+	}
+	return &SINRProblem{Links: links, Noise: noise, Beta: beta, Alpha: 2}, nil
+}
+
+// NumLinks implements Feasibility.
+func (p *SINRProblem) NumLinks() int { return len(p.Links) }
+
+func (p *SINRProblem) alpha() float64 {
+	if p.Alpha <= 0 {
+		return 2
+	}
+	return p.Alpha
+}
+
+// energy returns psi * dist(a, b)^-alpha (infinite at distance 0).
+func (p *SINRProblem) energy(psi float64, a, b geom.Point) float64 {
+	d2 := geom.Dist2(a, b)
+	if d2 == 0 {
+		return math.Inf(1)
+	}
+	if p.alpha() == 2 {
+		return psi / d2
+	}
+	return psi * math.Pow(d2, -p.alpha()/2)
+}
+
+// SlotFeasible implements Feasibility under the SINR rule.
+func (p *SINRProblem) SlotFeasible(active []int) bool {
+	for _, j := range active {
+		lj := p.Links[j]
+		signal := p.energy(lj.power(), lj.Sender, lj.Receiver)
+		interference := 0.0
+		for _, i := range active {
+			if i == j {
+				continue
+			}
+			li := p.Links[i]
+			e := p.energy(li.power(), li.Sender, lj.Receiver)
+			if math.IsInf(e, 1) {
+				return false
+			}
+			interference += e
+		}
+		if signal < p.Beta*(interference+p.Noise) {
+			return false
+		}
+	}
+	return true
+}
+
+// ProtocolProblem checks slot feasibility under the UDG/protocol
+// model: link j succeeds iff its receiver is within ConnRadius of its
+// sender and no other active sender is within InterfRadius of the
+// receiver.
+type ProtocolProblem struct {
+	Links        []Link
+	ConnRadius   float64
+	InterfRadius float64
+}
+
+// NewProtocolProblem validates and returns a protocol-model instance.
+// interfRadius defaults to connRadius when zero.
+func NewProtocolProblem(links []Link, connRadius, interfRadius float64) (*ProtocolProblem, error) {
+	if len(links) == 0 {
+		return nil, errors.New("sched: no links")
+	}
+	if connRadius <= 0 {
+		return nil, fmt.Errorf("sched: invalid connectivity radius %v", connRadius)
+	}
+	if interfRadius == 0 {
+		interfRadius = connRadius
+	}
+	if interfRadius < connRadius {
+		return nil, fmt.Errorf("sched: interference radius %v below connectivity radius %v",
+			interfRadius, connRadius)
+	}
+	for i, l := range links {
+		if l.Length() > connRadius {
+			return nil, fmt.Errorf("sched: link %d longer (%v) than connectivity radius %v",
+				i, l.Length(), connRadius)
+		}
+	}
+	return &ProtocolProblem{Links: links, ConnRadius: connRadius, InterfRadius: interfRadius}, nil
+}
+
+// NumLinks implements Feasibility.
+func (p *ProtocolProblem) NumLinks() int { return len(p.Links) }
+
+// SlotFeasible implements Feasibility under the protocol rule.
+func (p *ProtocolProblem) SlotFeasible(active []int) bool {
+	for _, j := range active {
+		lj := p.Links[j]
+		if lj.Length() > p.ConnRadius {
+			return false
+		}
+		for _, i := range active {
+			if i == j {
+				continue
+			}
+			if geom.Dist(p.Links[i].Sender, lj.Receiver) <= p.InterfRadius {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Schedule assigns each link to one time slot.
+type Schedule struct {
+	// Slots holds link indices per slot, in assignment order.
+	Slots [][]int
+}
+
+// NumSlots returns the schedule length.
+func (s *Schedule) NumSlots() int { return len(s.Slots) }
+
+// NumLinks returns the number of scheduled links.
+func (s *Schedule) NumLinks() int {
+	total := 0
+	for _, slot := range s.Slots {
+		total += len(slot)
+	}
+	return total
+}
+
+// Validate re-checks every slot against the feasibility oracle and
+// confirms each link appears exactly once.
+func (s *Schedule) Validate(f Feasibility) error {
+	seen := make(map[int]bool, f.NumLinks())
+	for si, slot := range s.Slots {
+		if !f.SlotFeasible(slot) {
+			return fmt.Errorf("sched: slot %d infeasible", si)
+		}
+		for _, li := range slot {
+			if seen[li] {
+				return fmt.Errorf("sched: link %d scheduled twice", li)
+			}
+			seen[li] = true
+		}
+	}
+	if len(seen) != f.NumLinks() {
+		return fmt.Errorf("sched: %d of %d links scheduled", len(seen), f.NumLinks())
+	}
+	return nil
+}
+
+// Greedy builds a schedule by first-fit: links are processed in the
+// given order and placed into the first slot that stays feasible with
+// them added; a fresh slot is opened otherwise. A link that is
+// infeasible even alone yields an error. order == nil means identity.
+func Greedy(f Feasibility, order []int) (*Schedule, error) {
+	n := f.NumLinks()
+	if order == nil {
+		order = IdentityOrder(n)
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("sched: order has %d entries for %d links", len(order), n)
+	}
+	s := &Schedule{}
+	scratch := make([]int, 0, n)
+	for _, li := range order {
+		if li < 0 || li >= n {
+			return nil, fmt.Errorf("sched: order entry %d out of range", li)
+		}
+		placed := false
+		for si := range s.Slots {
+			scratch = append(scratch[:0], s.Slots[si]...)
+			scratch = append(scratch, li)
+			if f.SlotFeasible(scratch) {
+				s.Slots[si] = append(s.Slots[si], li)
+				placed = true
+				break
+			}
+		}
+		if placed {
+			continue
+		}
+		if !f.SlotFeasible([]int{li}) {
+			return nil, fmt.Errorf("sched: link %d infeasible even alone", li)
+		}
+		s.Slots = append(s.Slots, []int{li})
+	}
+	return s, nil
+}
+
+// IdentityOrder returns 0..n-1.
+func IdentityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// ByLength returns link indices sorted by link length; ascending
+// schedules short links first (they tolerate interference best),
+// descending the reverse.
+func ByLength(links []Link, ascending bool) []int {
+	order := IdentityOrder(len(links))
+	sort.SliceStable(order, func(a, b int) bool {
+		la, lb := links[order[a]].Length(), links[order[b]].Length()
+		if ascending {
+			return la < lb
+		}
+		return la > lb
+	})
+	return order
+}

@@ -1,0 +1,270 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func mkLink(sx, sy, rx, ry float64) Link {
+	return Link{Sender: geom.Pt(sx, sy), Receiver: geom.Pt(rx, ry)}
+}
+
+func TestNewSINRProblemValidation(t *testing.T) {
+	good := []Link{mkLink(0, 0, 1, 0)}
+	if _, err := NewSINRProblem(nil, 0, 2); err == nil {
+		t.Error("empty links must fail")
+	}
+	if _, err := NewSINRProblem(good, -1, 2); err == nil {
+		t.Error("negative noise must fail")
+	}
+	if _, err := NewSINRProblem(good, 0, 0); err == nil {
+		t.Error("zero beta must fail")
+	}
+	if _, err := NewSINRProblem([]Link{mkLink(1, 1, 1, 1)}, 0, 2); err == nil {
+		t.Error("zero-length link must fail")
+	}
+	if _, err := NewSINRProblem(good, 0.01, 2); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestSINRSlotFeasible(t *testing.T) {
+	// Two well-separated short links coexist; two overlapping ones do
+	// not.
+	farApart := []Link{
+		mkLink(0, 0, 1, 0),
+		mkLink(100, 0, 101, 0),
+	}
+	p, err := NewSINRProblem(farApart, 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.SlotFeasible([]int{0, 1}) {
+		t.Error("distant links should share a slot")
+	}
+	if !p.SlotFeasible([]int{0}) || !p.SlotFeasible(nil) {
+		t.Error("singleton and empty slots should be feasible")
+	}
+
+	closeBy := []Link{
+		mkLink(0, 0, 1, 0),
+		mkLink(0.5, 0.5, 1.5, 0.5), // sender near receiver 0
+	}
+	p2, err := NewSINRProblem(closeBy, 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.SlotFeasible([]int{0, 1}) {
+		t.Error("interfering links should not share a slot")
+	}
+}
+
+func TestSINRSlotSenderOnReceiver(t *testing.T) {
+	links := []Link{
+		mkLink(0, 0, 1, 0),
+		mkLink(1, 0, 2, 0), // sender exactly at receiver 0
+	}
+	p, err := NewSINRProblem(links, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SlotFeasible([]int{0, 1}) {
+		t.Error("sender colocated with a receiver must jam it")
+	}
+}
+
+func TestSINRProblemPowerAndAlpha(t *testing.T) {
+	// A stronger interferer flips feasibility.
+	links := []Link{
+		mkLink(0, 0, 1, 0),
+		{Sender: geom.Pt(5, 0), Receiver: geom.Pt(6, 0), Power: 1},
+	}
+	p, _ := NewSINRProblem(links, 0, 2)
+	if !p.SlotFeasible([]int{0, 1}) {
+		t.Fatal("unit powers at distance 5 should coexist")
+	}
+	links[1].Power = 60
+	p2, _ := NewSINRProblem(links, 0, 2)
+	if p2.SlotFeasible([]int{0, 1}) {
+		t.Error("a 60x interferer at distance ~4 should jam link 0")
+	}
+	// Higher alpha attenuates interference faster: the strong
+	// interferer becomes tolerable again.
+	p3, _ := NewSINRProblem(links, 0, 2)
+	p3.Alpha = 6
+	if !p3.SlotFeasible([]int{0, 1}) {
+		t.Error("alpha=6 should suppress the distant interferer")
+	}
+}
+
+func TestNewProtocolProblemValidation(t *testing.T) {
+	good := []Link{mkLink(0, 0, 1, 0)}
+	if _, err := NewProtocolProblem(nil, 2, 0); err == nil {
+		t.Error("empty links must fail")
+	}
+	if _, err := NewProtocolProblem(good, 0, 0); err == nil {
+		t.Error("zero radius must fail")
+	}
+	if _, err := NewProtocolProblem(good, 2, 1); err == nil {
+		t.Error("interference < connectivity must fail")
+	}
+	if _, err := NewProtocolProblem(good, 0.5, 0); err == nil {
+		t.Error("link longer than connectivity radius must fail")
+	}
+	p, err := NewProtocolProblem(good, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InterfRadius != 2 {
+		t.Errorf("InterfRadius defaulted to %v, want 2", p.InterfRadius)
+	}
+}
+
+func TestProtocolSlotFeasible(t *testing.T) {
+	links := []Link{
+		mkLink(0, 0, 1, 0),
+		mkLink(1.5, 0, 2.5, 0), // sender within radius 2 of receiver 0
+		mkLink(50, 0, 51, 0),
+	}
+	p, err := NewProtocolProblem(links, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SlotFeasible([]int{0, 1}) {
+		t.Error("links 0 and 1 conflict under the protocol rule")
+	}
+	if !p.SlotFeasible([]int{0, 2}) {
+		t.Error("links 0 and 2 are far apart")
+	}
+}
+
+func TestGreedyScheduleValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	links := make([]Link, 30)
+	for i := range links {
+		s := geom.Pt(rng.Float64()*40, rng.Float64()*40)
+		theta := rng.Float64() * 6.28
+		links[i] = Link{Sender: s, Receiver: geom.PolarPoint(s, 0.5+rng.Float64(), theta)}
+	}
+	p, err := NewSINRProblem(links, 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range [][]int{nil, ByLength(links, true), ByLength(links, false)} {
+		s, err := Greedy(p, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(p); err != nil {
+			t.Fatalf("invalid schedule: %v", err)
+		}
+		if s.NumLinks() != len(links) {
+			t.Fatalf("scheduled %d of %d links", s.NumLinks(), len(links))
+		}
+		if s.NumSlots() < 1 || s.NumSlots() > len(links) {
+			t.Fatalf("slots = %d", s.NumSlots())
+		}
+	}
+}
+
+func TestGreedyErrors(t *testing.T) {
+	p, _ := NewSINRProblem([]Link{mkLink(0, 0, 1, 0)}, 0, 2)
+	if _, err := Greedy(p, []int{0, 0}); err == nil {
+		t.Error("wrong-length order must fail")
+	}
+	if _, err := Greedy(p, []int{5}); err == nil {
+		t.Error("out-of-range order entry must fail")
+	}
+	// A link that cannot meet beta even alone (noise too high).
+	weak, _ := NewSINRProblem([]Link{mkLink(0, 0, 10, 0)}, 1, 2)
+	if _, err := Greedy(weak, nil); err == nil {
+		t.Error("infeasible-alone link must fail")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	links := []Link{mkLink(0, 0, 1, 0), mkLink(50, 0, 51, 0)}
+	p, _ := NewSINRProblem(links, 0.001, 2)
+	s, err := Greedy(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate a link.
+	bad := &Schedule{Slots: append(append([][]int{}, s.Slots...), []int{0})}
+	if err := bad.Validate(p); err == nil {
+		t.Error("duplicate link must fail validation")
+	}
+	// Drop a link.
+	missing := &Schedule{Slots: [][]int{{0}}}
+	if err := missing.Validate(p); err == nil {
+		t.Error("missing link must fail validation")
+	}
+}
+
+// TestSINRBeatsProtocolOnCollisions: the paper's motivating phenomenon
+// — links the protocol model serializes can coexist under SINR when
+// one is much closer to its receiver. SINR schedules must never be
+// longer on instances where every protocol conflict is a real SINR
+// conflict... but can be shorter; check a crafted instance.
+func TestSINRBeatsProtocolOnCollisions(t *testing.T) {
+	// Two short links whose senders are within the other's interference
+	// radius but whose SINR is comfortable (distance ratio ~10).
+	links := []Link{
+		mkLink(0, 0, 0.5, 0),
+		mkLink(6, 0, 5.5, 0),
+	}
+	sp, err := NewSINRProblem(links, 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := NewProtocolProblem(links, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := Greedy(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Greedy(pp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.NumSlots() != 1 {
+		t.Errorf("SINR slots = %d, want 1", ss.NumSlots())
+	}
+	if ps.NumSlots() != 2 {
+		t.Errorf("protocol slots = %d, want 2", ps.NumSlots())
+	}
+}
+
+func TestByLengthOrders(t *testing.T) {
+	links := []Link{
+		mkLink(0, 0, 3, 0),
+		mkLink(0, 0, 1, 0),
+		mkLink(0, 0, 2, 0),
+	}
+	asc := ByLength(links, true)
+	if asc[0] != 1 || asc[1] != 2 || asc[2] != 0 {
+		t.Errorf("ascending = %v", asc)
+	}
+	desc := ByLength(links, false)
+	if desc[0] != 0 || desc[2] != 1 {
+		t.Errorf("descending = %v", desc)
+	}
+}
+
+func TestLinkPowerDefault(t *testing.T) {
+	l := Link{Sender: geom.Pt(0, 0), Receiver: geom.Pt(1, 0)}
+	if l.power() != 1 {
+		t.Errorf("default power = %v", l.power())
+	}
+	l.Power = 2.5
+	if l.power() != 2.5 {
+		t.Errorf("power = %v", l.power())
+	}
+	if l.Length() != 1 {
+		t.Errorf("length = %v", l.Length())
+	}
+}

@@ -1,0 +1,170 @@
+package udg
+
+import "sort"
+
+// This file implements the derived graph concepts the paper's
+// Section 1.1 credits graph-based models for making easy — maximal
+// independent sets, dominating sets, and clustering — so that the
+// examples and experiments can contrast "easy on the graph, wrong
+// about the physics" with SINR-checked alternatives.
+
+// MaximalIndependentSet returns a maximal independent set of the
+// connectivity graph, greedily by ascending degree (a standard
+// heuristic that also yields a small dominating set, since a maximal
+// independent set dominates).
+func (m *Model) MaximalIndependentSet() []int {
+	n := len(m.stations)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = m.Degree(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return deg[order[a]] < deg[order[b]] })
+
+	blocked := make([]bool, n)
+	var mis []int
+	for _, v := range order {
+		if blocked[v] {
+			continue
+		}
+		mis = append(mis, v)
+		blocked[v] = true
+		for _, w := range m.Neighbors(v) {
+			blocked[w] = true
+		}
+	}
+	sort.Ints(mis)
+	return mis
+}
+
+// IsIndependent reports whether no two stations in set are adjacent.
+func (m *Model) IsIndependent(set []int) bool {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if m.Adjacent(set[i], set[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsDominating reports whether every station is in set or adjacent to
+// a member of set.
+func (m *Model) IsDominating(set []int) bool {
+	inSet := make(map[int]bool, len(set))
+	for _, v := range set {
+		inSet[v] = true
+	}
+	for v := range m.stations {
+		if inSet[v] {
+			continue
+		}
+		dominated := false
+		for _, w := range m.Neighbors(v) {
+			if inSet[w] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyDominatingSet returns a dominating set built by the standard
+// greedy max-coverage rule: repeatedly pick the station covering the
+// most not-yet-dominated stations.
+func (m *Model) GreedyDominatingSet() []int {
+	n := len(m.stations)
+	covered := make([]bool, n)
+	remaining := n
+	var ds []int
+	for remaining > 0 {
+		best, bestGain := -1, -1
+		for v := 0; v < n; v++ {
+			gain := 0
+			if !covered[v] {
+				gain++
+			}
+			for _, w := range m.Neighbors(v) {
+				if !covered[w] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = v, gain
+			}
+		}
+		if bestGain <= 0 {
+			break // isolated leftovers (cannot happen: self-cover counts)
+		}
+		ds = append(ds, best)
+		if !covered[best] {
+			covered[best] = true
+			remaining--
+		}
+		for _, w := range m.Neighbors(best) {
+			if !covered[w] {
+				covered[w] = true
+				remaining--
+			}
+		}
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// Cluster groups stations around the members of a maximal independent
+// set: every station joins its nearest (graph-adjacent, breaking ties
+// by index) MIS head; MIS heads form singleton cores. Returns
+// head-index -> member indices (heads included in their own cluster).
+func (m *Model) Cluster() map[int][]int {
+	heads := m.MaximalIndependentSet()
+	isHead := make(map[int]bool, len(heads))
+	for _, h := range heads {
+		isHead[h] = true
+	}
+	clusters := make(map[int][]int, len(heads))
+	for _, h := range heads {
+		clusters[h] = append(clusters[h], h)
+	}
+	for v := range m.stations {
+		if isHead[v] {
+			continue
+		}
+		assigned := -1
+		bestDist := 0.0
+		for _, h := range heads {
+			if !m.Adjacent(v, h) {
+				continue
+			}
+			d := distBetween(m, v, h)
+			if assigned == -1 || d < bestDist {
+				assigned, bestDist = h, d
+			}
+		}
+		if assigned == -1 {
+			// Not adjacent to any head (isolated vertex): it is its own
+			// cluster; a maximal independent set would have included it,
+			// so this only happens for self-loops excluded by Adjacent.
+			clusters[v] = append(clusters[v], v)
+			continue
+		}
+		clusters[assigned] = append(clusters[assigned], v)
+	}
+	for h := range clusters {
+		sort.Ints(clusters[h])
+	}
+	return clusters
+}
+
+func distBetween(m *Model, i, j int) float64 {
+	d := m.stations[i].Sub(m.stations[j])
+	return d.Norm()
+}

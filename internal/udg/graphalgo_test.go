@@ -1,0 +1,165 @@
+package udg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randomModel(t *testing.T, rng *rand.Rand, n int, radius float64) *Model {
+	t.Helper()
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	m, err := NewUDG(pts, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMaximalIndependentSetProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		m := randomModel(t, rng, 3+rng.Intn(40), 1.5+rng.Float64()*2)
+		mis := m.MaximalIndependentSet()
+		if len(mis) == 0 {
+			t.Fatal("MIS cannot be empty on a non-empty graph")
+		}
+		if !m.IsIndependent(mis) {
+			t.Fatalf("trial %d: MIS not independent: %v", trial, mis)
+		}
+		// Maximality == domination for independent sets.
+		if !m.IsDominating(mis) {
+			t.Fatalf("trial %d: MIS not maximal/dominating: %v", trial, mis)
+		}
+	}
+}
+
+func TestMISLineGraph(t *testing.T) {
+	// Path 0-1-2-3-4 with unit spacing, radius 1: MIS of a path on 5
+	// vertices has size >= 2 and <= 3.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0), geom.Pt(4, 0),
+	}
+	m, err := NewUDG(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis := m.MaximalIndependentSet()
+	if len(mis) < 2 || len(mis) > 3 {
+		t.Errorf("path MIS = %v", mis)
+	}
+	if !m.IsIndependent(mis) || !m.IsDominating(mis) {
+		t.Error("path MIS properties violated")
+	}
+}
+
+func TestIsIndependentAndDominating(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(5, 0)}
+	m, _ := NewUDG(pts, 1.2)
+	if !m.IsIndependent([]int{0, 2}) {
+		t.Error("{0,2} is independent")
+	}
+	if m.IsIndependent([]int{0, 1}) {
+		t.Error("{0,1} is not independent")
+	}
+	if !m.IsDominating([]int{1, 2}) {
+		t.Error("{1,2} dominates")
+	}
+	if m.IsDominating([]int{0}) {
+		t.Error("{0} does not dominate the far vertex")
+	}
+	if !m.IsDominating([]int{0, 1, 2}) {
+		t.Error("everything dominates")
+	}
+}
+
+func TestGreedyDominatingSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 20; trial++ {
+		m := randomModel(t, rng, 3+rng.Intn(40), 1.5+rng.Float64()*2)
+		ds := m.GreedyDominatingSet()
+		if !m.IsDominating(ds) {
+			t.Fatalf("trial %d: greedy set %v does not dominate", trial, ds)
+		}
+		if len(ds) > m.NumStations() {
+			t.Fatalf("trial %d: dominating set too large", trial)
+		}
+	}
+}
+
+func TestGreedyDominatingSetStar(t *testing.T) {
+	// A star: center + 6 leaves within radius. Greedy must pick just
+	// the center.
+	pts := []geom.Point{geom.Pt(0, 0)}
+	for k := 0; k < 6; k++ {
+		pts = append(pts, geom.PolarPoint(geom.Pt(0, 0), 1, float64(k)))
+	}
+	m, err := NewUDG(pts, 1.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := m.GreedyDominatingSet()
+	if len(ds) != 1 || ds[0] != 0 {
+		t.Errorf("star dominating set = %v, want [0]", ds)
+	}
+}
+
+func TestClusterPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 15; trial++ {
+		m := randomModel(t, rng, 3+rng.Intn(30), 2+rng.Float64()*2)
+		clusters := m.Cluster()
+		seen := map[int]int{}
+		for head, members := range clusters {
+			foundHead := false
+			for _, v := range members {
+				seen[v]++
+				if v == head {
+					foundHead = true
+				}
+			}
+			if !foundHead {
+				t.Fatalf("trial %d: head %d missing from its own cluster", trial, head)
+			}
+		}
+		if len(seen) != m.NumStations() {
+			t.Fatalf("trial %d: clusters cover %d of %d stations", trial, len(seen), m.NumStations())
+		}
+		for v, count := range seen {
+			if count != 1 {
+				t.Fatalf("trial %d: station %d in %d clusters", trial, v, count)
+			}
+		}
+		// Heads form an independent set.
+		heads := make([]int, 0, len(clusters))
+		for h := range clusters {
+			heads = append(heads, h)
+		}
+		if !m.IsIndependent(heads) {
+			t.Fatalf("trial %d: cluster heads not independent", trial)
+		}
+	}
+}
+
+func TestClusterMembersAdjacentToHead(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0.5, 0.5), // clique
+		geom.Pt(10, 10), // singleton
+	}
+	m, err := NewUDG(pts, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := m.Cluster()
+	for head, members := range clusters {
+		for _, v := range members {
+			if v != head && !m.Adjacent(v, head) {
+				t.Errorf("member %d not adjacent to head %d", v, head)
+			}
+		}
+	}
+}

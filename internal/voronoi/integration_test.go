@@ -1,0 +1,80 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// TestObservation22ZoneInsideCell verifies Observation 2.2 with the
+// explicit Voronoi polygons: every boundary sample of a reception zone
+// lies strictly inside its station's Voronoi cell.
+func TestObservation22ZoneInsideCell(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		nSt := 3 + rng.Intn(6)
+		sites := make([]geom.Point, nSt)
+		for i := range sites {
+			sites[i] = geom.Pt(rng.Float64()*8-4, rng.Float64()*8-4)
+		}
+		net, err := core.NewUniform(sites, 0.01, 1.5+rng.Float64()*4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if net.SharesLocation(0) {
+			continue
+		}
+		d, err := New(sites, geom.NewBox(geom.Pt(-20, -20), geom.Pt(20, 20)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := net.Zone(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts, err := z.SampleBoundary(64, 1e-8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell := d.Cell(0)
+		for _, p := range pts {
+			if !cell.Contains(p) {
+				t.Fatalf("trial %d: boundary point %v of zone 0 outside its Voronoi cell", trial, p)
+			}
+			if !d.CellContains(0, p) {
+				t.Fatalf("trial %d: metric check fails for %v", trial, p)
+			}
+		}
+	}
+}
+
+// TestVoronoiCrossingBoundsReception verifies the remark after
+// Corollary 3.5: along a line, the reception boundary crossing comes
+// no later than the Voronoi cell boundary crossing (the zone is inside
+// the cell).
+func TestVoronoiCrossingBoundsReception(t *testing.T) {
+	sites := []geom.Point{geom.Pt(0, 0), geom.Pt(4, 0)}
+	net, err := core.NewUniform(sites, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Along the x-axis from s0 toward s1: reception ends at
+	// mu_r = 4/(1+2) = 4/3; the Voronoi bisector is at x = 2.
+	z, err := net.Zone(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := z.RadialBoundary(0, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-4.0/3) > 1e-6 {
+		t.Errorf("reception boundary at %v, want 4/3", r)
+	}
+	if r >= 2 {
+		t.Errorf("reception boundary %v not before the Voronoi bisector at 2", r)
+	}
+}

@@ -1,0 +1,113 @@
+// Package voronoi computes Voronoi diagrams of planar point sites.
+// Cells are built by intersecting the half planes toward every other
+// site (O(n) half planes per cell, O(n^2 log n) for the full diagram
+// after a nearest-neighbor ordering), clipped to a caller-supplied
+// bounding box so unbounded cells become finite polygons.
+//
+// The SINR paper uses the Voronoi diagram twice: Observation 2.2
+// (every reception zone lies strictly inside its station's Voronoi
+// cell, making "nearest station" a sound point-location pre-filter)
+// and the remark after Corollary 3.5 (the Voronoi boundary crossing on
+// a line bounds the reception boundary).
+package voronoi
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+)
+
+// Diagram is a Voronoi diagram of a fixed site set, clipped to a box.
+type Diagram struct {
+	sites []geom.Point
+	cells []geom.Polygon
+	box   geom.Box
+	tree  *kdtree.Tree
+}
+
+// New builds the Voronoi diagram of sites clipped to box. It returns
+// an error when fewer than one site is supplied or the box has zero
+// area. Duplicate sites are legal; a duplicated site gets an empty
+// cell (its twin wins ties arbitrarily).
+func New(sites []geom.Point, box geom.Box) (*Diagram, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("voronoi: need at least one site")
+	}
+	if box.Area() <= 0 {
+		return nil, fmt.Errorf("voronoi: clip box %v has no area", box)
+	}
+	d := &Diagram{
+		sites: append([]geom.Point(nil), sites...),
+		cells: make([]geom.Polygon, len(sites)),
+		box:   box,
+		tree:  kdtree.New(sites),
+	}
+	corners := box.Corners()
+	for i, s := range sites {
+		cell := geom.Polygon(corners[:])
+		for j, other := range sites {
+			if i == j {
+				continue
+			}
+			if geom.ApproxEqual(s, other, geom.Eps) {
+				if j < i {
+					// Duplicate handled by the earlier twin.
+					cell = nil
+					break
+				}
+				continue
+			}
+			cell = geom.ClipPolygon(cell, geom.HalfPlaneOf(s, other))
+			if cell == nil {
+				break
+			}
+		}
+		d.cells[i] = cell
+	}
+	return d, nil
+}
+
+// NumSites returns the number of sites.
+func (d *Diagram) NumSites() int { return len(d.sites) }
+
+// Site returns the i-th site.
+func (d *Diagram) Site(i int) geom.Point { return d.sites[i] }
+
+// Cell returns the clipped Voronoi cell polygon of site i (nil for a
+// duplicate site's shadowed cell).
+func (d *Diagram) Cell(i int) geom.Polygon { return d.cells[i] }
+
+// Box returns the clip box.
+func (d *Diagram) Box() geom.Box { return d.box }
+
+// Locate returns the index of the site whose cell contains p (i.e. the
+// nearest site), using the kd-tree in O(log n) expected time.
+func (d *Diagram) Locate(p geom.Point) int {
+	idx, _, _ := d.tree.Nearest(p)
+	return idx
+}
+
+// CellContains reports whether p belongs to the (closed) cell of site
+// i, decided metrically: p is at least as close to site i as to every
+// other site. This is exact regardless of polygon clipping.
+func (d *Diagram) CellContains(i int, p geom.Point) bool {
+	di := geom.Dist2(d.sites[i], p)
+	for j, s := range d.sites {
+		if j != i && geom.Dist2(s, p) < di-geom.Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalArea returns the summed area of all cells; for sites inside the
+// box with adequate margins this equals the box area (a diagram-level
+// sanity invariant used in tests).
+func (d *Diagram) TotalArea() float64 {
+	var a float64
+	for _, c := range d.cells {
+		a += c.Area()
+	}
+	return a
+}

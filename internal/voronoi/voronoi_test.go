@@ -1,0 +1,181 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestNewValidation(t *testing.T) {
+	box := geom.NewBox(geom.Pt(0, 0), geom.Pt(1, 1))
+	if _, err := New(nil, box); err == nil {
+		t.Error("expected error for empty sites")
+	}
+	if _, err := New([]geom.Point{geom.Pt(0, 0)}, geom.Box{}); err == nil {
+		t.Error("expected error for degenerate box")
+	}
+}
+
+func TestSingleSiteCellIsBox(t *testing.T) {
+	box := geom.NewBox(geom.Pt(-1, -1), geom.Pt(1, 1))
+	d, err := New([]geom.Point{geom.Pt(0, 0)}, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Cell(0).Area(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("cell area = %v, want 4", got)
+	}
+}
+
+func TestTwoSitesSplitBox(t *testing.T) {
+	box := geom.NewBox(geom.Pt(-2, -2), geom.Pt(2, 2))
+	d, err := New([]geom.Point{geom.Pt(-1, 0), geom.Pt(1, 0)}, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each cell is half the box.
+	for i := 0; i < 2; i++ {
+		if got := d.Cell(i).Area(); math.Abs(got-8) > 1e-9 {
+			t.Errorf("cell %d area = %v, want 8", i, got)
+		}
+	}
+	// Every cell contains its own site.
+	for i := 0; i < 2; i++ {
+		if !d.Cell(i).Contains(d.Site(i)) {
+			t.Errorf("cell %d misses its site", i)
+		}
+	}
+}
+
+func TestCellsPartitionBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	box := geom.NewBox(geom.Pt(0, 0), geom.Pt(10, 10))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(20)
+		sites := make([]geom.Point, n)
+		for i := range sites {
+			sites[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		}
+		d, err := New(sites, box)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.TotalArea(); math.Abs(got-100) > 1e-6 {
+			t.Fatalf("trial %d: total cell area = %v, want 100", trial, got)
+		}
+		for i := 0; i < n; i++ {
+			cell := d.Cell(i)
+			if cell == nil {
+				t.Fatalf("trial %d: cell %d vanished", trial, i)
+			}
+			if !cell.IsConvex() {
+				t.Fatalf("trial %d: cell %d not convex", trial, i)
+			}
+			if !cell.Contains(sites[i]) {
+				t.Fatalf("trial %d: cell %d misses its site", trial, i)
+			}
+		}
+	}
+}
+
+func TestLocateMatchesNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	box := geom.NewBox(geom.Pt(0, 0), geom.Pt(10, 10))
+	sites := make([]geom.Point, 30)
+	for i := range sites {
+		sites[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	d, err := New(sites, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 100; k++ {
+		q := geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		got := d.Locate(q)
+		// Brute-force nearest.
+		best, bestD := -1, math.Inf(1)
+		for i, s := range sites {
+			if dd := geom.Dist(s, q); dd < bestD {
+				best, bestD = i, dd
+			}
+		}
+		if geom.Dist(sites[got], q) > bestD+1e-9 {
+			t.Fatalf("Locate(%v) = %d (dist %v), nearest is %d (dist %v)",
+				q, got, geom.Dist(sites[got], q), best, bestD)
+		}
+		if !d.CellContains(got, q) {
+			t.Fatalf("CellContains(%d, %v) = false for located cell", got, q)
+		}
+	}
+}
+
+func TestCellContainsMetric(t *testing.T) {
+	box := geom.NewBox(geom.Pt(-5, -5), geom.Pt(5, 5))
+	d, err := New([]geom.Point{geom.Pt(-1, 0), geom.Pt(1, 0)}, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.CellContains(0, geom.Pt(-2, 1)) {
+		t.Error("(-2,1) belongs to site 0")
+	}
+	if d.CellContains(0, geom.Pt(2, 0)) {
+		t.Error("(2,0) belongs to site 1")
+	}
+	// Bisector points belong to both closed cells.
+	if !d.CellContains(0, geom.Pt(0, 3)) || !d.CellContains(1, geom.Pt(0, 3)) {
+		t.Error("bisector point should belong to both closed cells")
+	}
+}
+
+func TestDuplicateSites(t *testing.T) {
+	box := geom.NewBox(geom.Pt(-1, -1), geom.Pt(1, 1))
+	d, err := New([]geom.Point{geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(0.5, 0)}, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One of the duplicate cells is shadowed (nil); areas still sum to
+	// the box area.
+	if got := d.TotalArea(); math.Abs(got-4) > 1e-6 {
+		t.Errorf("total area = %v, want 4", got)
+	}
+	if d.Cell(1) != nil {
+		t.Errorf("shadowed duplicate should have nil cell, got %v", d.Cell(1))
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	box := geom.NewBox(geom.Pt(0, 0), geom.Pt(1, 1))
+	sites := []geom.Point{geom.Pt(0.2, 0.2), geom.Pt(0.8, 0.8)}
+	d, err := New(sites, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSites() != 2 {
+		t.Errorf("NumSites = %d", d.NumSites())
+	}
+	if d.Site(1) != sites[1] {
+		t.Errorf("Site(1) = %v", d.Site(1))
+	}
+	if d.Box() != box {
+		t.Errorf("Box = %v", d.Box())
+	}
+}
+
+func TestLatticeSitesSymmetry(t *testing.T) {
+	// 2x2 lattice inside a symmetric box: all four cells have equal area.
+	box := geom.NewBox(geom.Pt(0, 0), geom.Pt(4, 4))
+	sites := []geom.Point{
+		geom.Pt(1, 1), geom.Pt(3, 1), geom.Pt(1, 3), geom.Pt(3, 3),
+	}
+	d, err := New(sites, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if got := d.Cell(i).Area(); math.Abs(got-4) > 1e-9 {
+			t.Errorf("cell %d area = %v, want 4", i, got)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package workload generates deterministic, seeded station deployments
+// for experiments and benchmarks: the uniform, clustered, colinear,
+// ring, and lattice layouts used throughout the paper's figures and
+// the reproduction's parameter sweeps.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Generator produces pseudo-random station deployments. It wraps a
+// seeded *rand.Rand so experiments are reproducible run-to-run.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// NewGenerator returns a Generator seeded with seed.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// UniformInBox returns n stations drawn uniformly at random from box.
+func (g *Generator) UniformInBox(n int, box geom.Box) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(
+			box.Min.X+g.rng.Float64()*box.Width(),
+			box.Min.Y+g.rng.Float64()*box.Height(),
+		)
+	}
+	return pts
+}
+
+// UniformSeparated returns n stations uniform in box with pairwise
+// distance at least minSep (simple dart throwing; returns an error if
+// the density makes placement infeasible after maxTries attempts per
+// point).
+func (g *Generator) UniformSeparated(n int, box geom.Box, minSep float64) ([]geom.Point, error) {
+	const maxTries = 2000
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		placed := false
+		for try := 0; try < maxTries; try++ {
+			cand := geom.Pt(
+				box.Min.X+g.rng.Float64()*box.Width(),
+				box.Min.Y+g.rng.Float64()*box.Height(),
+			)
+			ok := true
+			for _, p := range pts {
+				if geom.Dist(p, cand) < minSep {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				pts = append(pts, cand)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("workload: cannot place %d stations with separation %v in %v (placed %d)",
+				n, minSep, box, len(pts))
+		}
+	}
+	return pts, nil
+}
+
+// Clustered returns stations grouped into nClusters Gaussian clusters
+// with the given standard deviation, cluster centers uniform in box.
+// n stations are distributed round-robin over the clusters.
+func (g *Generator) Clustered(n, nClusters int, box geom.Box, stddev float64) []geom.Point {
+	if nClusters < 1 {
+		nClusters = 1
+	}
+	centers := g.UniformInBox(nClusters, box)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := centers[i%nClusters]
+		pts[i] = geom.Pt(
+			c.X+g.rng.NormFloat64()*stddev,
+			c.Y+g.rng.NormFloat64()*stddev,
+		)
+	}
+	return pts
+}
+
+// Colinear returns n stations on the x-axis: the first at the origin
+// and the rest at increasing positive offsets with random gaps in
+// [minGap, maxGap]. This matches the "positive colinear networks" of
+// Section 4.2.2 of the paper.
+func (g *Generator) Colinear(n int, minGap, maxGap float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	x := 0.0
+	for i := range pts {
+		if i > 0 {
+			x += minGap + g.rng.Float64()*(maxGap-minGap)
+		}
+		pts[i] = geom.Pt(x, 0)
+	}
+	return pts
+}
+
+// Ring returns n stations evenly spaced on a circle of the given
+// radius around center, plus an optional random angular jitter of up
+// to jitter radians per station.
+func (g *Generator) Ring(n int, center geom.Point, radius, jitter float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		theta := 2*math.Pi*float64(i)/float64(n) + (g.rng.Float64()*2-1)*jitter
+		pts[i] = geom.PolarPoint(center, radius, theta)
+	}
+	return pts
+}
+
+// Lattice returns stations on a rows x cols grid with the given
+// spacing, anchored at origin.
+func Lattice(rows, cols int, origin geom.Point, spacing float64) []geom.Point {
+	pts := make([]geom.Point, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pts = append(pts, geom.Pt(
+				origin.X+float64(c)*spacing,
+				origin.Y+float64(r)*spacing,
+			))
+		}
+	}
+	return pts
+}
+
+// QueryPoints returns n query points uniform in box (for point-location
+// benchmarks).
+func (g *Generator) QueryPoints(n int, box geom.Box) []geom.Point {
+	return g.UniformInBox(n, box)
+}
+
+// Float64 exposes the underlying RNG's uniform [0, 1) draw, so that
+// experiments can derive auxiliary randomness from the same stream.
+func (g *Generator) Float64() float64 { return g.rng.Float64() }
+
+// Intn exposes the underlying RNG's uniform integer draw.
+func (g *Generator) Intn(n int) int { return g.rng.Intn(n) }

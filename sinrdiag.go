@@ -1,0 +1,146 @@
+// Package sinrdiag is a Go library reproducing "SINR Diagrams: Towards
+// Algorithmically Usable SINR Models of Wireless Networks" (Avin,
+// Emek, Kantor, Lotker, Peleg, Roditty — PODC 2009).
+//
+// It models wireless networks under the signal-to-interference-and-
+// noise-ratio (SINR) rule, exposes their reception zones (the SINR
+// diagram), certifies the paper's structural results — convexity
+// (Theorem 1) and constant fatness (Theorem 2) of the zones of uniform
+// power networks with path-loss 2 — and builds the approximate
+// point-location data structure of Theorem 3: size O(n/eps), built in
+// O(n^3/eps), answering queries in O(log n) with an eps-area
+// uncertainty ring per zone.
+//
+// # Quick start
+//
+//	net, err := sinrdiag.NewUniform([]sinrdiag.Point{
+//		{X: 0, Y: 0}, {X: 3, Y: 1}, {X: -1, Y: 2},
+//	}, 0.01, 3) // noise N = 0.01, threshold beta = 3
+//	if err != nil { ... }
+//	heard, ok := net.HeardBy(sinrdiag.Pt(0.4, 0.2))
+//
+//	loc, err := net.BuildLocator(0.1) // Theorem 3 structure, eps = 0.1
+//	answer := loc.Locate(sinrdiag.Pt(0.4, 0.2)) // H+ / H- / H?
+//
+// The facade re-exports the library's core types; the full API
+// (geometry kit, polynomial/Sturm machinery, Voronoi diagrams, UDG
+// baselines, rasterization, experiment harness) lives in the internal
+// packages and is exercised by the binaries under cmd/ and the
+// examples under examples/.
+package sinrdiag
+
+import (
+	"repro/internal/core"
+	"repro/internal/diagram"
+	"repro/internal/geom"
+)
+
+// Point is a point in the Euclidean plane.
+type Point = geom.Point
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Network is a wireless network <S, psi, N, beta> under the SINR rule.
+type Network = core.Network
+
+// Option customizes network construction (powers, path-loss alpha).
+type Option = core.Option
+
+// Zone is a handle on one station's reception zone H_i.
+type Zone = core.Zone
+
+// ZoneBounds packages delta/Delta bounds for a zone (Theorem 4.1 and
+// the sampled refinements).
+type ZoneBounds = core.ZoneBounds
+
+// ConvexityReport summarizes a convexity certification run.
+type ConvexityReport = core.ConvexityReport
+
+// ThreeStationReport carries the Section 3.2 Sturm analysis artifacts.
+type ThreeStationReport = core.ThreeStationReport
+
+// QDS is the per-zone approximate point-location structure of
+// Section 5.1.
+type QDS = core.QDS
+
+// Locator is the combined Theorem 3 point-location data structure.
+type Locator = core.Locator
+
+// Location is a point-location answer.
+type Location = core.Location
+
+// LocationKind distinguishes H+, H- and H? answers.
+type LocationKind = core.LocationKind
+
+// CellType classifies grid cells (T+, T-, T?).
+type CellType = core.CellType
+
+// Grid is the gamma-spaced grid of Section 5.1.
+type Grid = core.Grid
+
+// Cell identifies one grid cell.
+type Cell = core.Cell
+
+// Location kinds and cell types, re-exported.
+const (
+	NoReception = core.NoReception
+	Reception   = core.Reception
+	Uncertain   = core.Uncertain
+
+	TPlus     = core.TPlus
+	TMinus    = core.TMinus
+	TQuestion = core.TQuestion
+)
+
+// DefaultAlpha is the textbook path-loss exponent (2), the setting of
+// the paper's theorems.
+const DefaultAlpha = core.DefaultAlpha
+
+// NewNetwork builds a network with explicit noise and threshold;
+// powers default to uniform 1 and alpha to 2 (see WithPowers and
+// WithAlpha).
+func NewNetwork(stations []Point, noise, beta float64, opts ...Option) (*Network, error) {
+	return core.NewNetwork(stations, noise, beta, opts...)
+}
+
+// NewUniform builds a uniform power network <S, 1, N, beta> with
+// alpha = 2 — the regime of Theorems 1, 2 and 3.
+func NewUniform(stations []Point, noise, beta float64) (*Network, error) {
+	return core.NewUniform(stations, noise, beta)
+}
+
+// WithAlpha overrides the path-loss exponent.
+func WithAlpha(alpha float64) Option { return core.WithAlpha(alpha) }
+
+// WithPowers sets per-station transmission powers.
+func WithPowers(powers []float64) Option { return core.WithPowers(powers) }
+
+// FatnessBound returns the Theorem 4.2 constant
+// (sqrt(beta)+1)/(sqrt(beta)-1) bounding every zone's fatness.
+func FatnessBound(beta float64) (float64, error) { return core.FatnessBound(beta) }
+
+// MergeStations realizes the Lemma 3.10 two-stations-into-one
+// construction.
+func MergeStations(s1, s2, p1, p2 Point) (Point, error) {
+	return core.MergeStations(s1, s2, p1, p2)
+}
+
+// ThreeStationAnalysis runs the Section 3.2 Sturm analysis of the
+// three-station quartic.
+func ThreeStationAnalysis(s1, s2 Point) (ThreeStationReport, error) {
+	return core.ThreeStationAnalysis(s1, s2)
+}
+
+// Diagram is a measured SINR diagram: per-zone polygonal geometry and
+// the communication graph induced by concurrent transmission.
+type Diagram = diagram.Diagram
+
+// ZoneInfo is the measured geometry of one reception zone.
+type ZoneInfo = diagram.ZoneInfo
+
+// BuildDiagram measures every reception zone of the network with the
+// given boundary sample count and radial precision.
+func BuildDiagram(net *Network, samples int, tol float64) (*Diagram, error) {
+	return diagram.Build(net, samples, tol)
+}

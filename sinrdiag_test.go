@@ -1,0 +1,114 @@
+package sinrdiag
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeEndToEnd walks the README quick-start path through the
+// facade: build a network, query reception, build the Theorem 3
+// locator, resolve queries.
+func TestFacadeEndToEnd(t *testing.T) {
+	net, err := NewUniform([]Point{Pt(0, 0), Pt(3, 1), Pt(-1, 2)}, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumStations() != 3 || net.Alpha() != DefaultAlpha {
+		t.Fatalf("network = %v", net)
+	}
+	p := Pt(0.3, 0.1)
+	heard, ok := net.HeardBy(p)
+	if !ok || heard != 0 {
+		t.Fatalf("HeardBy(%v) = %d, %v", p, heard, ok)
+	}
+
+	loc, err := net.BuildLocator(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := loc.LocateExact(p)
+	if ans.Kind != Reception || ans.Station != 0 {
+		t.Fatalf("LocateExact = %+v", ans)
+	}
+	far := loc.Locate(Pt(50, 50))
+	if far.Kind != NoReception {
+		t.Fatalf("far point = %+v", far)
+	}
+}
+
+func TestFacadeZoneAndBounds(t *testing.T) {
+	net, err := NewUniform([]Point{Pt(0, 0), Pt(1, 0)}, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := net.Zone(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := z.MeasuredFatness(128, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := FatnessBound(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi > bound*(1+1e-6) {
+		t.Errorf("fatness %v exceeds bound %v", phi, bound)
+	}
+	if math.Abs(bound-3) > 1e-12 {
+		t.Errorf("FatnessBound(4) = %v, want 3", bound)
+	}
+}
+
+func TestFacadeOptions(t *testing.T) {
+	net, err := NewNetwork([]Point{Pt(0, 0), Pt(2, 0)}, 0, 2,
+		WithPowers([]float64{1, 4}), WithAlpha(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.IsUniform() {
+		t.Error("mixed powers should not be uniform")
+	}
+	if net.Power(1) != 4 {
+		t.Errorf("Power(1) = %v", net.Power(1))
+	}
+}
+
+func TestFacadeConstructions(t *testing.T) {
+	sStar, err := MergeStations(Pt(1, 0), Pt(-1, 0), Pt(0, 0.5), Pt(0, -0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(sStar.X) {
+		t.Error("merge returned NaN")
+	}
+	rep, err := ThreeStationAnalysis(Pt(1, 2), Pt(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DistinctPos > 2 {
+		t.Errorf("three-station roots = %d", rep.DistinctPos)
+	}
+}
+
+func TestFacadeDiagram(t *testing.T) {
+	net, err := NewUniform([]Point{Pt(0, 0), Pt(1, 0)}, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := BuildDiagram(net, 128, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumZones() != 2 {
+		t.Fatalf("zones = %d", d.NumZones())
+	}
+	z := d.Zone(0)
+	if z.Area <= 0 || z.Fatness() <= 1 {
+		t.Errorf("zone info = %+v", z)
+	}
+	if got := len(d.CommunicationGraph()); got != 2 {
+		t.Errorf("graph size = %d", got)
+	}
+}
