@@ -11,6 +11,7 @@ package sinrdiag
 // (per-op cost of reproducing each artifact).
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -211,6 +212,134 @@ func BenchmarkQueryDS(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkQueryDSBatch measures the batch query engine: one op is a
+// full 1024-point LocateBatch sharded over the default worker pool.
+// Compare ns/op against BenchmarkQueryDSBatchSerial (the same 1024
+// queries answered point-by-point on one goroutine) for the
+// concurrency speedup; on a k-core machine the batch path approaches
+// k-fold throughput.
+func BenchmarkQueryDSBatch(b *testing.B) {
+	for _, n := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			net := benchNetwork(b, n)
+			loc := benchLocators[n]
+			if loc == nil {
+				var err error
+				loc, err = net.BuildLocator(0.1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchLocators[n] = loc
+			}
+			gen := workload.NewGenerator(17)
+			qs := gen.QueryPoints(1024, geom.NewBox(geom.Pt(-6, -6), geom.Pt(6, 6)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loc.LocateBatch(qs)
+			}
+			b.ReportMetric(float64(len(qs)), "queries/op")
+		})
+	}
+}
+
+// BenchmarkQueryDSBatchSerial is the single-goroutine baseline for
+// BenchmarkQueryDSBatch: identical work, Workers: 1.
+func BenchmarkQueryDSBatchSerial(b *testing.B) {
+	for _, n := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			net := benchNetwork(b, n)
+			loc := benchLocators[n]
+			if loc == nil {
+				var err error
+				loc, err = net.BuildLocator(0.1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchLocators[n] = loc
+			}
+			gen := workload.NewGenerator(17)
+			qs := gen.QueryPoints(1024, geom.NewBox(geom.Pt(-6, -6), geom.Pt(6, 6)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loc.LocateBatchOpts(qs, core.BatchOptions{Workers: 1})
+			}
+			b.ReportMetric(float64(len(qs)), "queries/op")
+		})
+	}
+}
+
+// BenchmarkHeardByBatch measures the preprocessing-free batch path
+// (brute-force SINR per point, sharded).
+func BenchmarkHeardByBatch(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			net := benchNetwork(b, n)
+			gen := workload.NewGenerator(17)
+			qs := gen.QueryPoints(1024, geom.NewBox(geom.Pt(-6, -6), geom.Pt(6, 6)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.HeardByBatch(qs)
+			}
+			b.ReportMetric(float64(len(qs)), "queries/op")
+		})
+	}
+}
+
+// BenchmarkLocatorBuild measures the Theorem 3 full-network build —
+// the O(n^3/eps) preprocessing the worker pool attacks — serial vs
+// one-worker-per-CPU.
+func BenchmarkLocatorBuild(b *testing.B) {
+	for _, n := range []int{8, 24} {
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", 0}} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
+				net := benchNetwork(b, n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					loc, err := net.BuildLocatorOpts(0.2, core.BuildOptions{Workers: mode.workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = loc.NumUncertainCells()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLocateStream pushes a sustained query stream through the
+// ordered streaming engine (chunking, worker pool, in-order emit).
+func BenchmarkLocateStream(b *testing.B) {
+	net := benchNetwork(b, 16)
+	loc, err := net.BuildLocator(0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(17)
+	qs := gen.QueryPoints(4096, geom.NewBox(geom.Pt(-6, -6), geom.Pt(6, 6)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := make(chan geom.Point, 256)
+		out := loc.LocateStream(context.Background(), in)
+		go func() {
+			for _, q := range qs {
+				in <- q
+			}
+			close(in)
+		}()
+		got := 0
+		for range out {
+			got++
+		}
+		if got != len(qs) {
+			b.Fatalf("stream dropped answers: %d/%d", got, len(qs))
+		}
+	}
+	b.ReportMetric(float64(len(qs)), "queries/op")
 }
 
 // BenchmarkStarShape measures the Lemma 3.1 / Observation 2.2

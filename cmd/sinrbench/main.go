@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	sinrbench [-trials N] [-only E7]
+//	sinrbench [-trials N] [-only E7] [-parallel W]
 //
 // -trials scales the randomized validations (default 5); -only runs a
-// single experiment by id.
+// single experiment by id; -parallel sets the worker count for the
+// concurrency-layer experiments (0, the default, means one worker per
+// CPU; 1 forces the serial code paths).
 package main
 
 import (
@@ -23,17 +25,18 @@ import (
 func main() {
 	trials := flag.Int("trials", 5, "trials per randomized validation cell")
 	only := flag.String("only", "", "run only the experiment with this id (e.g. E7)")
+	parallel := flag.Int("parallel", 0, "workers for concurrency-layer experiments (0 = NumCPU, 1 = serial)")
 	flag.Parse()
 
-	if err := run(*trials, *only); err != nil {
+	if err := run(*trials, *only, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "sinrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(trials int, only string) error {
+func run(trials int, only string, workers int) error {
 	failed, ran := 0, 0
-	for _, e := range exp.Registry(trials) {
+	for _, e := range exp.RegistryWorkers(trials, workers) {
 		if only != "" && !strings.EqualFold(e.ID, only) {
 			continue
 		}

@@ -5,19 +5,27 @@ import "testing"
 // TestRunSingleExperiment smoke-tests the CLI path on the cheapest
 // experiment (E1): selection by id, table printing, error plumbing.
 func TestRunSingleExperiment(t *testing.T) {
-	if err := run(1, "E1"); err != nil {
+	if err := run(1, "E1", 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunCaseInsensitiveSelector(t *testing.T) {
-	if err := run(1, "e2"); err != nil {
+	if err := run(1, "e2", 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestRunParallelExperiment smoke-tests the concurrency-layer
+// experiment (E16) through the -parallel plumbing, serial workers.
+func TestRunParallelExperiment(t *testing.T) {
+	if err := run(1, "E16", 1); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if err := run(1, "E99"); err == nil {
+	if err := run(1, "E99", 0); err == nil {
 		t.Fatal("unknown experiment id must fail")
 	}
 }

@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	sinrlocate [-n 64] [-eps 0.1] [-queries 100000] [-seed 1] [-beta 3] [-noise 0.01]
+//	sinrlocate [-n 64] [-eps 0.1] [-queries 100000] [-seed 1] [-beta 3] [-noise 0.01] [-workers 0]
+//
+// -workers sets the worker-pool size for the parallel locator build
+// and the batch query pass (0 = one per CPU, 1 = serial).
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/kdtree"
+	"repro/internal/par"
 	"repro/internal/workload"
 )
 
@@ -27,15 +31,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "deployment seed")
 	beta := flag.Float64("beta", 3, "reception threshold")
 	noise := flag.Float64("noise", 0.01, "background noise")
+	workers := flag.Int("workers", 0, "worker pool size for build and batch queries (0 = NumCPU, 1 = serial)")
 	flag.Parse()
 
-	if err := run(*n, *eps, *queries, *seed, *beta, *noise); err != nil {
+	if err := run(*n, *eps, *queries, *seed, *beta, *noise, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "sinrlocate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, eps float64, queries int, seed int64, beta, noise float64) error {
+func run(n int, eps float64, queries int, seed int64, beta, noise float64, workers int) error {
 	gen := workload.NewGenerator(seed)
 	box := geom.NewBox(geom.Pt(-5, -5), geom.Pt(5, 5))
 	pts, err := gen.UniformSeparated(n, box, 0.05)
@@ -49,12 +54,12 @@ func run(n int, eps float64, queries int, seed int64, beta, noise float64) error
 	fmt.Printf("network: %v\n", net)
 
 	start := time.Now()
-	loc, err := net.BuildLocator(eps)
+	loc, err := net.BuildLocatorOpts(eps, core.BuildOptions{Workers: workers})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("locator: built in %v, %d uncertain cells across %d stations (eps=%v)\n",
-		time.Since(start).Round(time.Millisecond), loc.NumUncertainCells(), n, eps)
+	fmt.Printf("locator: built in %v with %d workers, %d uncertain cells across %d stations (eps=%v)\n",
+		time.Since(start).Round(time.Millisecond), par.Norm(workers, n), loc.NumUncertainCells(), n, eps)
 
 	qbox := box.Expand(1)
 	qs := gen.QueryPoints(queries, qbox)
@@ -74,6 +79,15 @@ func run(n int, eps float64, queries int, seed int64, beta, noise float64) error
 		}
 	}
 	dsTime := time.Since(start)
+
+	start = time.Now()
+	batch := loc.LocateBatchOpts(qs, core.BatchOptions{Workers: workers})
+	batchTime := time.Since(start)
+	for i, p := range qs {
+		if batch[i] != loc.Locate(p) {
+			return fmt.Errorf("batch answer diverged from single-point Locate at query %d", i)
+		}
+	}
 
 	start = time.Now()
 	for _, p := range qs {
@@ -97,6 +111,9 @@ func run(n int, eps float64, queries int, seed int64, beta, noise float64) error
 	fmt.Printf("  DS      : %v total, %v/op  (H+: %d, H-: %d, H?: %d)\n",
 		dsTime.Round(time.Millisecond), dsTime/time.Duration(queries),
 		counts[0], counts[1], counts[2])
+	fmt.Printf("  Batch   : %v total, %v/op  (%d workers, answers identical)\n",
+		batchTime.Round(time.Millisecond), batchTime/time.Duration(queries),
+		par.Norm(workers, queries))
 	fmt.Printf("  Voronoi : %v total, %v/op\n",
 		voroTime.Round(time.Millisecond), voroTime/time.Duration(queries))
 	fmt.Printf("  Naive   : %v total, %v/op (includes DS cross-check)\n",

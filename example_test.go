@@ -1,0 +1,75 @@
+package sinrdiag_test
+
+import (
+	"fmt"
+
+	sinrdiag "repro"
+)
+
+// ExampleNewUniform builds the uniform power network of the paper's
+// theorems and inspects its parameters.
+func ExampleNewUniform() {
+	net, err := sinrdiag.NewUniform([]sinrdiag.Point{
+		{X: 0, Y: 0}, {X: 3, Y: 1}, {X: -1, Y: 2},
+	}, 0.01, 3) // noise N = 0.01, threshold beta = 3
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(net)
+	fmt.Println("uniform:", net.IsUniform(), "alpha:", net.Alpha())
+	// Output:
+	// Network{n=3 uniform N=0.01 beta=3 alpha=2}
+	// uniform: true alpha: 2
+}
+
+// ExampleNetwork_HeardBy evaluates the SINR reception rule directly:
+// close to station 0 its signal dominates; between stations nobody
+// clears the beta = 3 threshold.
+func ExampleNetwork_HeardBy() {
+	net, err := sinrdiag.NewUniform([]sinrdiag.Point{
+		{X: 0, Y: 0}, {X: 3, Y: 1}, {X: -1, Y: 2},
+	}, 0.01, 3)
+	if err != nil {
+		panic(err)
+	}
+	if i, ok := net.HeardBy(sinrdiag.Pt(0.4, 0.2)); ok {
+		fmt.Println("heard:", i)
+	}
+	if _, ok := net.HeardBy(sinrdiag.Pt(1.5, 0.5)); !ok {
+		fmt.Println("dead zone between stations")
+	}
+	// Output:
+	// heard: 0
+	// dead zone between stations
+}
+
+// ExampleLocator_LocateBatch builds the Theorem 3 point-location
+// structure — fanning the per-station constructions over one worker
+// per CPU — and answers a batch of queries in one sharded call.
+// Answers are identical to calling Locate point-by-point.
+func ExampleLocator_LocateBatch() {
+	net, err := sinrdiag.NewUniform([]sinrdiag.Point{
+		{X: 0, Y: 0}, {X: 3, Y: 1}, {X: -1, Y: 2},
+	}, 0.01, 3)
+	if err != nil {
+		panic(err)
+	}
+	loc, err := net.BuildLocator(0.1) // eps = 0.1
+	if err != nil {
+		panic(err)
+	}
+	queries := []sinrdiag.Point{
+		{X: 0.1, Y: 0.1}, // deep inside station 0's zone
+		{X: 3.1, Y: 1.1}, // deep inside station 1's zone
+		{X: 1.5, Y: 0.5}, // between the zones
+		{X: 25, Y: 25},   // far from everyone
+	}
+	for i, answer := range loc.LocateBatch(queries) {
+		fmt.Printf("query %d: %v\n", i, answer.Kind)
+	}
+	// Output:
+	// query 0: H+
+	// query 1: H+
+	// query 2: H-
+	// query 3: H-
+}

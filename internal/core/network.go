@@ -1,10 +1,3 @@
-// Package core implements the paper's primary contribution: SINR
-// diagrams of wireless networks and the algorithmic machinery built on
-// them — reception zones and their boundary polynomials, convexity
-// certification (Theorem 1), fatness bounds (Theorem 2, Theorem 4.1,
-// Theorem 4.2), and the approximate point-location data structure of
-// Theorem 3 (grid + Boundary Reconstruction Process + segment test +
-// nearest-station pre-filter).
 package core
 
 import (

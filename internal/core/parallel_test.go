@@ -1,0 +1,255 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// testNetwork builds a deterministic n-station uniform network on the
+// seeded workload generator (the same recipe as the benchmarks).
+func testNetwork(t *testing.T, seed int64, n int) *Network {
+	t.Helper()
+	gen := workload.NewGenerator(seed)
+	pts, err := gen.UniformSeparated(n, geom.NewBox(geom.Pt(-5, -5), geom.Pt(5, 5)), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewUniform(pts, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// testQueries draws a deterministic query set covering the deployment
+// box with margin, so answers include H+, H- and H? cases.
+func testQueries(n int) []geom.Point {
+	gen := workload.NewGenerator(171)
+	return gen.QueryPoints(n, geom.NewBox(geom.Pt(-6, -6), geom.Pt(6, 6)))
+}
+
+// TestParallelBuildDeterminism is the acceptance gate of the
+// concurrency layer: on a seeded 50-station workload the parallel
+// build must answer every query byte-identically to the serial build,
+// and the structures must agree cell-count for cell-count.
+func TestParallelBuildDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50-station build in short mode")
+	}
+	net := testNetwork(t, 42, 50)
+	serial, err := net.BuildLocatorOpts(0.5, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := net.BuildLocatorOpts(0.5, BuildOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.NumUncertainCells(), parallel.NumUncertainCells(); s != p {
+		t.Fatalf("|T?| diverged: serial %d, parallel %d", s, p)
+	}
+	for i := 0; i < net.NumStations(); i++ {
+		if s, p := serial.QDSFor(i).NumUncertainCells(), parallel.QDSFor(i).NumUncertainCells(); s != p {
+			t.Fatalf("station %d |T?| diverged: serial %d, parallel %d", i, s, p)
+		}
+	}
+	for _, q := range testQueries(4000) {
+		if s, p := serial.Locate(q), parallel.Locate(q); s != p {
+			t.Fatalf("Locate(%v) diverged: serial %v, parallel %v", q, s, p)
+		}
+	}
+}
+
+// TestWorkersOneFallback pins the Workers: 1 contract on every knob:
+// the serial paths must be taken (no goroutines needed) and produce
+// the same answers as the defaults.
+func TestWorkersOneFallback(t *testing.T) {
+	net := testNetwork(t, 7, 12)
+	loc, err := net.BuildLocatorOpts(0.4, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := net.BuildLocator(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := testQueries(600)
+	serialBatch := loc.LocateBatchOpts(qs, BatchOptions{Workers: 1})
+	defBatch := def.LocateBatch(qs)
+	for i := range qs {
+		if serialBatch[i] != defBatch[i] {
+			t.Fatalf("query %d: Workers:1 %v vs default %v", i, serialBatch[i], defBatch[i])
+		}
+		if serialBatch[i] != loc.Locate(qs[i]) {
+			t.Fatalf("query %d: batch %v vs single-point %v", i, serialBatch[i], loc.Locate(qs[i]))
+		}
+	}
+	hb1 := net.HeardByBatchOpts(qs, BatchOptions{Workers: 1})
+	hbN := net.HeardByBatch(qs)
+	for i := range qs {
+		if hb1[i] != hbN[i] {
+			t.Fatalf("HeardByBatch query %d: Workers:1 %d vs default %d", i, hb1[i], hbN[i])
+		}
+		idx, ok := net.HeardBy(qs[i])
+		want := NoStationHeard
+		if ok {
+			want = idx
+		}
+		if hb1[i] != want {
+			t.Fatalf("HeardByBatch query %d: got %d, HeardBy says %d", i, hb1[i], want)
+		}
+	}
+}
+
+// TestLocateBatchConcurrentCallers hammers one shared locator from
+// many goroutines, each running parallel batches — the -race target
+// for the query path.
+func TestLocateBatchConcurrentCallers(t *testing.T) {
+	net := testNetwork(t, 13, 10)
+	loc, err := net.BuildLocator(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := testQueries(500)
+	want := loc.LocateBatchOpts(qs, BatchOptions{Workers: 1})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				got := loc.LocateBatchOpts(qs, BatchOptions{Workers: 4})
+				for i := range qs {
+					if got[i] != want[i] {
+						errs <- errors.New("concurrent batch answer diverged")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLocateExactBatch checks the exact batch resolves every
+// uncertainty ring: answers match the point-by-point LocateExact and
+// never report H?.
+func TestLocateExactBatch(t *testing.T) {
+	net := testNetwork(t, 99, 8)
+	loc, err := net.BuildLocator(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := testQueries(800)
+	got := loc.LocateExactBatch(qs)
+	for i, q := range qs {
+		if got[i].Kind == Uncertain {
+			t.Fatalf("LocateExactBatch left query %d uncertain", i)
+		}
+		if want := loc.LocateExact(q); got[i] != want {
+			t.Fatalf("query %d: batch %v vs single-point %v", i, got[i], want)
+		}
+	}
+}
+
+// TestLocateStreamOrder feeds a stream and checks answers come back in
+// input order, one per point, equal to the batch answers.
+func TestLocateStreamOrder(t *testing.T) {
+	net := testNetwork(t, 5, 8)
+	loc, err := net.BuildLocator(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := testQueries(1500) // > streamChunk, forcing multiple jobs
+	want := loc.LocateBatchOpts(qs, BatchOptions{Workers: 1})
+
+	in := make(chan geom.Point)
+	out := loc.LocateStreamOpts(context.Background(), in, BatchOptions{Workers: 4})
+	go func() {
+		for _, q := range qs {
+			in <- q
+		}
+		close(in)
+	}()
+	i := 0
+	for got := range out {
+		if i >= len(qs) {
+			t.Fatalf("stream produced more than %d answers", len(qs))
+		}
+		if got != want[i] {
+			t.Fatalf("stream answer %d: got %v, want %v", i, got, want[i])
+		}
+		i++
+	}
+	if i != len(qs) {
+		t.Fatalf("stream produced %d answers, want %d", i, len(qs))
+	}
+}
+
+// TestLocateStreamCancel cancels mid-stream and checks the output
+// channel closes rather than wedging the pipeline.
+func TestLocateStreamCancel(t *testing.T) {
+	net := testNetwork(t, 5, 8)
+	loc, err := net.BuildLocator(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := make(chan geom.Point)
+	out := loc.LocateStreamOpts(ctx, in, BatchOptions{Workers: 2})
+	qs := testQueries(100)
+	go func() {
+		for _, q := range qs {
+			select {
+			case in <- q:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	n := 0
+	for range out {
+		n++
+		if n == 10 {
+			cancel()
+		}
+	}
+	if n < 10 {
+		t.Fatalf("stream closed after %d answers, before cancellation point", n)
+	}
+}
+
+// TestParallelBuildErrorMatchesSerial checks the failure contract: the
+// parallel build surfaces the same lowest-index error a serial
+// left-to-right build would.
+func TestParallelBuildErrorMatchesSerial(t *testing.T) {
+	// beta <= 1 fails QDS validation for every station; both builds
+	// must surface the station-0 error.
+	net := testNetwork(t, 3, 6)
+	nets, err := NewUniform(net.Stations(), 0.01, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, serialErr := nets.BuildLocatorOpts(0.4, BuildOptions{Workers: 1})
+	_, parErr := nets.BuildLocatorOpts(0.4, BuildOptions{Workers: 4})
+	if serialErr == nil || parErr == nil {
+		t.Fatal("beta <= 1 build must fail")
+	}
+	if serialErr.Error() != parErr.Error() {
+		t.Fatalf("error diverged: serial %q, parallel %q", serialErr, parErr)
+	}
+	if !errors.Is(parErr, ErrNeedBetaGT1) {
+		t.Fatalf("parallel error lost its cause: %v", parErr)
+	}
+}

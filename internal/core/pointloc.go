@@ -54,19 +54,35 @@ type Locator struct {
 // performance parameter eps for every station of the network. The
 // network must satisfy the Theorem 3 preconditions (uniform power,
 // alpha = 2, beta > 1).
+//
+// The per-station QDS constructions — the O(n^3/eps) bulk of the
+// work — are fanned out over DefaultWorkers() goroutines; use
+// BuildLocatorOpts to pick the worker count explicitly. The result is
+// identical to the serial build for any worker count.
 func (n *Network) BuildLocator(eps float64) (*Locator, error) {
+	return n.BuildLocatorOpts(eps, BuildOptions{})
+}
+
+// BuildLocatorOpts is BuildLocator with explicit build options.
+// Workers: 1 reproduces the seed's serial build exactly;
+// Workers: 0 means DefaultWorkers().
+func (n *Network) BuildLocatorOpts(eps float64, opt BuildOptions) (*Locator, error) {
 	loc := &Locator{
 		net:  n,
 		tree: kdtree.New(n.stations),
 		qds:  make([]*QDS, len(n.stations)),
 		eps:  eps,
 	}
-	for i := range n.stations {
+	err := parallelForErr(len(n.stations), opt.Workers, func(i int) error {
 		q, err := n.BuildQDS(i, eps)
 		if err != nil {
-			return nil, fmt.Errorf("core: building QDS for station %d: %w", i, err)
+			return fmt.Errorf("core: building QDS for station %d: %w", i, err)
 		}
 		loc.qds[i] = q
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return loc, nil
 }
@@ -120,6 +136,28 @@ func (l *Locator) LocateExact(p geom.Point) Location {
 		return Location{Kind: Reception, Station: loc.Station}
 	}
 	return Location{Kind: NoReception}
+}
+
+// Network returns the network the locator was built for.
+func (l *Locator) Network() *Network { return l.net }
+
+// NumStations returns the station count of the underlying network.
+func (l *Locator) NumStations() int { return len(l.net.stations) }
+
+// Station returns the location of station i of the underlying network.
+func (l *Locator) Station(i int) geom.Point { return l.net.stations[i] }
+
+// HeardBy reports the station heard at p via the Theorem 3 fast path,
+// falling back to one exact SINR evaluation only for points landing in
+// an uncertainty ring (LocateExact). A Locator therefore satisfies the
+// same reception-model shape as Network (NumStations/HeardBy, e.g.
+// raster.Model) and can stand in for it when rasterizing figures.
+func (l *Locator) HeardBy(p geom.Point) (int, bool) {
+	loc := l.LocateExact(p)
+	if loc.Kind != Reception {
+		return 0, false
+	}
+	return loc.Station, true
 }
 
 // NaiveLocate is the O(n^2)-flavored baseline the paper mentions:

@@ -1,9 +1,3 @@
-// Package diagram builds first-class SINR diagram objects: per-zone
-// polygonal geometry with areas, perimeters and radii, whole-diagram
-// coverage statistics, and the communication graph induced by
-// concurrent transmission (which station hears which) — the object
-// the paper names its central concept ("an SINR diagram is a
-// reception map characterizing the reception zones of the stations").
 package diagram
 
 import (

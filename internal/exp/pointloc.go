@@ -218,7 +218,16 @@ type Experiment struct {
 
 // Registry returns every experiment in paper order. trials scales the
 // randomized validations (use ~5 for quick runs, ~20 for full runs).
+// Experiments exercising the concurrency layer use
+// core.DefaultWorkers() workers; use RegistryWorkers to override.
 func Registry(trials int) []Experiment {
+	return RegistryWorkers(trials, 0)
+}
+
+// RegistryWorkers is Registry with an explicit worker count for the
+// concurrency-layer experiments (0 means core.DefaultWorkers(), 1
+// forces the serial paths).
+func RegistryWorkers(trials, workers int) []Experiment {
 	return []Experiment{
 		{"E1", Fig1Reception},
 		{"E2", Fig2Cumulative},
@@ -236,6 +245,7 @@ func Registry(trials int) []Experiment {
 		{"E13", NonUniformPower},
 		{"E14", func() (*Table, error) { return Scheduling(trials) }},
 		{"E15", func() (*Table, error) { return CommunicationGraph(trials) }},
+		{"E16", func() (*Table, error) { return ParallelScaling(workers) }},
 	}
 }
 

@@ -1,10 +1,3 @@
-// Package exp is the experiment harness of the reproduction: one
-// entry per figure and theorem of the paper, each regenerating the
-// corresponding artifact (reception outcomes, convexity certificates,
-// fatness measurements, point-location structures and timings) and
-// emitting a formatted table recording paper-claim versus measured
-// outcome. cmd/sinrbench runs every experiment; EXPERIMENTS.md records
-// the output.
 package exp
 
 import (

@@ -1,0 +1,12 @@
+// Package geom provides the computational-geometry substrate used by
+// the SINR-diagram library: points and vectors in the Euclidean plane,
+// segments, lines, balls, boxes, similarity transforms, convex hulls,
+// convex polygons, and circle intersection. Everything is implemented
+// from scratch on float64 with explicit tolerance handling, because
+// the paper's constructions need exactly these primitives.
+//
+// Map to the paper: similarity transforms realize Lemma 2.3 (SINR
+// invariance under scaling with noise rescaled by 1/sigma^2), circle
+// intersection backs the Lemma 3.10 merge construction, and the
+// box/grid primitives carry the Section 5.1 gamma-grid.
+package geom

@@ -1,10 +1,3 @@
-// Package geom provides the computational-geometry substrate used by the
-// SINR-diagram library: points and vectors in the Euclidean plane,
-// segments, lines, balls, boxes, similarity transforms, convex hulls,
-// convex polygons, and circle intersection. Everything is implemented
-// from scratch on float64 with explicit tolerance handling, because the
-// paper's constructions (Lemma 2.3 transforms, Lemma 3.10 circle
-// intersections, Section 5.1 grids) need exactly these primitives.
 package geom
 
 import (

@@ -1,0 +1,10 @@
+// Package kdtree implements a static 2-d tree over plane points with
+// O(log n) expected nearest-neighbor queries.
+//
+// Map to the paper: the Theorem 3 point-location structure needs an
+// O(log n) "closest station" pre-filter — Observation 2.2 proves a
+// point can only be heard from the station whose Voronoi cell
+// contains it — and this tree provides that query. The tree is
+// immutable after New, so one instance serves any number of
+// concurrent batch-query workers.
+package kdtree

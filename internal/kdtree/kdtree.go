@@ -1,8 +1,3 @@
-// Package kdtree implements a static 2-d tree over plane points with
-// O(log n) expected nearest-neighbor queries. The SINR point-location
-// data structure of Theorem 3 needs an O(log n) "closest station"
-// pre-filter (Observation 2.2: a point can only be heard from the
-// station whose Voronoi cell contains it); this tree provides it.
 package kdtree
 
 import (

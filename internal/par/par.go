@@ -1,0 +1,61 @@
+// Package par is the tiny shared worker-pool kit under the
+// concurrency layer: worker-count normalization and chunked sharding
+// of an index range over goroutines. internal/core (locator builds,
+// batch queries) and internal/raster (row rendering) both shard
+// through it, so the 0-means-NumCPU convention and the chunking
+// arithmetic live in exactly one place.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Default is the worker count used when a Workers knob is left at
+// zero: runtime.GOMAXPROCS(0), i.e. one worker per schedulable CPU.
+func Default() int { return runtime.GOMAXPROCS(0) }
+
+// Norm clamps a Workers knob to [1, n], where n bounds the useful
+// parallelism (the number of independent work items); workers <= 0
+// means Default().
+func Norm(workers, n int) int {
+	if workers <= 0 {
+		workers = Default()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Chunks splits [0, n) into at most workers contiguous chunks and
+// runs fn(lo, hi) on each from its own goroutine, returning once
+// every chunk is done. workers <= 1 or n <= 1 degrades to a plain
+// call on the calling goroutine (no goroutines spawned, no
+// synchronization).
+func Chunks(n, workers int, fn func(lo, hi int)) {
+	workers = Norm(workers, n)
+	if workers == 1 || n <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

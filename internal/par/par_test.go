@@ -1,0 +1,46 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestChunksCovers pins the sharding contract: every index visited
+// exactly once across awkward worker/size combinations.
+func TestChunksCovers(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, w := range []int{-1, 0, 1, 2, 3, 16, 2000} {
+			visits := make([]int, n)
+			var mu sync.Mutex
+			Chunks(n, w, func(lo, hi int) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := lo; i < hi; i++ {
+					visits[i]++
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestNorm pins the clamp: 0 and negatives mean Default(), results
+// never exceed the item count and never drop below one.
+func TestNorm(t *testing.T) {
+	if got := Norm(0, 1000000); got != Default() {
+		t.Fatalf("Norm(0, big) = %d, want Default() = %d", got, Default())
+	}
+	if got := Norm(-3, 1000000); got != Default() {
+		t.Fatalf("Norm(-3, big) = %d, want Default() = %d", got, Default())
+	}
+	if got := Norm(16, 4); got != 4 {
+		t.Fatalf("Norm(16, 4) = %d, want 4", got)
+	}
+	if got := Norm(5, 0); got != 1 {
+		t.Fatalf("Norm(5, 0) = %d, want 1", got)
+	}
+}

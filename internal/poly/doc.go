@@ -1,0 +1,10 @@
+// Package poly implements dense univariate polynomials over float64,
+// Sturm sequences, and real-root counting/isolation.
+//
+// Map to the paper: this is the real-algebra machinery behind the
+// main arguments — the three-station convexity proof of Section 3.2
+// (Sturm's condition on the quartic boundary polynomial, Lemma 3.3)
+// and the segment test of Section 5.1 (counting boundary crossings of
+// a grid edge via root isolation on the restricted boundary
+// polynomial).
+package poly

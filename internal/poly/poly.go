@@ -1,9 +1,3 @@
-// Package poly implements dense univariate polynomials over float64,
-// Sturm sequences, and real-root counting/isolation. It provides the
-// real-algebra machinery behind the paper's main arguments: the
-// three-station convexity proof of Section 3.2 (Sturm's condition on
-// the quartic boundary polynomial) and the segment test of Section 5.1
-// (counting boundary crossings of a grid edge).
 package poly
 
 import (

@@ -1,9 +1,3 @@
-// Package raster renders reception maps — the "numerically generated"
-// SINR and UDG diagrams of the paper's Figures 1-5 — by sampling a
-// reception model over a pixel grid. It supports ASCII art for
-// terminals, binary PPM images for files, per-station area estimates,
-// and pixelwise diffs between two models (the UDG-vs-SINR comparisons
-// of Figures 2-4).
 package raster
 
 import (
@@ -14,17 +8,37 @@ import (
 	"strings"
 
 	"repro/internal/geom"
+	"repro/internal/par"
 )
 
 // Model is any reception model that can say which station (if any) is
-// heard at a point. Both core.Network and udg.Model satisfy it.
+// heard at a point. core.Network, core.Locator and udg.Model all
+// satisfy it.
 type Model interface {
 	NumStations() int
 	HeardBy(p geom.Point) (int, bool)
 }
 
+// BatchModel is the optional fast path a model can provide: resolve a
+// whole slice of points serially, writing the heard station index (or
+// NoStation) into dst. core.Network and core.Locator implement it
+// (core.NoStationHeard == NoStation); the renderer aims it directly at
+// pixel rows, skipping the per-point interface calls.
+type BatchModel interface {
+	Model
+	HeardByBatchInto(ps []geom.Point, dst []int)
+}
+
 // NoStation marks pixels where no station is heard.
 const NoStation = -1
+
+// Options tunes rendering.
+type Options struct {
+	// Workers is the number of goroutines pixel rows are sharded
+	// over. Zero means one per schedulable CPU; one forces the serial
+	// render. Every setting produces identical pixels.
+	Workers int
+}
 
 // ReceptionMap is a rasterized reception diagram: for every pixel the
 // index of the heard station, or NoStation.
@@ -39,9 +53,18 @@ type ReceptionMap struct {
 	Stations []geom.Point
 }
 
-// Render samples the model at pixel centers over box. Width and height
-// must be at least 2.
+// Render samples the model at pixel centers over box, sharding pixel
+// rows over one worker per schedulable CPU (use RenderOpts to pick the
+// worker count). Width and height must be at least 2.
 func Render(m Model, box geom.Box, width, height int) (*ReceptionMap, error) {
+	return RenderOpts(m, box, width, height, Options{})
+}
+
+// RenderOpts is Render with explicit options. Rows are independent, so
+// any worker count produces identical pixels; models implementing
+// BatchModel are fed whole rows at a time through a per-worker scratch
+// buffer of pixel-center points.
+func RenderOpts(m Model, box geom.Box, width, height int, opt Options) (*ReceptionMap, error) {
 	if width < 2 || height < 2 {
 		return nil, errors.New("raster: need at least 2x2 pixels")
 	}
@@ -60,17 +83,34 @@ func Render(m Model, box geom.Box, width, height int) (*ReceptionMap, error) {
 			rm.Stations = append(rm.Stations, sa.Station(i))
 		}
 	}
-	for row := 0; row < height; row++ {
-		y := box.Max.Y - (float64(row)+0.5)*box.Height()/float64(height)
-		for col := 0; col < width; col++ {
-			x := box.Min.X + (float64(col)+0.5)*box.Width()/float64(width)
-			idx := NoStation
-			if i, ok := m.HeardBy(geom.Pt(x, y)); ok {
-				idx = i
+	bm, batch := m.(BatchModel)
+	renderRows := func(rowLo, rowHi int) {
+		var pts []geom.Point
+		if batch {
+			pts = make([]geom.Point, width)
+		}
+		for row := rowLo; row < rowHi; row++ {
+			y := box.Max.Y - (float64(row)+0.5)*box.Height()/float64(height)
+			dst := rm.Pixels[row*width : (row+1)*width]
+			if batch {
+				for col := 0; col < width; col++ {
+					pts[col] = geom.Pt(box.Min.X+(float64(col)+0.5)*box.Width()/float64(width), y)
+				}
+				bm.HeardByBatchInto(pts, dst)
+				continue
 			}
-			rm.Pixels[row*width+col] = idx
+			for col := 0; col < width; col++ {
+				x := box.Min.X + (float64(col)+0.5)*box.Width()/float64(width)
+				idx := NoStation
+				if i, ok := m.HeardBy(geom.Pt(x, y)); ok {
+					idx = i
+				}
+				dst[col] = idx
+			}
 		}
 	}
+
+	par.Chunks(height, opt.Workers, renderRows)
 	return rm, nil
 }
 

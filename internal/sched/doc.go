@@ -1,0 +1,13 @@
+// Package sched implements link scheduling on top of the SINR model —
+// the class of higher-layer problems the paper's introduction argues
+// should be solved against the physical model rather than graph
+// abstractions. It provides slot-feasibility checking under both the
+// SINR rule and the UDG/protocol rule, a greedy first-fit scheduler,
+// and ordering heuristics, so the two models' schedule lengths can be
+// compared on the same instances.
+//
+// Map to the paper: the introduction's discussion of scheduling under
+// the physical model and its references [8], [12], [13] (Moscibroda
+// et al.); the SINR feasibility predicate is Equation (1) applied to
+// a slot's concurrent senders.
+package sched

@@ -1,11 +1,3 @@
-// Package sched implements link scheduling on top of the SINR model —
-// the class of higher-layer problems the paper's introduction argues
-// should be solved against the physical model rather than graph
-// abstractions. It provides slot-feasibility checking under both the
-// SINR rule and the UDG/protocol rule, a greedy first-fit scheduler,
-// and ordering heuristics, so the two models' schedule lengths can be
-// compared on the same instances (the phenomenon behind the paper's
-// references [8], [12], [13]).
 package sched
 
 import (

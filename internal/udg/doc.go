@@ -1,0 +1,11 @@
+// Package udg implements the graph-based wireless models the paper
+// contrasts with the SINR model: the unit disk graph (UDG, also known
+// as the protocol model), the Quasi-UDG of Kuhn et al., and the
+// general two-graph connectivity/interference model. It also provides
+// the comparator that classifies UDG-vs-SINR disagreements into false
+// positives and false negatives.
+//
+// Map to the paper: Section 1's critique of graph-based models and
+// Figures 2-4, where the UDG reception picture is laid over the SINR
+// diagram and the disagreement regions are measured.
+package udg

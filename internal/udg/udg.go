@@ -1,9 +1,3 @@
-// Package udg implements the graph-based wireless models the paper
-// contrasts with the SINR model: the unit disk graph (UDG, also known
-// as the protocol model), the Quasi-UDG of Kuhn et al., and the
-// general two-graph connectivity/interference model. It also provides
-// the comparator that classifies UDG-vs-SINR disagreements into false
-// positives and false negatives (Figures 2-4 of the paper).
 package udg
 
 import (

@@ -1,0 +1,12 @@
+// Package voronoi computes Voronoi diagrams of planar point sites.
+// Cells are built by intersecting the half planes toward every other
+// site (O(n) half planes per cell, O(n^2 log n) for the full diagram
+// after a nearest-neighbor ordering), clipped to a caller-supplied
+// bounding box so unbounded cells become finite polygons.
+//
+// Map to the paper: Observation 2.2 (every reception zone lies
+// strictly inside its station's Voronoi cell, making "nearest
+// station" a sound point-location pre-filter for Theorem 3) and the
+// remark after Corollary 3.5 (a line's Voronoi boundary crossing
+// bounds where the reception boundary can be).
+package voronoi

@@ -1,0 +1,10 @@
+// Package workload generates deterministic, seeded station
+// deployments for experiments and benchmarks: the uniform, clustered,
+// colinear, ring, and lattice layouts used throughout the paper's
+// figures and the reproduction's parameter sweeps, plus query-point
+// streams for the point-location engines.
+//
+// Map to the paper: the figure scenarios of Sections 1-5 are drawn
+// from these layouts; seeding makes every experiment, benchmark and
+// concurrency determinism test reproducible run-to-run.
+package workload

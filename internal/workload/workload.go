@@ -1,7 +1,3 @@
-// Package workload generates deterministic, seeded station deployments
-// for experiments and benchmarks: the uniform, clustered, colinear,
-// ring, and lattice layouts used throughout the paper's figures and
-// the reproduction's parameter sweeps.
 package workload
 
 import (

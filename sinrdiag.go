@@ -22,6 +22,12 @@
 //	loc, err := net.BuildLocator(0.1) // Theorem 3 structure, eps = 0.1
 //	answer := loc.Locate(sinrdiag.Pt(0.4, 0.2)) // H+ / H- / H?
 //
+// BuildLocator fans the per-station constructions out over one worker
+// per CPU (tune with BuildLocatorOpts), and query traffic can be
+// answered in bulk with LocateBatch / HeardByBatch or streamed through
+// LocateStream; every concurrent path returns answers identical to the
+// serial one.
+//
 // The facade re-exports the library's core types; the full API
 // (geometry kit, polynomial/Sturm machinery, Voronoi diagrams, UDG
 // baselines, rasterization, experiment harness) lives in the internal
@@ -65,7 +71,17 @@ type ThreeStationReport = core.ThreeStationReport
 type QDS = core.QDS
 
 // Locator is the combined Theorem 3 point-location data structure.
+// It is immutable once built: Locate, LocateBatch and LocateStream are
+// safe for concurrent use from any number of goroutines.
 type Locator = core.Locator
+
+// BuildOptions tunes locator construction (worker count of the
+// parallel per-station build; see Network.BuildLocatorOpts).
+type BuildOptions = core.BuildOptions
+
+// BatchOptions tunes batch query execution (worker count the query
+// slice is sharded over; see Locator.LocateBatchOpts).
+type BatchOptions = core.BatchOptions
 
 // Location is a point-location answer.
 type Location = core.Location
@@ -96,6 +112,15 @@ const (
 // DefaultAlpha is the textbook path-loss exponent (2), the setting of
 // the paper's theorems.
 const DefaultAlpha = core.DefaultAlpha
+
+// NoStationHeard is the sentinel index the batch primitives
+// (Network.HeardByBatch, Locator.HeardByBatchInto) report for points
+// where no station is heard.
+const NoStationHeard = core.NoStationHeard
+
+// DefaultWorkers is the worker count used when a BuildOptions or
+// BatchOptions leaves Workers at zero: one per schedulable CPU.
+func DefaultWorkers() int { return core.DefaultWorkers() }
 
 // NewNetwork builds a network with explicit noise and threshold;
 // powers default to uniform 1 and alpha to 2 (see WithPowers and
