@@ -1,0 +1,249 @@
+// Command sinrload replays configurable query workloads against a
+// running sinrserve instance and reports throughput and latency
+// percentiles. It generates a network locally, registers it with the
+// server, fires /v1/locate batches from concurrent clients, and can
+// verify every served answer byte-identically against a direct
+// Network.HeardBy evaluation and hot-swap the network mid-run to prove
+// replacement drops no traffic.
+//
+// Usage:
+//
+//	sinrload -addr http://127.0.0.1:8080 [-network load] [-n 64]
+//	         [-queries 200000] [-batch 512] [-concurrency 8]
+//	         [-workload uniform|hotspot|mobility] [-eps 0.05]
+//	         [-noise 0.01] [-beta 3] [-seed 1]
+//	         [-swap-every 0] [-verify]
+//
+// -swap-every K re-registers the network (bumping its version and
+// forcing a locator rebuild + atomic hot swap) after every K batches;
+// station locations are unchanged, so served answers must stay
+// identical while the swap happens under load. -verify recomputes all
+// answers locally and exits non-zero on any mismatch, so the command
+// doubles as an end-to-end correctness check in CI.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the sinrserve instance")
+	name := flag.String("network", "load", "network name to register and query")
+	n := flag.Int("n", 64, "number of stations")
+	queries := flag.Int("queries", 200000, "total locate queries to send")
+	batch := flag.Int("batch", 512, "points per /v1/locate request")
+	concurrency := flag.Int("concurrency", 8, "concurrent client goroutines")
+	wl := flag.String("workload", "uniform", "query workload: uniform, hotspot or mobility")
+	eps := flag.Float64("eps", serve.DefaultEps, "locator performance parameter")
+	noise := flag.Float64("noise", 0.01, "background noise")
+	beta := flag.Float64("beta", 3, "reception threshold")
+	seed := flag.Int64("seed", 1, "workload seed")
+	swapEvery := flag.Int("swap-every", 0, "hot-swap the network after every K batches (0 = never)")
+	verify := flag.Bool("verify", false, "verify every served answer against direct HeardBy evaluation")
+	flag.Parse()
+
+	if err := run(*addr, *name, *n, *queries, *batch, *concurrency, *wl, *eps, *noise, *beta, *seed, *swapEvery, *verify); err != nil {
+		fmt.Fprintln(os.Stderr, "sinrload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, name string, n, queries, batchSize, concurrency int, wl string, eps, noise, beta float64, seed int64, swapEvery int, verify bool) error {
+	if n < 1 || queries < 1 || batchSize < 1 || concurrency < 1 {
+		return fmt.Errorf("-n, -queries, -batch and -concurrency must all be >= 1 (got %d, %d, %d, %d)",
+			n, queries, batchSize, concurrency)
+	}
+	gen := workload.NewGenerator(seed)
+	box := geom.NewBox(geom.Pt(-5, -5), geom.Pt(5, 5))
+	stations, err := gen.UniformSeparated(n, box, 0.05)
+	if err != nil {
+		return err
+	}
+	net, err := core.NewUniform(stations, noise, beta)
+	if err != nil {
+		return err
+	}
+
+	var points []geom.Point
+	switch wl {
+	case "uniform":
+		points = gen.QueryPoints(queries, box)
+	case "hotspot":
+		points = gen.HotspotPoints(queries, box, 4, 0.8, 0.3)
+	case "mobility":
+		walkers := concurrency * 64
+		steps := (queries + walkers - 1) / walkers
+		points = gen.MobilityTrace(walkers, steps, box, 0.05)
+		points = points[:queries]
+	default:
+		return fmt.Errorf("unknown workload %q", wl)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	reg := registration(name, stations, noise, beta)
+	if err := register(client, addr, reg); err != nil {
+		return fmt.Errorf("registering network: %w", err)
+	}
+	fmt.Printf("registered %q: %d stations, workload=%s, %d queries in batches of %d over %d clients\n",
+		name, n, wl, len(points), batchSize, concurrency)
+
+	numBatches := (len(points) + batchSize - 1) / batchSize
+	served := make([]int, len(points)) // station index or -1 per query
+	latencies := make([]time.Duration, numBatches)
+	var next atomic.Int64
+	var failed atomic.Int64
+	var swaps atomic.Int64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= numBatches {
+					return
+				}
+				lo := b * batchSize
+				hi := lo + batchSize
+				if hi > len(points) {
+					hi = len(points)
+				}
+				t0 := time.Now()
+				results, err := locate(client, addr, name, eps, points[lo:hi])
+				latencies[b] = time.Since(t0)
+				if err != nil {
+					failed.Add(1)
+					fmt.Fprintf(os.Stderr, "sinrload: batch %d: %v\n", b, err)
+					continue
+				}
+				for i, r := range results {
+					served[lo+i] = r.Station
+				}
+				// Hot-swap under load: re-register the same stations,
+				// bumping the version and forcing a locator rebuild while
+				// other clients keep querying.
+				if swapEvery > 0 && b > 0 && b%swapEvery == 0 {
+					if err := register(client, addr, reg); err != nil {
+						failed.Add(1)
+						fmt.Fprintf(os.Stderr, "sinrload: hot swap after batch %d: %v\n", b, err)
+					} else {
+						swaps.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	qps := float64(len(points)) / elapsed.Seconds()
+	fmt.Printf("served %d queries in %v (%.0f queries/s, %d batches, %d hot swaps, %d failed)\n",
+		len(points), elapsed.Round(time.Millisecond), qps, numBatches, swaps.Load(), failed.Load())
+	fmt.Printf("batch latency: p50=%v p90=%v p99=%v max=%v\n",
+		pct(latencies, 0.50), pct(latencies, 0.90), pct(latencies, 0.99), latencies[len(latencies)-1].Round(time.Microsecond))
+
+	if failed.Load() > 0 {
+		return fmt.Errorf("%d batch requests failed", failed.Load())
+	}
+
+	if verify {
+		want := net.HeardByBatch(points)
+		mismatches := 0
+		for i := range want {
+			if served[i] != want[i] {
+				if mismatches < 5 {
+					fmt.Fprintf(os.Stderr, "sinrload: mismatch at %v: served %d, direct HeardBy %d\n",
+						points[i], served[i], want[i])
+				}
+				mismatches++
+			}
+		}
+		if mismatches > 0 {
+			return fmt.Errorf("%d of %d served answers differ from direct evaluation", mismatches, len(want))
+		}
+		fmt.Printf("verified: all %d served answers identical to direct Network.HeardBy evaluation\n", len(want))
+	}
+	return nil
+}
+
+func registration(name string, stations []geom.Point, noise, beta float64) serve.NetworkRequest {
+	req := serve.NetworkRequest{Name: name, Noise: noise, Beta: beta}
+	req.Stations = make([]serve.PointJSON, len(stations))
+	for i, s := range stations {
+		req.Stations[i] = serve.PointJSON{X: s.X, Y: s.Y}
+	}
+	return req
+}
+
+func register(client *http.Client, addr string, req serve.NetworkRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(addr+"/v1/networks", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("register: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+func locate(client *http.Client, addr, name string, eps float64, pts []geom.Point) ([]serve.LocateResult, error) {
+	req := serve.LocateRequest{Network: name, Eps: eps}
+	req.Points = make([]serve.PointJSON, len(pts))
+	for i, p := range pts {
+		req.Points[i] = serve.PointJSON{X: p.X, Y: p.Y}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(addr+"/v1/locate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("locate: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var out serve.LocateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(pts) {
+		return nil, fmt.Errorf("locate: %d results for %d points", len(out.Results), len(pts))
+	}
+	return out.Results, nil
+}
+
+// pct returns the p-quantile of sorted latencies.
+func pct(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i].Round(time.Microsecond)
+}

@@ -1,0 +1,87 @@
+// Command sinrserve runs the query-serving subsystem: a long-running
+// HTTP service owning a registry of named networks, answering
+// point-location traffic through Theorem 3 locators built on demand
+// behind a single-flight LRU cache.
+//
+// Usage:
+//
+//	sinrserve [-addr :8080] [-max-locators 8] [-workers 0] [-default-eps 0.05] [-min-eps 0.01]
+//
+// Endpoints (see internal/serve):
+//
+//	POST /v1/networks       register or hot-swap a named network
+//	GET  /v1/networks       list registered networks
+//	POST /v1/locate         JSON batch of points -> exact answers
+//	POST /v1/locate/stream  NDJSON in/out streaming queries
+//	GET  /healthz           liveness probe
+//
+// The process shuts down gracefully on SIGINT/SIGTERM, letting
+// in-flight requests finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxLocators := flag.Int("max-locators", 8, "locator cache capacity (LRU)")
+	workers := flag.Int("workers", 0, "worker pool size for builds and batch queries (0 = NumCPU)")
+	defaultEps := flag.Float64("default-eps", serve.DefaultEps, "locator eps for requests that omit it")
+	minEps := flag.Float64("min-eps", 0.01, "smallest client-supplied eps accepted (builds cost O(n^3/eps))")
+	flag.Parse()
+
+	if err := run(*addr, *maxLocators, *workers, *defaultEps, *minEps); err != nil {
+		fmt.Fprintln(os.Stderr, "sinrserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, maxLocators, workers int, defaultEps, minEps float64) error {
+	handler := serve.NewServer(serve.Options{
+		MaxLocators: maxLocators,
+		Workers:     workers,
+		DefaultEps:  defaultEps,
+		MinEps:      minEps,
+	})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("sinrserve: listening on %s (max-locators=%d workers=%d default-eps=%g min-eps=%g)\n",
+			addr, maxLocators, workers, defaultEps, minEps)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		fmt.Printf("sinrserve: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

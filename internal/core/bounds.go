@@ -42,11 +42,15 @@ func (b ZoneBounds) FatnessRatio() float64 {
 // TheoremBounds computes the explicit Theorem 4.1 bounds for station
 // i's reception zone:
 //
-//	delta(s_i, H_i) >= kappa / (sqrt(beta*(n-1+N*kappa^2)) + 1)
-//	Delta(s_i, H_i) <= kappa / (sqrt(beta*(1+N*kappa^2)) - 1)
+//	delta(s_i, H_i) >= kappa / (sqrt(beta*(n-1+(N/psi)*kappa^2)) + 1)
+//	Delta(s_i, H_i) <= kappa / (sqrt(beta*(1+(N/psi)*kappa^2)) - 1)
 //
-// It requires a uniform power network with beta > 1, at least two
-// stations, and a station location not shared by another station.
+// The paper states the formulas for psi = 1; for a uniform power
+// assignment psi != 1 every SINR value equals that of the psi = 1
+// network with noise N/psi (scaling powers cancels everywhere except
+// against the noise), so the noise term enters scale-corrected as
+// N/psi. It requires a uniform power network with beta > 1, at least
+// two stations, and a station location not shared by another station.
 func (n *Network) TheoremBounds(i int) (ZoneBounds, error) {
 	if !n.uniform {
 		return ZoneBounds{}, ErrNeedUniform
@@ -63,8 +67,9 @@ func (n *Network) TheoremBounds(i int) (ZoneBounds, error) {
 	}
 	nn := float64(len(n.stations))
 	k2 := kappa * kappa
-	lower := kappa / (math.Sqrt(n.beta*(nn-1+n.noise*k2)) + 1)
-	upper := kappa / (math.Sqrt(n.beta*(1+n.noise*k2)) - 1)
+	noise := n.noise / n.powers[i] // uniform, so powers[i] == psi
+	lower := kappa / (math.Sqrt(n.beta*(nn-1+noise*k2)) + 1)
+	upper := kappa / (math.Sqrt(n.beta*(1+noise*k2)) - 1)
 	return ZoneBounds{Kappa: kappa, DeltaLower: lower, DeltaUpper: upper}, nil
 }
 

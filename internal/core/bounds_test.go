@@ -243,3 +243,76 @@ func TestZoneBoundsFatnessRatioDegenerate(t *testing.T) {
 		t.Errorf("ratio = %v, want +Inf", got)
 	}
 }
+
+// TestTheoremBoundsPowerScale is the regression test for the psi != 1
+// noise correction: with uniform power psi every SINR value equals that
+// of the psi = 1 network with noise N/psi, so the Theorem 4.1 bounds
+// must coincide with those of the rescaled network and must bracket the
+// measured boundary distances. The pre-fix code plugged N in unscaled,
+// which for psi > 1 and N > 0 shrank DeltaUpper below the true
+// enclosing radius.
+func TestTheoremBoundsPowerScale(t *testing.T) {
+	stations := []geom.Point{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(-1, 5)}
+	const noise, beta, psi = 0.5, 2.0, 5.0
+
+	scaled, err := NewNetwork(stations, noise, beta,
+		WithPowers([]float64{psi, psi, psi}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scaled.IsUniform() {
+		t.Fatal("equal-power network should be uniform")
+	}
+	reference, err := NewNetwork(stations, noise/psi, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range stations {
+		got, err := scaled.TheoremBounds(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := reference.TheoremBounds(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exact equivalence with the psi = 1, N/psi network.
+		if got.DeltaLower != want.DeltaLower || got.DeltaUpper != want.DeltaUpper {
+			t.Errorf("station %d: bounds at psi=%v are [%v, %v], want psi=1 N/psi values [%v, %v]",
+				i, psi, got.DeltaLower, got.DeltaUpper, want.DeltaLower, want.DeltaUpper)
+		}
+
+		// Validity against measured boundary distances (the property the
+		// pre-fix code violated on the upper side).
+		z, err := scaled.Zone(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rMin, rMax, _, _, err := z.MinMaxRadius(256, got.DeltaLower/1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.DeltaLower > rMin*(1+1e-9) {
+			t.Errorf("station %d: DeltaLower %v above measured inscribed radius %v", i, got.DeltaLower, rMin)
+		}
+		if got.DeltaUpper < rMax*(1-1e-9) {
+			t.Errorf("station %d: DeltaUpper %v below measured enclosing radius %v", i, got.DeltaUpper, rMax)
+		}
+	}
+
+	// ImprovedBounds inherits the correction and must stay valid too.
+	ib, err := scaled.ImprovedBounds(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, _ := scaled.Zone(0)
+	rMin, rMax, _, _, err := z.MinMaxRadius(256, ib.DeltaLower/1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ib.DeltaLower > rMin*(1+1e-9) || ib.DeltaUpper < rMax*(1-1e-9) {
+		t.Errorf("ImprovedBounds [%v, %v] do not bracket measured [%v, %v]",
+			ib.DeltaLower, ib.DeltaUpper, rMin, rMax)
+	}
+}

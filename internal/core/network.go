@@ -158,7 +158,9 @@ func (n *Network) IsTrivial() bool {
 }
 
 // SharesLocation reports whether station i's location coincides with
-// another station's (within geom.Eps). In that case H_i = {s_i}.
+// another station's (within geom.Eps). In that case the zone
+// degenerates: the co-located interferer drives SINR(s_i, .) to 0 at
+// s_i itself, so no point of the plane is heard from station i.
 func (n *Network) SharesLocation(i int) bool {
 	for j, s := range n.stations {
 		if j != i && geom.ApproxEqual(s, n.stations[i], geom.Eps) {
@@ -195,22 +197,29 @@ func (n *Network) Interference(i int, p geom.Point) float64 {
 
 // SINR returns SINR(s_i, p) per Equation (1) of the paper. It returns
 // +Inf at p == s_i and 0 when p coincides with an interfering station.
+// The interferer case dominates: at a point coinciding with both s_i
+// and a co-located interferer (Energy and Interference both +Inf) the
+// result is 0, matching the zone convention that a point coinciding
+// with an interferer is never heard (H_i degenerates for shared
+// locations).
 func (n *Network) SINR(i int, p geom.Point) float64 {
-	e := n.Energy(i, p)
-	if math.IsInf(e, 1) {
-		return math.Inf(1)
-	}
 	inter := n.Interference(i, p)
 	if math.IsInf(inter, 1) {
 		return 0
+	}
+	e := n.Energy(i, p)
+	if math.IsInf(e, 1) {
+		return math.Inf(1)
 	}
 	return e / (inter + n.noise)
 }
 
 // Heard reports whether the transmission of station i is received
 // correctly at p: SINR(s_i, p) >= beta, with the zone convention
-// H_i = {p : SINR >= beta} ∪ {s_i} (so s_i itself is always heard and
-// a point coinciding with an interferer never is).
+// H_i = {p : SINR >= beta} ∪ {s_i} (so s_i itself is heard) except
+// that a point coinciding with an interferer never is heard — the
+// interferer case wins even at p == s_i when another station shares
+// the location.
 func (n *Network) Heard(i int, p geom.Point) bool {
 	return n.SINR(i, p) >= n.beta
 }
@@ -218,7 +227,10 @@ func (n *Network) Heard(i int, p geom.Point) bool {
 // HeardBy returns the index of the station heard at p and true, or
 // (0, false) when no station is heard. For beta > 1 at most one
 // station can be heard at any point, so the answer is unique; for
-// beta <= 1 the lowest-index heard station is returned.
+// beta <= 1 the lowest-index heard station is returned. The batch
+// primitives (HeardByBatch and friends) report the same no-station
+// answer as the NoStationHeard (-1) sentinel, since they have no
+// per-element ok bool.
 func (n *Network) HeardBy(p geom.Point) (int, bool) {
 	for i := range n.stations {
 		if n.Heard(i, p) {

@@ -56,8 +56,10 @@ type QDS struct {
 	cols    map[int]*qdsColumn
 	// numUncertain is the total count of T? cells.
 	numUncertain int
-	// pointZone marks degenerate zones H_i = {s_i} (shared location):
-	// every cell is T- and only the station point itself is in-zone.
+	// pointZone marks degenerate zones (shared station location):
+	// every cell is T- except the station point itself, which is T?
+	// and resolves to not-heard under the interferer-coincidence
+	// convention of Network.SINR.
 	pointZone bool
 }
 

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// sharedNet is a network with two stations sharing the origin plus one
+// isolated station, in the Theorem 3 regime (uniform, alpha 2, beta>1).
+func sharedNet(t *testing.T) *Network {
+	t.Helper()
+	return mustNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(4, 0)}, 0.01, 4)
+}
+
+// TestSINRSharedLocationDominates is the regression test for the
+// interferer-coincidence convention: at a point coinciding with both
+// s_i and a co-located interferer, SINR must be 0 (not +Inf) — the
+// interferer case dominates the own-station case.
+func TestSINRSharedLocationDominates(t *testing.T) {
+	n := sharedNet(t)
+	origin := geom.Pt(0, 0)
+
+	for _, i := range []int{0, 1} {
+		if got := n.SINR(i, origin); got != 0 {
+			t.Errorf("SINR(%d, origin) = %v, want 0 (co-located interferer dominates)", i, got)
+		}
+		if n.Heard(i, origin) {
+			t.Errorf("Heard(%d, origin) = true, want false at a shared location", i)
+		}
+	}
+	// The isolated station sees infinite interference at the origin too.
+	if got := n.SINR(2, origin); got != 0 {
+		t.Errorf("SINR(2, origin) = %v, want 0", got)
+	}
+	// No station is heard at the shared point: HeardBy reports the
+	// no-station sentinel shape (0, false).
+	if idx, ok := n.HeardBy(origin); ok {
+		t.Errorf("HeardBy(origin) = (%d, true), want (_, false)", idx)
+	}
+
+	// The isolated station's own location is unaffected: its energy is
+	// infinite there while interference stays finite.
+	if got := n.SINR(2, geom.Pt(4, 0)); !math.IsInf(got, 1) {
+		t.Errorf("SINR(2, s_2) = %v, want +Inf", got)
+	}
+	if i, ok := n.HeardBy(geom.Pt(4, 0)); !ok || i != 2 {
+		t.Errorf("HeardBy(s_2) = (%d, %v), want (2, true)", i, ok)
+	}
+}
+
+// TestSharedLocationAtMostOneHeard checks that the beta > 1 uniqueness
+// property survives shared locations: pre-fix, both co-located stations
+// reported SINR = +Inf at the shared point and were simultaneously
+// "heard", violating the at-most-one-station property the batch and
+// scheduling layers rely on.
+func TestSharedLocationAtMostOneHeard(t *testing.T) {
+	n := sharedNet(t)
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(0.1, 0), geom.Pt(2, 2),
+	}
+	for _, p := range pts {
+		heard := 0
+		for i := 0; i < n.NumStations(); i++ {
+			if n.Heard(i, p) {
+				heard++
+			}
+		}
+		if heard > 1 {
+			t.Errorf("%v: %d stations heard simultaneously with beta = %v > 1", p, heard, n.Beta())
+		}
+	}
+}
+
+// TestLocatorSharedLocationAgreesWithHeardBy ties the shared-location
+// SINR fix and the kd-tree tie-break together: on a network with a
+// shared station location, the Theorem 3 locator must agree with
+// Network.HeardBy everywhere — including at the shared point itself
+// (point-zone T? cell resolved by exact evaluation) and on the
+// equidistant midline between the duplicate pair and the isolated
+// station.
+func TestLocatorSharedLocationAgreesWithHeardBy(t *testing.T) {
+	n := sharedNet(t)
+	loc, err := n.BuildLocator(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []geom.Point{
+		geom.Pt(0, 0),      // shared location: nobody heard
+		geom.Pt(2, 0),      // exact Voronoi midline: kd-tree tie
+		geom.Pt(2, 1),      // midline off-axis
+		geom.Pt(4, 0),      // isolated station
+		geom.Pt(0.05, 0),   // deep in the dead pair's old zone
+		geom.Pt(3.7, 0.05), // inside station 2's zone
+	}
+	for _, p := range pts {
+		wantIdx, wantOK := n.HeardBy(p)
+		gotIdx, gotOK := loc.HeardBy(p)
+		if wantOK != gotOK || (wantOK && wantIdx != gotIdx) {
+			t.Errorf("%v: locator HeardBy = (%d, %v), direct = (%d, %v)",
+				p, gotIdx, gotOK, wantIdx, wantOK)
+		}
+	}
+}

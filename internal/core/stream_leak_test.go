@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// waitForGoroutines polls until the goroutine count drops to at most
+// want or the deadline passes, returning the last observed count.
+// Polling absorbs scheduler lag between cancellation and goroutine
+// exit.
+func waitForGoroutines(want int, deadline time.Duration) int {
+	var n int
+	for end := time.Now().Add(deadline); time.Now().Before(end); {
+		n = runtime.NumGoroutine()
+		if n <= want {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	return n
+}
+
+// TestLocateStreamCancellationNoLeak cancels an active stream and
+// abandons its output channel undrained, then checks every pipeline
+// goroutine (reader, workers, emitter) exits. Run with a generous
+// margin: other tests' goroutines may still be winding down.
+func TestLocateStreamCancellationNoLeak(t *testing.T) {
+	n := mustNet(t, []geom.Point{
+		geom.Pt(0, 0), geom.Pt(3, 0), geom.Pt(-1, 2.5), geom.Pt(1.5, -2),
+	}, 0.01, 3)
+	loc, err := n.BuildLocator(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+
+	const rounds = 8
+	for r := 0; r < rounds; r++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		in := make(chan geom.Point)
+		out := loc.LocateStreamOpts(ctx, in, BatchOptions{Workers: 4})
+
+		// Feeder keeps offering points until the pipeline stops taking
+		// them; it must also exit once ctx is cancelled.
+		go func() {
+			defer close(in)
+			for i := 0; ; i++ {
+				select {
+				case <-ctx.Done():
+					return
+				case in <- geom.Pt(float64(i%7)-3, float64(i%5)-2):
+				}
+			}
+		}()
+
+		// Take a few answers, then cancel mid-flight and abandon out
+		// without draining it.
+		for i := 0; i < 10; i++ {
+			if _, ok := <-out; !ok {
+				t.Fatal("stream closed prematurely")
+			}
+		}
+		cancel()
+	}
+
+	after := waitForGoroutines(before, 5*time.Second)
+	if after > before {
+		t.Errorf("goroutines: %d before, %d after %d cancelled streams (pipeline leak)", before, after, rounds)
+	}
+}
+
+// TestLocateStreamCloseNoLeak is the companion clean-shutdown check:
+// closing the input and draining the output must also leave no
+// pipeline goroutines behind.
+func TestLocateStreamCloseNoLeak(t *testing.T) {
+	n := mustNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(2, 0)}, 0, 4)
+	loc, err := n.BuildLocator(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := make(chan geom.Point, 64)
+	for i := 0; i < 64; i++ {
+		in <- geom.Pt(float64(i)*0.05-1, 0.1)
+	}
+	close(in)
+	got := 0
+	for range loc.LocateStream(ctx, in) {
+		got++
+	}
+	if got != 64 {
+		t.Fatalf("drained %d answers, want 64", got)
+	}
+
+	after := waitForGoroutines(before, 5*time.Second)
+	if after > before {
+		t.Errorf("goroutines: %d before, %d after clean shutdown", before, after)
+	}
+}

@@ -36,8 +36,9 @@ func (z *Zone) Network() *Network { return z.net }
 // Contains reports whether p is in the reception zone H_i.
 func (z *Zone) Contains(p geom.Point) bool { return z.net.Heard(z.idx, p) }
 
-// IsPointZone reports whether the zone degenerates to the single point
-// {s_i} because another station shares the location (Section 2.2).
+// IsPointZone reports whether the zone degenerates because another
+// station shares the location (Section 2.2): the co-located interferer
+// dominates, so not even s_i itself is heard.
 func (z *Zone) IsPointZone() bool { return z.net.SharesLocation(z.idx) }
 
 // maxBoundaryDoubling caps the exponential search for an exterior

@@ -66,6 +66,9 @@ func (t *Tree) Len() int { return len(t.nodes) }
 
 // Nearest returns the index (into the slice passed to New) of the
 // point closest to q and its distance. ok is false for an empty tree.
+// Exact distance ties are broken toward the lowest original index, so
+// the answer agrees with a linear scan in input order (and hence with
+// Network.HeardBy's lowest-index convention on equidistant points).
 func (t *Tree) Nearest(q geom.Point) (idx int, dist float64, ok bool) {
 	if t == nil || t.root < 0 {
 		return 0, 0, false
@@ -73,14 +76,14 @@ func (t *Tree) Nearest(q geom.Point) (idx int, dist float64, ok bool) {
 	best := -1
 	bestD2 := math.Inf(1)
 	t.search(t.root, q, &best, &bestD2)
-	return t.nodes[best].idx, math.Sqrt(bestD2), true
+	return best, math.Sqrt(bestD2), true
 }
 
 func (t *Tree) search(ni int, q geom.Point, best *int, bestD2 *float64) {
 	n := &t.nodes[ni]
-	if d2 := geom.Dist2(n.p, q); d2 < *bestD2 {
+	if d2 := geom.Dist2(n.p, q); d2 < *bestD2 || (d2 == *bestD2 && n.idx < *best) {
 		*bestD2 = d2
-		*best = ni
+		*best = n.idx
 	}
 	var delta float64
 	if n.axis == 0 {
@@ -95,13 +98,18 @@ func (t *Tree) search(ni int, q geom.Point, best *int, bestD2 *float64) {
 	if near >= 0 {
 		t.search(near, q, best, bestD2)
 	}
-	if far >= 0 && delta*delta < *bestD2 {
+	// <= so an equal-distance point with a lower index on the far side
+	// is still visited.
+	if far >= 0 && delta*delta <= *bestD2 {
 		t.search(far, q, best, bestD2)
 	}
 }
 
 // NearestK returns the indices of the k points closest to q in
 // ascending distance order (fewer if the tree holds fewer points).
+// Exact distance ties are broken toward the lowest original index,
+// both for membership in the k-set and for the output order, matching
+// Nearest's deterministic convention.
 func (t *Tree) NearestK(q geom.Point, k int) []int {
 	if t == nil || t.root < 0 || k <= 0 {
 		return nil
@@ -118,11 +126,12 @@ func (t *Tree) NearestK(q geom.Point, k int) []int {
 func (t *Tree) searchK(ni int, q geom.Point, k int, h *maxHeap) {
 	n := &t.nodes[ni]
 	d2 := geom.Dist2(n.p, q)
+	it := heapItem{idx: n.idx, d2: d2}
 	if len(h.items) < k {
-		h.push(heapItem{idx: n.idx, d2: d2})
-	} else if d2 < h.items[0].d2 {
+		h.push(it)
+	} else if it.less(h.items[0]) {
 		h.pop()
-		h.push(heapItem{idx: n.idx, d2: d2})
+		h.push(it)
 	}
 	var delta float64
 	if n.axis == 0 {
@@ -137,7 +146,9 @@ func (t *Tree) searchK(ni int, q geom.Point, k int, h *maxHeap) {
 	if near >= 0 {
 		t.searchK(near, q, k, h)
 	}
-	if far >= 0 && (len(h.items) < k || delta*delta < h.items[0].d2) {
+	// <= so equal-distance points with lower indices on the far side
+	// can still displace the current worst tie.
+	if far >= 0 && (len(h.items) < k || delta*delta <= h.items[0].d2) {
 		t.searchK(far, q, k, h)
 	}
 }
@@ -181,7 +192,17 @@ type heapItem struct {
 	d2  float64
 }
 
-// maxHeap is a small hand-rolled max-heap on squared distance, used by
+// less orders items lexicographically on (d2, idx): among equal
+// distances the lower index counts as closer, which is what makes the
+// k-set and its output order deterministic.
+func (a heapItem) less(b heapItem) bool {
+	if a.d2 != b.d2 {
+		return a.d2 < b.d2
+	}
+	return a.idx < b.idx
+}
+
+// maxHeap is a small hand-rolled max-heap on (d2, idx) order, used by
 // NearestK (container/heap would allocate an interface per op).
 type maxHeap struct {
 	items []heapItem
@@ -192,7 +213,7 @@ func (h *maxHeap) push(it heapItem) {
 	i := len(h.items) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.items[parent].d2 >= h.items[i].d2 {
+		if !h.items[parent].less(h.items[i]) {
 			break
 		}
 		h.items[parent], h.items[i] = h.items[i], h.items[parent]
@@ -209,10 +230,10 @@ func (h *maxHeap) pop() heapItem {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < last && h.items[l].d2 > h.items[largest].d2 {
+		if l < last && h.items[largest].less(h.items[l]) {
 			largest = l
 		}
-		if r < last && h.items[r].d2 > h.items[largest].d2 {
+		if r < last && h.items[largest].less(h.items[r]) {
 			largest = r
 		}
 		if largest == i {

@@ -155,11 +155,87 @@ func TestDuplicatePoints(t *testing.T) {
 	pts := []geom.Point{geom.Pt(1, 1), geom.Pt(1, 1), geom.Pt(2, 2)}
 	tree := New(pts)
 	idx, d, ok := tree.Nearest(geom.Pt(1, 1))
-	if !ok || d != 0 || (idx != 0 && idx != 1) {
-		t.Errorf("idx=%d d=%v ok=%v", idx, d, ok)
+	if !ok || d != 0 || idx != 0 {
+		t.Errorf("idx=%d d=%v ok=%v, want lowest-index duplicate 0", idx, d, ok)
 	}
 	got := tree.InRange(geom.Pt(1, 1), 0.5)
 	if len(got) != 2 {
 		t.Errorf("InRange = %v, want both duplicates", got)
+	}
+}
+
+// TestNearestTieBreakSymmetric puts four stations on a symmetric cross
+// and queries Voronoi cell-boundary points that are exactly equidistant
+// from two or four stations. The tie must resolve to the lowest
+// original index — the convention Network.HeardBy uses — for every
+// input ordering of the stations.
+func TestNearestTieBreakSymmetric(t *testing.T) {
+	cross := []geom.Point{geom.Pt(1, 0), geom.Pt(-1, 0), geom.Pt(0, 1), geom.Pt(0, -1)}
+	queries := []geom.Point{
+		geom.Pt(0, 0),        // center: equidistant from all four
+		geom.Pt(0.5, 0.5),    // bisector of stations at (1,0) and (0,1)
+		geom.Pt(-0.5, -0.5),  // bisector of (-1,0) and (0,-1)
+		geom.Pt(0.25, -0.25), // bisector of (1,0) and (0,-1)
+	}
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}}
+	for _, perm := range perms {
+		pts := make([]geom.Point, len(perm))
+		for i, j := range perm {
+			pts[i] = cross[j]
+		}
+		tree := New(pts)
+		for _, q := range queries {
+			gotIdx, gotD, ok := tree.Nearest(q)
+			if !ok {
+				t.Fatal("expected ok")
+			}
+			// Reference: linear scan with lowest-index tie-break.
+			wantIdx, wantD2 := -1, math.Inf(1)
+			for i, p := range pts {
+				if d2 := geom.Dist2(p, q); d2 < wantD2 {
+					wantIdx, wantD2 = i, d2
+				}
+			}
+			if gotIdx != wantIdx || math.Abs(gotD*gotD-wantD2) > 1e-12 {
+				t.Errorf("perm %v query %v: Nearest = %d (d=%v), want %d",
+					perm, q, gotIdx, gotD, wantIdx)
+			}
+		}
+	}
+}
+
+// TestNearestKTieBreak checks that NearestK's k-set membership and
+// output order are deterministic under exact ties: ascending (d2, idx).
+func TestNearestKTieBreak(t *testing.T) {
+	// Four corners of a square (all equidistant from the center) plus
+	// duplicates and one far point.
+	pts := []geom.Point{
+		geom.Pt(1, 1), geom.Pt(-1, 1), geom.Pt(1, -1), geom.Pt(-1, -1),
+		geom.Pt(1, 1), geom.Pt(-1, -1), geom.Pt(9, 9),
+	}
+	tree := New(pts)
+	q := geom.Pt(0, 0)
+	for k := 1; k <= len(pts); k++ {
+		got := tree.NearestK(q, k)
+		// Reference order: sort indices by (d2, idx).
+		idxs := make([]int, len(pts))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		sort.Slice(idxs, func(a, b int) bool {
+			da, db := geom.Dist2(pts[idxs[a]], q), geom.Dist2(pts[idxs[b]], q)
+			if da != db {
+				return da < db
+			}
+			return idxs[a] < idxs[b]
+		})
+		if len(got) != k {
+			t.Fatalf("k=%d: got %d results", k, len(got))
+		}
+		for i := 0; i < k; i++ {
+			if got[i] != idxs[i] {
+				t.Fatalf("k=%d: got %v, want prefix of %v", k, got, idxs[:k])
+			}
+		}
 	}
 }

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// benchServer boots a test server with one registered 64-station
+// network and a warmed locator, so the benchmarks measure serving, not
+// the one-time build.
+func benchServer(b *testing.B, eps float64) (*httptest.Server, []geom.Point) {
+	b.Helper()
+	gen := workload.NewGenerator(1)
+	box := geom.NewBox(geom.Pt(-5, -5), geom.Pt(5, 5))
+	stations, err := gen.UniformSeparated(64, box, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv)
+	b.Cleanup(ts.Close)
+
+	reg := NetworkRequest{Name: "bench", Noise: 0.01, Beta: 3}
+	reg.Stations = make([]PointJSON, len(stations))
+	for i, s := range stations {
+		reg.Stations[i] = PointJSON{X: s.X, Y: s.Y}
+	}
+	body, _ := json.Marshal(reg)
+	resp, err := ts.Client().Post(ts.URL+"/v1/networks", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Warm the locator cache.
+	warm, _ := json.Marshal(LocateRequest{Network: "bench", Eps: eps, Points: []PointJSON{{}}})
+	resp, err = ts.Client().Post(ts.URL+"/v1/locate", "application/json", bytes.NewReader(warm))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	return ts, gen.QueryPoints(4096, box)
+}
+
+// BenchmarkServeLocateBatch measures end-to-end served batch locate
+// throughput (HTTP + JSON + sharded exact batch query); one iteration
+// is one 1024-point batch.
+func BenchmarkServeLocateBatch(b *testing.B) {
+	const eps = 0.1
+	ts, pts := benchServer(b, eps)
+	req := LocateRequest{Network: "bench", Eps: eps}
+	req.Points = make([]PointJSON, 1024)
+	for i := range req.Points {
+		p := pts[i%len(pts)]
+		req.Points[i] = PointJSON{X: p.X, Y: p.Y}
+	}
+	body, _ := json.Marshal(req)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := ts.Client().Post(ts.URL+"/v1/locate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %s", resp.Status)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	b.SetBytes(1024)
+	b.ReportMetric(float64(b.N)*1024/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkServeLocateStream measures NDJSON streaming throughput; one
+// iteration streams 1024 points through /v1/locate/stream.
+func BenchmarkServeLocateStream(b *testing.B) {
+	const eps = 0.1
+	ts, pts := benchServer(b, eps)
+	var lines bytes.Buffer
+	for i := 0; i < 1024; i++ {
+		p := pts[i%len(pts)]
+		fmt.Fprintf(&lines, "{\"x\":%g,\"y\":%g}\n", p.X, p.Y)
+	}
+	payload := lines.Bytes()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := ts.Client().Post(ts.URL+"/v1/locate/stream?network=bench&eps=0.1",
+			"application/x-ndjson", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %s", resp.Status)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	b.ReportMetric(float64(b.N)*1024/b.Elapsed().Seconds(), "queries/s")
+}

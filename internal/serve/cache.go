@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// cacheKey identifies one locator build: a network name at a specific
+// registration version, with a specific performance parameter.
+type cacheKey struct {
+	name    string
+	version uint64
+	eps     float64
+}
+
+// cacheEntry is one cached (possibly still building) locator. ready is
+// closed when loc/err are final; done mirrors the close under the
+// cache mutex so eviction can skip in-flight builds without waiting.
+type cacheEntry struct {
+	key   cacheKey
+	ready chan struct{}
+	done  bool
+	loc   *core.Locator
+	err   error
+}
+
+// locatorCache is a single-flight LRU cache of Theorem 3 locators.
+// Concurrent get calls for the same key share one build: the first
+// caller builds while the rest wait on the entry's ready channel.
+// Completed entries beyond cap are evicted least-recently-used;
+// in-flight builds are never evicted, so the cache can transiently
+// exceed cap under a burst of distinct first-time keys.
+type locatorCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[cacheKey]*list.Element
+	lru     *list.List // of *cacheEntry, front = most recently used
+	builds  atomic.Int64
+}
+
+func newLocatorCache(capacity int) *locatorCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &locatorCache{
+		cap:     capacity,
+		entries: make(map[cacheKey]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// get returns the locator for key, building it with build on a miss.
+// Exactly one caller runs build per key generation; a failed build is
+// dropped from the cache so a later request retries it.
+func (c *locatorCache) get(key cacheKey, build func() (*core.Locator, error)) (*core.Locator, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		<-e.ready
+		return e.loc, e.err
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	c.entries[key] = c.lru.PushFront(e)
+	c.evictLocked()
+	c.mu.Unlock()
+
+	c.builds.Add(1)
+	loc, err := build()
+
+	c.mu.Lock()
+	e.loc, e.err, e.done = loc, err, true
+	if err != nil {
+		if el, ok := c.entries[key]; ok && el.Value.(*cacheEntry) == e {
+			c.lru.Remove(el)
+			delete(c.entries, key)
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return loc, err
+}
+
+// evictLocked removes completed least-recently-used entries until the
+// cache is within capacity. Callers hold c.mu.
+func (c *locatorCache) evictLocked() {
+	for el := c.lru.Back(); el != nil && len(c.entries) > c.cap; {
+		prev := el.Prev()
+		if e := el.Value.(*cacheEntry); e.done {
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
+		}
+		el = prev
+	}
+}
+
+// invalidate drops every completed entry for name with a version below
+// beforeVersion (stale snapshots after a hot swap). In-flight builds
+// for stale versions finish and are then aged out by the LRU.
+func (c *locatorCache) invalidate(name string, beforeVersion uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.done && e.key.name == name && e.key.version < beforeVersion {
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
+		}
+		el = next
+	}
+}
+
+// Builds returns the number of locator builds started (cache misses);
+// the handler tests use it to assert single-flight dedup.
+func (c *locatorCache) Builds() int64 { return c.builds.Load() }
+
+// Len returns the number of cached (or building) locators.
+func (c *locatorCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,40 @@
+// Package serve is the query-serving subsystem: a long-running HTTP
+// service that owns a registry of named networks, builds Theorem 3
+// locators on demand behind a single-flight LRU cache, and answers
+// point-location traffic in batches and streams.
+//
+// # Endpoints
+//
+//	POST /v1/networks       register or replace a named network
+//	GET  /v1/networks       list registered networks
+//	POST /v1/locate         JSON batch of points -> exact answers
+//	POST /v1/locate/stream  NDJSON points in -> NDJSON answers out
+//	GET  /healthz           liveness probe
+//
+// # Hot swap
+//
+// Re-registering a name atomically replaces the network snapshot and
+// bumps its version. Queries capture the snapshot once at the start of
+// a request, so in-flight batches and streams finish against the
+// locator they started with while new requests see the new network —
+// mobility updates never drop traffic. Locators are cached per
+// (network, version, eps); concurrent first requests for the same key
+// share one O(n^3/eps) build (single-flight), and the cache evicts
+// least-recently-used locators beyond its capacity, which also ages
+// out locators of replaced network versions.
+//
+// # Answer convention
+//
+// Served answers use the batch sentinel convention: "station" is the
+// index of the heard station, or NoStationHeard (-1) when no station
+// is heard — the JSON shape of core.NoStationHeard. Batch and stream
+// answers are exact (uncertainty rings are resolved by one direct SINR
+// evaluation), so they are identical to Network.HeardBy on every
+// point.
+//
+// A stream whose input contains a malformed line is truncated: the
+// answers for the points accepted so far are followed by one trailing
+// NDJSON object of the shape {"error": "..."} (the 200 status is
+// already on the wire by then). Clients should treat any line with an
+// "error" key as a truncation marker, not an answer.
+package serve

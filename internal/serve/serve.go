@@ -1,0 +1,468 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// NoStationHeard is the served sentinel for "no station heard",
+// re-exported from core so clients of the wire format and users of the
+// library see the same -1 convention.
+const NoStationHeard = core.NoStationHeard
+
+// DefaultEps is the locator performance parameter used when a request
+// does not specify one.
+const DefaultEps = 0.05
+
+// Options configures a Server.
+type Options struct {
+	// MaxLocators caps the locator cache (default 8). Each cached
+	// locator is O(n/eps) memory.
+	MaxLocators int
+	// DefaultEps is the eps used by requests that omit it (default
+	// DefaultEps).
+	DefaultEps float64
+	// Workers is the worker count for locator builds and batch
+	// queries; 0 means one per schedulable CPU.
+	Workers int
+	// MaxBatch caps the number of points accepted in one /v1/locate
+	// request (default 1<<20).
+	MaxBatch int
+	// MaxBodyBytes caps request body sizes before decoding (default
+	// 64 MiB), so oversized payloads are rejected instead of allocated.
+	MaxBodyBytes int64
+	// MinEps is the smallest client-supplied eps accepted (default
+	// 0.01). Locator builds cost O(n^3/eps) time and O(n/eps) memory,
+	// so an unbounded floor would let one request monopolize the
+	// server.
+	MinEps float64
+}
+
+// snapshot is one immutable registered generation of a network.
+// Requests capture a snapshot once and serve entirely from it, so a
+// concurrent hot swap never changes answers mid-request.
+type snapshot struct {
+	net     *core.Network
+	version uint64
+}
+
+// netEntry is a registry slot for one network name; the snapshot
+// pointer is swapped atomically on replacement.
+type netEntry struct {
+	snap atomic.Pointer[snapshot]
+}
+
+// Server owns the network registry and locator cache and implements
+// http.Handler. Create one with NewServer; it is safe for concurrent
+// use.
+type Server struct {
+	opt   Options
+	mux   *http.ServeMux
+	cache *locatorCache
+
+	mu   sync.RWMutex // guards nets map shape and version bumps
+	nets map[string]*netEntry
+}
+
+// NewServer returns a Server with the given options.
+func NewServer(opt Options) *Server {
+	if opt.MaxLocators <= 0 {
+		opt.MaxLocators = 8
+	}
+	if opt.DefaultEps <= 0 {
+		opt.DefaultEps = DefaultEps
+	}
+	if opt.MaxBatch <= 0 {
+		opt.MaxBatch = 1 << 20
+	}
+	if opt.MaxBodyBytes <= 0 {
+		opt.MaxBodyBytes = 64 << 20
+	}
+	if opt.MinEps <= 0 {
+		opt.MinEps = 0.01
+	}
+	s := &Server{
+		opt:   opt,
+		mux:   http.NewServeMux(),
+		cache: newLocatorCache(opt.MaxLocators),
+		nets:  make(map[string]*netEntry),
+	}
+	s.mux.HandleFunc("/v1/networks", s.handleNetworks)
+	s.mux.HandleFunc("/v1/locate", s.handleLocate)
+	s.mux.HandleFunc("/v1/locate/stream", s.handleLocateStream)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// LocatorBuilds returns the number of locator builds the server has
+// started — a cache-efficiency counter (and the single-flight test
+// hook).
+func (s *Server) LocatorBuilds() int64 { return s.cache.Builds() }
+
+// Wire types.
+
+// PointJSON is a point on the wire.
+type PointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// NetworkRequest is the POST /v1/networks body.
+type NetworkRequest struct {
+	Name     string      `json:"name"`
+	Stations []PointJSON `json:"stations"`
+	Noise    float64     `json:"noise"`
+	Beta     float64     `json:"beta"`
+	Powers   []float64   `json:"powers,omitempty"`
+	Alpha    float64     `json:"alpha,omitempty"`
+}
+
+// NetworkResponse acknowledges a registration.
+type NetworkResponse struct {
+	Name     string `json:"name"`
+	Version  uint64 `json:"version"`
+	Stations int    `json:"stations"`
+}
+
+// LocateRequest is the POST /v1/locate body.
+type LocateRequest struct {
+	Network string      `json:"network"`
+	Eps     float64     `json:"eps,omitempty"`
+	Points  []PointJSON `json:"points"`
+}
+
+// LocateResult is one answer: Kind is "H+" or "H-" (uncertainty rings
+// are resolved server-side) and Station is the heard station index or
+// NoStationHeard.
+type LocateResult struct {
+	Kind    string `json:"kind"`
+	Station int    `json:"station"`
+}
+
+// LocateResponse is the POST /v1/locate reply.
+type LocateResponse struct {
+	Network string         `json:"network"`
+	Version uint64         `json:"version"`
+	Eps     float64        `json:"eps"`
+	Results []LocateResult `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON request body capped at limit bytes,
+// reporting whether the caller can proceed; on failure the error
+// response (400, or 413 for an oversized body) has been written.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// handleNetworks serves POST (register/replace) and GET (list).
+func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.registerNetwork(w, r)
+	case http.MethodGet:
+		s.listNetworks(w)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+func (s *Server) registerNetwork(w http.ResponseWriter, r *http.Request) {
+	var req NetworkRequest
+	if !decodeBody(w, r, s.opt.MaxBodyBytes, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "network name is required")
+		return
+	}
+	stations := make([]geom.Point, len(req.Stations))
+	for i, p := range req.Stations {
+		stations[i] = geom.Pt(p.X, p.Y)
+	}
+	var opts []core.Option
+	if req.Powers != nil {
+		opts = append(opts, core.WithPowers(req.Powers))
+	}
+	if req.Alpha != 0 {
+		opts = append(opts, core.WithAlpha(req.Alpha))
+	}
+	net, err := core.NewNetwork(stations, req.Noise, req.Beta, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid network: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	entry, ok := s.nets[req.Name]
+	if !ok {
+		entry = &netEntry{}
+		s.nets[req.Name] = entry
+	}
+	version := uint64(1)
+	if old := entry.snap.Load(); old != nil {
+		version = old.version + 1
+	}
+	// The swap is atomic: requests that loaded the old snapshot keep
+	// serving from it; every later request sees the new generation.
+	entry.snap.Store(&snapshot{net: net, version: version})
+	s.mu.Unlock()
+
+	// Age out locators of replaced generations.
+	s.cache.invalidate(req.Name, version)
+
+	writeJSON(w, http.StatusOK, NetworkResponse{
+		Name: req.Name, Version: version, Stations: net.NumStations(),
+	})
+}
+
+func (s *Server) listNetworks(w http.ResponseWriter) {
+	s.mu.RLock()
+	out := make([]NetworkResponse, 0, len(s.nets))
+	for name, entry := range s.nets {
+		if snap := entry.snap.Load(); snap != nil {
+			out = append(out, NetworkResponse{
+				Name: name, Version: snap.version, Stations: snap.net.NumStations(),
+			})
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// errUnknownNetwork distinguishes 404s from build failures.
+var errUnknownNetwork = errors.New("serve: unknown network")
+
+// errEpsTooSmall rejects eps below the server's floor before a build
+// can start.
+var errEpsTooSmall = errors.New("serve: eps below server minimum")
+
+// locatorFor captures the current snapshot of name and returns its
+// locator for eps, building (or joining an in-flight single-flight
+// build) on a cache miss.
+func (s *Server) locatorFor(name string, eps float64) (*snapshot, *core.Locator, error) {
+	if eps < s.opt.MinEps {
+		return nil, nil, fmt.Errorf("%w (eps %g < %g)", errEpsTooSmall, eps, s.opt.MinEps)
+	}
+	s.mu.RLock()
+	entry, ok := s.nets[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, nil, errUnknownNetwork
+	}
+	snap := entry.snap.Load()
+	if snap == nil {
+		return nil, nil, errUnknownNetwork
+	}
+	loc, err := s.cache.get(cacheKey{name: name, version: snap.version, eps: eps}, func() (*core.Locator, error) {
+		return snap.net.BuildLocatorOpts(eps, core.BuildOptions{Workers: s.opt.Workers})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap, loc, nil
+}
+
+func locateStatus(err error) int {
+	if errors.Is(err, errUnknownNetwork) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+// resultFor converts an exact Location to the wire shape.
+func resultFor(loc core.Location) LocateResult {
+	if loc.Kind == core.Reception {
+		return LocateResult{Kind: core.Reception.String(), Station: loc.Station}
+	}
+	return LocateResult{Kind: core.NoReception.String(), Station: NoStationHeard}
+}
+
+func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req LocateRequest
+	if !decodeBody(w, r, s.opt.MaxBodyBytes, &req) {
+		return
+	}
+	if len(req.Points) > s.opt.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d points exceeds limit %d", len(req.Points), s.opt.MaxBatch)
+		return
+	}
+	eps := req.Eps
+	if eps == 0 {
+		eps = s.opt.DefaultEps
+	}
+	snap, loc, err := s.locatorFor(req.Network, eps)
+	if err != nil {
+		writeError(w, locateStatus(err), "%v", err)
+		return
+	}
+	pts := make([]geom.Point, len(req.Points))
+	for i, p := range req.Points {
+		pts[i] = geom.Pt(p.X, p.Y)
+	}
+	answers := loc.LocateExactBatchOpts(pts, core.BatchOptions{Workers: s.opt.Workers})
+	results := make([]LocateResult, len(answers))
+	for i, a := range answers {
+		results[i] = resultFor(a)
+	}
+	writeJSON(w, http.StatusOK, LocateResponse{
+		Network: req.Network, Version: snap.version, Eps: eps, Results: results,
+	})
+}
+
+// handleLocateStream answers NDJSON point lines with NDJSON result
+// lines over Locator.LocateStream. The request context cancels the
+// pipeline, so a client disconnect tears the stream down cleanly.
+func (s *Server) handleLocateStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	name := r.URL.Query().Get("network")
+	eps := s.opt.DefaultEps
+	if v := r.URL.Query().Get("eps"); v != "" {
+		parsed, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad eps %q", v)
+			return
+		}
+		eps = parsed
+	}
+	snap, loc, err := s.locatorFor(name, eps)
+	if err != nil {
+		writeError(w, locateStatus(err), "%v", err)
+		return
+	}
+
+	// The stream interleaves reads of the request body with response
+	// writes; HTTP/1.x servers sever the body on the first write unless
+	// full-duplex is enabled (HTTP/2 is duplex natively and may report
+	// an error here, which is fine to ignore).
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+
+	ctx := r.Context()
+	in := make(chan geom.Point)
+	// echo carries each accepted input point to the writer so that H?
+	// stream answers can be resolved exactly against the snapshot. The
+	// pipeline preserves order, so echo and the output channel stay in
+	// lockstep; capacity only bounds reader run-ahead.
+	echo := make(chan geom.Point, 1024)
+	out := loc.LocateStreamOpts(ctx, in, core.BatchOptions{Workers: s.opt.Workers})
+
+	// readErr carries a malformed-line error from the reader to the
+	// writer, which reports it as a trailing NDJSON error object after
+	// the accepted points drain — a 200 status is already on the wire,
+	// so the error line is what tells the client the stream was
+	// truncated rather than complete.
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(in)
+		defer close(echo)
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var p PointJSON
+			if err := json.Unmarshal(line, &p); err != nil {
+				readErr <- fmt.Errorf("bad point line: %v", err)
+				return
+			}
+			pt := geom.Pt(p.X, p.Y)
+			select {
+			case <-ctx.Done():
+				return
+			case echo <- pt:
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case in <- pt:
+			}
+		}
+		if err := sc.Err(); err != nil {
+			readErr <- fmt.Errorf("reading stream: %v", err)
+		}
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	const flushEvery = 256
+	n := 0
+	for a := range out {
+		p := <-echo
+		if a.Kind == core.Uncertain {
+			// Resolve the uncertainty ring exactly, as LocateExact does.
+			if snap.net.Heard(a.Station, p) {
+				a = core.Location{Kind: core.Reception, Station: a.Station}
+			} else {
+				a = core.Location{Kind: core.NoReception}
+			}
+		}
+		if err := enc.Encode(resultFor(a)); err != nil {
+			return // client went away; ctx cancellation stops the pipeline
+		}
+		// Flush on batch boundaries and whenever no answer is
+		// immediately pending, so a request/response-lockstep client
+		// sees each answer without waiting for the 4K response buffer
+		// to fill (mirroring LocateStream's trickle-flush design).
+		if n++; n%flushEvery == 0 || len(out) == 0 {
+			_ = rc.Flush()
+		}
+	}
+	select {
+	case err := <-readErr:
+		_ = enc.Encode(errorResponse{Error: err.Error()})
+	default:
+	}
+	_ = rc.Flush()
+}

@@ -19,14 +19,21 @@ func NewGenerator(seed int64) *Generator {
 	return &Generator{rng: rand.New(rand.NewSource(seed))}
 }
 
+// uniformPoint draws one point uniformly at random from box; every
+// uniform draw in this package goes through it so the sampling
+// convention lives in one place.
+func (g *Generator) uniformPoint(box geom.Box) geom.Point {
+	return geom.Pt(
+		box.Min.X+g.rng.Float64()*box.Width(),
+		box.Min.Y+g.rng.Float64()*box.Height(),
+	)
+}
+
 // UniformInBox returns n stations drawn uniformly at random from box.
 func (g *Generator) UniformInBox(n int, box geom.Box) []geom.Point {
 	pts := make([]geom.Point, n)
 	for i := range pts {
-		pts[i] = geom.Pt(
-			box.Min.X+g.rng.Float64()*box.Width(),
-			box.Min.Y+g.rng.Float64()*box.Height(),
-		)
+		pts[i] = g.uniformPoint(box)
 	}
 	return pts
 }
@@ -41,10 +48,7 @@ func (g *Generator) UniformSeparated(n int, box geom.Box, minSep float64) ([]geo
 	for len(pts) < n {
 		placed := false
 		for try := 0; try < maxTries; try++ {
-			cand := geom.Pt(
-				box.Min.X+g.rng.Float64()*box.Width(),
-				box.Min.Y+g.rng.Float64()*box.Height(),
-			)
+			cand := g.uniformPoint(box)
 			ok := true
 			for _, p := range pts {
 				if geom.Dist(p, cand) < minSep {
@@ -132,6 +136,88 @@ func Lattice(rows, cols int, origin geom.Point, spacing float64) []geom.Point {
 // benchmarks).
 func (g *Generator) QueryPoints(n int, box geom.Box) []geom.Point {
 	return g.UniformInBox(n, box)
+}
+
+// HotspotPoints returns n query points modelling skewed user traffic:
+// roughly frac of them are Gaussian-distributed (stddev) around
+// nCenters hotspot centers drawn uniformly in box, the rest uniform in
+// box. Points falling outside box are clamped to its edge, so every
+// query stays in the service area.
+func (g *Generator) HotspotPoints(n int, box geom.Box, nCenters int, frac, stddev float64) []geom.Point {
+	if nCenters < 1 {
+		nCenters = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	centers := g.UniformInBox(nCenters, box)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		if g.rng.Float64() < frac {
+			c := centers[g.rng.Intn(nCenters)]
+			pts[i] = clampToBox(geom.Pt(
+				c.X+g.rng.NormFloat64()*stddev,
+				c.Y+g.rng.NormFloat64()*stddev,
+			), box)
+		} else {
+			pts[i] = g.uniformPoint(box)
+		}
+	}
+	return pts
+}
+
+// MobilityTrace simulates `walkers` independent random-waypoint users
+// taking `steps` steps each inside box: every walker starts uniform in
+// box, picks a uniform waypoint, moves toward it at the given speed
+// (distance per step), and picks a new waypoint on arrival. The
+// returned positions are time-ordered and step-major — all walkers'
+// step-0 positions, then step-1, and so on; len = walkers * steps —
+// so replaying the slice against a server reproduces the temporal
+// locality of user mobility. Invalid parameters (non-positive counts,
+// or a speed that is not a positive finite number) return nil.
+func (g *Generator) MobilityTrace(walkers, steps int, box geom.Box, speed float64) []geom.Point {
+	if walkers < 1 || steps < 1 || !(speed > 0) || math.IsInf(speed, 1) {
+		return nil
+	}
+	pos := g.UniformInBox(walkers, box)
+	dst := g.UniformInBox(walkers, box)
+	out := make([]geom.Point, 0, walkers*steps)
+	for s := 0; s < steps; s++ {
+		for w := 0; w < walkers; w++ {
+			out = append(out, pos[w])
+			d := geom.Dist(pos[w], dst[w])
+			if d <= speed {
+				pos[w] = dst[w]
+				dst[w] = g.uniformPoint(box)
+				continue
+			}
+			pos[w] = geom.Pt(
+				pos[w].X+(dst[w].X-pos[w].X)/d*speed,
+				pos[w].Y+(dst[w].Y-pos[w].Y)/d*speed,
+			)
+		}
+	}
+	return out
+}
+
+// clampToBox projects p onto box.
+func clampToBox(p geom.Point, box geom.Box) geom.Point {
+	if p.X < box.Min.X {
+		p.X = box.Min.X
+	}
+	if p.X > box.Max.X {
+		p.X = box.Max.X
+	}
+	if p.Y < box.Min.Y {
+		p.Y = box.Min.Y
+	}
+	if p.Y > box.Max.Y {
+		p.Y = box.Max.Y
+	}
+	return p
 }
 
 // Float64 exposes the underlying RNG's uniform [0, 1) draw, so that

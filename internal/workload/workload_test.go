@@ -166,3 +166,89 @@ func TestAuxiliaryDraws(t *testing.T) {
 		t.Errorf("QueryPoints len = %d", len(q))
 	}
 }
+
+func TestHotspotPoints(t *testing.T) {
+	box := geom.NewBox(geom.Pt(0, 0), geom.Pt(10, 10))
+	g := NewGenerator(7)
+	pts := g.HotspotPoints(2000, box, 3, 0.8, 0.2)
+	if len(pts) != 2000 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if !box.Contains(p) {
+			t.Fatalf("hotspot point %v outside %v", p, box)
+		}
+	}
+	// Skew sanity: with 80% of traffic in tight hotspots, the average
+	// nearest-neighbor clustering must be far from uniform. Cheap proxy:
+	// a large fraction of points must fall within 3 sigma of one of a
+	// re-generated center set is not reproducible, so instead check that
+	// some 1x1 cell of a 10x10 grid holds far more than the uniform
+	// share of points.
+	var grid [10][10]int
+	for _, p := range pts {
+		x, y := int(p.X), int(p.Y)
+		if x > 9 {
+			x = 9
+		}
+		if y > 9 {
+			y = 9
+		}
+		grid[x][y]++
+	}
+	max := 0
+	for x := range grid {
+		for y := range grid[x] {
+			if grid[x][y] > max {
+				max = grid[x][y]
+			}
+		}
+	}
+	if max < 3*len(pts)/100 { // uniform share is 1% per cell
+		t.Errorf("max cell holds %d of %d points; expected strong hotspot skew", max, len(pts))
+	}
+	// Determinism by seed.
+	pts2 := NewGenerator(7).HotspotPoints(2000, box, 3, 0.8, 0.2)
+	for i := range pts {
+		if pts[i] != pts2[i] {
+			t.Fatalf("hotspot points not reproducible at %d", i)
+		}
+	}
+}
+
+func TestMobilityTrace(t *testing.T) {
+	box := geom.NewBox(geom.Pt(0, 0), geom.Pt(10, 10))
+	g := NewGenerator(11)
+	const walkers, steps, speed = 5, 40, 0.3
+	trace := g.MobilityTrace(walkers, steps, box, speed)
+	if len(trace) != walkers*steps {
+		t.Fatalf("len = %d, want %d", len(trace), walkers*steps)
+	}
+	for _, p := range trace {
+		if !box.Contains(p) {
+			t.Fatalf("trace point %v outside %v", p, box)
+		}
+	}
+	// Temporal locality: each walker moves at most speed per step
+	// (waypoint arrivals can move less). Walker w's step-s position sits
+	// at trace[s*walkers+w].
+	for w := 0; w < walkers; w++ {
+		for s := 1; s < steps; s++ {
+			a := trace[(s-1)*walkers+w]
+			b := trace[s*walkers+w]
+			if d := geom.Dist(a, b); d > speed+1e-12 {
+				t.Fatalf("walker %d step %d jumped %v > speed %v", w, s, d, speed)
+			}
+		}
+	}
+	if g.MobilityTrace(0, 10, box, 1) != nil {
+		t.Error("zero walkers should return nil")
+	}
+	if g.MobilityTrace(2, 10, box, 0) != nil || g.MobilityTrace(2, 10, box, -1) != nil ||
+		g.MobilityTrace(2, 10, box, math.NaN()) != nil || g.MobilityTrace(2, 10, box, math.Inf(1)) != nil {
+		t.Error("invalid speed should return nil")
+	}
+	if math.IsNaN(trace[len(trace)-1].X) {
+		t.Error("NaN in trace")
+	}
+}

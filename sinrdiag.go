@@ -26,7 +26,27 @@
 // per CPU (tune with BuildLocatorOpts), and query traffic can be
 // answered in bulk with LocateBatch / HeardByBatch or streamed through
 // LocateStream; every concurrent path returns answers identical to the
-// serial one.
+// serial one. For serving query traffic as a long-running process, the
+// sinrserve binary (internal/serve) exposes the same engine over HTTP
+// with named-network registration, atomic hot swap and a single-flight
+// locator cache.
+//
+// # The no-station answer, in both shapes
+//
+// "No station is heard at p" surfaces in two equivalent shapes,
+// depending on the API's return style:
+//
+//   - Single-point comma-ok APIs — Network.HeardBy, Locator.HeardBy —
+//     return (0, false). The index is meaningless when ok is false;
+//     always branch on ok, never on the index.
+//   - Batch, raster and serving APIs — HeardByBatch, HeardByBatchInto,
+//     raster pixels, the sinrserve wire format — have no second return
+//     per element, so they write the sentinel index NoStationHeard (-1)
+//     instead. Any index >= 0 in a batch answer is a heard station.
+//
+// The two are interconvertible: comma-ok (i, true) corresponds to
+// batch answer i, and (_, false) to NoStationHeard. Batch answers never
+// use (0, false)'s ambiguous zero, so -1 is safe to compare directly.
 //
 // The facade re-exports the library's core types; the full API
 // (geometry kit, polynomial/Sturm machinery, Voronoi diagrams, UDG
@@ -114,8 +134,10 @@ const (
 const DefaultAlpha = core.DefaultAlpha
 
 // NoStationHeard is the sentinel index the batch primitives
-// (Network.HeardByBatch, Locator.HeardByBatchInto) report for points
-// where no station is heard.
+// (Network.HeardByBatch, Locator.HeardByBatchInto) and the serving
+// wire format report for points where no station is heard. It is the
+// batch-shaped equivalent of the comma-ok (0, false) answer of
+// Network.HeardBy — see the package comment for the mapping.
 const NoStationHeard = core.NoStationHeard
 
 // DefaultWorkers is the worker count used when a BuildOptions or
