@@ -6,11 +6,17 @@
 // Usage:
 //
 //	sinrbench [-trials N] [-only E7] [-parallel W]
+//	          [-resolver exact|locator|voronoi|udg|all]
+//	          [-resolvers-out BENCH_resolvers.json]
 //
 // -trials scales the randomized validations (default 5); -only runs a
 // single experiment by id; -parallel sets the worker count for the
 // concurrency-layer experiments (0, the default, means one worker per
-// CPU; 1 forces the serial code paths).
+// CPU; 1 forces the serial code paths). -resolver restricts the E17
+// cross-backend comparison to one query backend (default all four)
+// and -resolvers-out is where E17 writes its BENCH_resolvers.json
+// artifact (qps/latency/disagreement per workload x backend; empty
+// disables the file).
 package main
 
 import (
@@ -26,17 +32,19 @@ func main() {
 	trials := flag.Int("trials", 5, "trials per randomized validation cell")
 	only := flag.String("only", "", "run only the experiment with this id (e.g. E7)")
 	parallel := flag.Int("parallel", 0, "workers for concurrency-layer experiments (0 = NumCPU, 1 = serial)")
+	resolver := flag.String("resolver", "all", "restrict the E17 cross-backend comparison to one backend (exact, locator, voronoi, udg or all)")
+	resolversOut := flag.String("resolvers-out", "BENCH_resolvers.json", "path E17 writes its JSON artifact to (empty = no file)")
 	flag.Parse()
 
-	if err := run(*trials, *only, *parallel); err != nil {
+	if err := run(*trials, *only, *parallel, *resolver, *resolversOut); err != nil {
 		fmt.Fprintln(os.Stderr, "sinrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(trials int, only string, workers int) error {
+func run(trials int, only string, workers int, resolver, resolversOut string) error {
 	failed, ran := 0, 0
-	for _, e := range exp.RegistryWorkers(trials, workers) {
+	for _, e := range exp.RegistryResolvers(trials, workers, resolver, resolversOut) {
 		if only != "" && !strings.EqualFold(e.ID, only) {
 			continue
 		}

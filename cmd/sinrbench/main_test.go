@@ -1,17 +1,20 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 // TestRunSingleExperiment smoke-tests the CLI path on the cheapest
 // experiment (E1): selection by id, table printing, error plumbing.
 func TestRunSingleExperiment(t *testing.T) {
-	if err := run(1, "E1", 0); err != nil {
+	if err := run(1, "E1", 0, "all", ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunCaseInsensitiveSelector(t *testing.T) {
-	if err := run(1, "e2", 1); err != nil {
+	if err := run(1, "e2", 1, "all", ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -19,13 +22,31 @@ func TestRunCaseInsensitiveSelector(t *testing.T) {
 // TestRunParallelExperiment smoke-tests the concurrency-layer
 // experiment (E16) through the -parallel plumbing, serial workers.
 func TestRunParallelExperiment(t *testing.T) {
-	if err := run(1, "E16", 1); err != nil {
+	if err := run(1, "E16", 1, "all", ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if err := run(1, "E99", 0); err == nil {
+	if err := run(1, "E99", 0, "all", ""); err == nil {
 		t.Fatal("unknown experiment id must fail")
+	}
+}
+
+// TestRunResolverComparison smoke-tests the E17 resolver axis: a
+// single-backend run plus the JSON artifact emission.
+func TestRunResolverComparison(t *testing.T) {
+	out := t.TempDir() + "/BENCH_resolvers.json"
+	if err := run(1, "E17", 1, "all", out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("BENCH_resolvers.json not written: %v", err)
+	}
+	if err := run(1, "E17", 1, "voronoi", ""); err != nil {
+		t.Fatalf("single-backend run: %v", err)
+	}
+	if err := run(1, "E17", 1, "psychic", ""); err == nil {
+		t.Fatal("unknown backend must fail")
 	}
 }

@@ -2,28 +2,35 @@
 // running sinrserve instance and reports throughput and latency
 // percentiles. It generates a network locally, registers it with the
 // server, fires /v1/locate batches from concurrent clients, and can
-// verify every served answer byte-identically against a direct
-// Network.HeardBy evaluation and hot-swap the network mid-run to prove
+// verify every served answer byte-identically against a locally built
+// resolver of the same kind and hot-swap the network mid-run to prove
 // replacement drops no traffic.
 //
 // Usage:
 //
 //	sinrload -addr http://127.0.0.1:8080 [-network load] [-n 64]
 //	         [-queries 200000] [-batch 512] [-concurrency 8]
-//	         [-workload uniform|hotspot|mobility] [-eps 0.05]
-//	         [-noise 0.01] [-beta 3] [-seed 1]
+//	         [-workload uniform|hotspot|mobility]
+//	         [-resolver exact|locator|voronoi|udg] [-eps 0.05]
+//	         [-radius 0] [-noise 0.01] [-beta 3] [-seed 1]
 //	         [-swap-every 0] [-verify]
 //
-// -swap-every K re-registers the network (bumping its version and
-// forcing a locator rebuild + atomic hot swap) after every K batches;
-// station locations are unchanged, so served answers must stay
-// identical while the swap happens under load. -verify recomputes all
-// answers locally and exits non-zero on any mismatch, so the command
-// doubles as an end-to-end correctness check in CI.
+// -resolver selects the serving backend per request, turning every
+// workload into a cross-backend comparison scenario; -radius sets the
+// UDG connectivity radius (0 derives it from the network, identically
+// on client and server). -swap-every K re-registers the network
+// (bumping its version and forcing a resolver rebuild + atomic hot
+// swap) after every K batches; station locations are unchanged, so
+// served answers must stay identical while the swap happens under
+// load. -verify recomputes all answers locally through the same
+// backend kind and exits non-zero on any mismatch, so the command
+// doubles as an end-to-end correctness check in CI (the serve-smoke
+// matrix runs it once per backend).
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,6 +44,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/resolve"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
@@ -49,7 +57,9 @@ func main() {
 	batch := flag.Int("batch", 512, "points per /v1/locate request")
 	concurrency := flag.Int("concurrency", 8, "concurrent client goroutines")
 	wl := flag.String("workload", "uniform", "query workload: uniform, hotspot or mobility")
-	eps := flag.Float64("eps", serve.DefaultEps, "locator performance parameter")
+	resolver := flag.String("resolver", "locator", "serving backend: exact, locator, voronoi or udg")
+	eps := flag.Float64("eps", serve.DefaultEps, "locator performance parameter (locator backend only)")
+	radius := flag.Float64("radius", 0, "UDG connectivity radius (udg backend only; 0 = derived from the network)")
 	noise := flag.Float64("noise", 0.01, "background noise")
 	beta := flag.Float64("beta", 3, "reception threshold")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -57,13 +67,13 @@ func main() {
 	verify := flag.Bool("verify", false, "verify every served answer against direct HeardBy evaluation")
 	flag.Parse()
 
-	if err := run(*addr, *name, *n, *queries, *batch, *concurrency, *wl, *eps, *noise, *beta, *seed, *swapEvery, *verify); err != nil {
+	if err := run(*addr, *name, *n, *queries, *batch, *concurrency, *wl, *resolver, *eps, *radius, *noise, *beta, *seed, *swapEvery, *verify); err != nil {
 		fmt.Fprintln(os.Stderr, "sinrload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, name string, n, queries, batchSize, concurrency int, wl string, eps, noise, beta float64, seed int64, swapEvery int, verify bool) error {
+func run(addr, name string, n, queries, batchSize, concurrency int, wl, resolver string, eps, radius, noise, beta float64, seed int64, swapEvery int, verify bool) error {
 	if n < 1 || queries < 1 || batchSize < 1 || concurrency < 1 {
 		return fmt.Errorf("-n, -queries, -batch and -concurrency must all be >= 1 (got %d, %d, %d, %d)",
 			n, queries, batchSize, concurrency)
@@ -75,6 +85,10 @@ func run(addr, name string, n, queries, batchSize, concurrency int, wl string, e
 		return err
 	}
 	net, err := core.NewUniform(stations, noise, beta)
+	if err != nil {
+		return err
+	}
+	kind, err := resolve.ParseKind(resolver)
 	if err != nil {
 		return err
 	}
@@ -99,8 +113,8 @@ func run(addr, name string, n, queries, batchSize, concurrency int, wl string, e
 	if err := register(client, addr, reg); err != nil {
 		return fmt.Errorf("registering network: %w", err)
 	}
-	fmt.Printf("registered %q: %d stations, workload=%s, %d queries in batches of %d over %d clients\n",
-		name, n, wl, len(points), batchSize, concurrency)
+	fmt.Printf("registered %q: %d stations, workload=%s, resolver=%s, %d queries in batches of %d over %d clients\n",
+		name, n, wl, kind, len(points), batchSize, concurrency)
 
 	numBatches := (len(points) + batchSize - 1) / batchSize
 	served := make([]int, len(points)) // station index or -1 per query
@@ -126,7 +140,7 @@ func run(addr, name string, n, queries, batchSize, concurrency int, wl string, e
 					hi = len(points)
 				}
 				t0 := time.Now()
-				results, err := locate(client, addr, name, eps, points[lo:hi])
+				results, err := locate(client, addr, name, kind.String(), eps, radius, points[lo:hi])
 				latencies[b] = time.Since(t0)
 				if err != nil {
 					failed.Add(1)
@@ -165,21 +179,35 @@ func run(addr, name string, n, queries, batchSize, concurrency int, wl string, e
 	}
 
 	if verify {
-		want := net.HeardByBatch(points)
+		// Rebuild the same backend locally: for exact, locator and
+		// voronoi this equals Network.HeardBy; for udg it is the graph
+		// model with the identical (derived or explicit) radius.
+		var vopts []resolve.Option
+		if radius > 0 {
+			vopts = append(vopts, resolve.WithRadius(radius))
+		}
+		local, err := resolve.New(kind, net, vopts...)
+		if err != nil {
+			return err
+		}
+		answers := make([]core.Location, len(points))
+		if err := local.ResolveBatch(context.Background(), points, answers); err != nil {
+			return err
+		}
 		mismatches := 0
-		for i := range want {
-			if served[i] != want[i] {
+		for i, a := range answers {
+			if want := resolve.StationIndex(a); served[i] != want {
 				if mismatches < 5 {
-					fmt.Fprintf(os.Stderr, "sinrload: mismatch at %v: served %d, direct HeardBy %d\n",
-						points[i], served[i], want[i])
+					fmt.Fprintf(os.Stderr, "sinrload: mismatch at %v: served %d, local %s backend %d\n",
+						points[i], served[i], kind, want)
 				}
 				mismatches++
 			}
 		}
 		if mismatches > 0 {
-			return fmt.Errorf("%d of %d served answers differ from direct evaluation", mismatches, len(want))
+			return fmt.Errorf("%d of %d served answers differ from the local %s backend", mismatches, len(answers), kind)
 		}
-		fmt.Printf("verified: all %d served answers identical to direct Network.HeardBy evaluation\n", len(want))
+		fmt.Printf("verified: all %d served answers identical to the local %s backend\n", len(answers), kind)
 	}
 	return nil
 }
@@ -210,8 +238,8 @@ func register(client *http.Client, addr string, req serve.NetworkRequest) error 
 	return nil
 }
 
-func locate(client *http.Client, addr, name string, eps float64, pts []geom.Point) ([]serve.LocateResult, error) {
-	req := serve.LocateRequest{Network: name, Eps: eps}
+func locate(client *http.Client, addr, name, resolver string, eps, radius float64, pts []geom.Point) ([]serve.LocateResult, error) {
+	req := serve.LocateRequest{Network: name, Resolver: resolver, Eps: eps, Radius: radius}
 	req.Points = make([]serve.PointJSON, len(pts))
 	for i, p := range pts {
 		req.Points[i] = serve.PointJSON{X: p.X, Y: p.Y}

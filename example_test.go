@@ -1,6 +1,7 @@
 package sinrdiag_test
 
 import (
+	"context"
 	"fmt"
 
 	sinrdiag "repro"
@@ -72,4 +73,34 @@ func ExampleLocator_LocateBatch() {
 	// query 1: H+
 	// query 2: H-
 	// query 3: H-
+}
+
+// ExampleNewResolver answers the same query through every backend of
+// the pluggable Resolver API: the three SINR-exact backends agree
+// point-for-point, while the graph-based UDG baseline follows its own
+// reception model — here it reports a collision (another station sits
+// inside its interference disk) where SINR still decodes station 0.
+func ExampleNewResolver() {
+	net, err := sinrdiag.NewUniform([]sinrdiag.Point{
+		{X: 0, Y: 0}, {X: 3, Y: 1}, {X: -1, Y: 2},
+	}, 0.01, 3)
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+	p := sinrdiag.Pt(0.4, 0.2)
+	for _, kind := range sinrdiag.ResolverKinds() {
+		r, err := sinrdiag.NewResolver(kind, net,
+			sinrdiag.WithEpsilon(0.1), sinrdiag.WithWorkers(1))
+		if err != nil {
+			panic(err)
+		}
+		answer := r.Resolve(ctx, p)
+		fmt.Printf("%s: station %d (%v)\n", kind, sinrdiag.StationIndex(answer), answer.Kind)
+	}
+	// Output:
+	// exact: station 0 (H+)
+	// locator: station 0 (H+)
+	// voronoi: station 0 (H+)
+	// udg: station -1 (H-)
 }

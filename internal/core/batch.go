@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/par"
@@ -97,129 +96,20 @@ func (n *Network) HeardByBatchInto(ps []geom.Point, dst []int) {
 	}
 }
 
-// streamChunk is the largest number of queued points one stream job
-// carries. Under sustained load jobs fill completely and the stream
-// amortizes scheduling over streamChunk queries; under trickle traffic
-// jobs flush as soon as the input channel runs dry, keeping latency at
-// one handoff.
-const streamChunk = 256
-
-// streamJob is one chunk of stream input moving through the pipeline.
-type streamJob struct {
-	pts  []geom.Point
-	done chan []Location
-}
-
 // LocateStream answers a live stream of point-location queries: it
 // reads points from in until the channel closes or ctx is cancelled,
 // locates them on a pool of workers, and delivers the answers on the
 // returned channel in input order, one Location per input point.
 //
-// Points are gathered into chunks of up to streamChunk: each chunk is
-// located by one worker while later chunks are still being read, so a
-// sustained stream keeps every worker busy, while a slow trickle is
-// flushed immediately (a chunk never waits for more input once the
-// reader would block). Chunk buffers are recycled through a pool, so
-// steady-state streaming allocates only the answer slices.
-//
-// The output channel is closed after the last answer, or as soon as
-// ctx is cancelled (possibly dropping in-flight answers); cancelled
-// callers need not drain it. Abandoning the stream without cancelling
-// ctx leaks the pipeline goroutines — cancel when done early.
+// The pipeline (chunking, ordered emission, cancellation, buffer
+// recycling) is par.Stream; see its documentation for the latency and
+// teardown contract. Abandoning the stream without cancelling ctx
+// leaks the pipeline goroutines — cancel when done early.
 func (l *Locator) LocateStream(ctx context.Context, in <-chan geom.Point) <-chan Location {
 	return l.LocateStreamOpts(ctx, in, BatchOptions{})
 }
 
 // LocateStreamOpts is LocateStream with an explicit worker count.
 func (l *Locator) LocateStreamOpts(ctx context.Context, in <-chan geom.Point, opt BatchOptions) <-chan Location {
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	out := make(chan Location, streamChunk)
-	jobs := make(chan streamJob, workers)    // feeds the worker pool
-	pending := make(chan streamJob, workers) // same jobs, input order, feeds the emitter
-
-	var bufPool = sync.Pool{
-		New: func() any { return make([]geom.Point, 0, streamChunk) },
-	}
-
-	// Reader: gather points into chunks, flushing on chunk-full, on a
-	// would-block read (latency), on input close, and on cancellation.
-	go func() {
-		defer close(jobs)
-		defer close(pending)
-		for {
-			// Block for the first point of the next chunk.
-			var p geom.Point
-			var ok bool
-			select {
-			case <-ctx.Done():
-				return
-			case p, ok = <-in:
-				if !ok {
-					return
-				}
-			}
-			buf := bufPool.Get().([]geom.Point)[:0]
-			buf = append(buf, p)
-			// Drain without blocking until the chunk fills.
-		fill:
-			for len(buf) < streamChunk {
-				select {
-				case p, ok = <-in:
-					if !ok {
-						break fill
-					}
-					buf = append(buf, p)
-				default:
-					break fill
-				}
-			}
-			job := streamJob{pts: buf, done: make(chan []Location, 1)}
-			select {
-			case <-ctx.Done():
-				return
-			case jobs <- job:
-			}
-			select {
-			case <-ctx.Done():
-				return
-			case pending <- job:
-			}
-			if !ok {
-				return
-			}
-		}
-	}()
-
-	// Workers: locate each chunk and hand the answers back.
-	for w := 0; w < workers; w++ {
-		go func() {
-			for job := range jobs {
-				res := make([]Location, len(job.pts))
-				for i, p := range job.pts {
-					res[i] = l.Locate(p)
-				}
-				bufPool.Put(job.pts[:0])
-				job.done <- res
-			}
-		}()
-	}
-
-	// Emitter: release answers in input order.
-	go func() {
-		defer close(out)
-		for job := range pending {
-			res := <-job.done
-			for _, loc := range res {
-				select {
-				case <-ctx.Done():
-					return
-				case out <- loc:
-				}
-			}
-		}
-	}()
-	return out
+	return par.Stream(ctx, in, opt.Workers, l.Locate)
 }

@@ -128,7 +128,16 @@ func (l *Locator) Locate(p geom.Point) Location {
 // downstream users consume the structure: O(log n) for all but an
 // eps-fraction of the plane.
 func (l *Locator) LocateExact(p geom.Point) Location {
-	loc := l.Locate(p)
+	return l.ResolveUncertain(l.Locate(p), p)
+}
+
+// ResolveUncertain turns an approximate answer for p into an exact
+// one: an Uncertain (H?) answer is settled by one direct SINR
+// evaluation of the candidate station, while H+ and H- answers pass
+// through unchanged. It is the single exact-fallback code path behind
+// LocateExact, Locator.HeardBy and every exact-fallback resolver —
+// any H? handling outside it is a bug.
+func (l *Locator) ResolveUncertain(loc Location, p geom.Point) Location {
 	if loc.Kind != Uncertain {
 		return loc
 	}

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -220,8 +222,8 @@ func TestCommunicationGraphExperiment(t *testing.T) {
 func TestRegistryIDsUnique(t *testing.T) {
 	seen := map[string]bool{}
 	reg := Registry(1)
-	if len(reg) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(reg))
+	if len(reg) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(reg))
 	}
 	for _, e := range reg {
 		if e.ID == "" || e.Run == nil {
@@ -231,5 +233,41 @@ func TestRegistryIDsUnique(t *testing.T) {
 			t.Fatalf("duplicate id %s", e.ID)
 		}
 		seen[e.ID] = true
+	}
+}
+
+// TestResolverComparisonShape runs E17 small and checks the exact
+// backends report zero disagreement while every (workload, backend)
+// cell is present.
+func TestResolverComparisonShape(t *testing.T) {
+	rows, err := MeasureResolverComparison(8, 300, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 4 backends x 3 workloads", len(rows))
+	}
+	for _, r := range rows {
+		if r.Resolver != "udg" && r.Disagree != 0 {
+			t.Fatalf("%s/%s disagrees with exact on %.4f of points", r.Workload, r.Resolver, r.Disagree)
+		}
+		if r.QPS <= 0 || r.Queries == 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	out := t.TempDir() + "/BENCH_resolvers.json"
+	if err := WriteResolverBenchJSON(out, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []ResolverBenchRow
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("artifact round-trip lost rows: %d != %d", len(back), len(rows))
 	}
 }

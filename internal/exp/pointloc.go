@@ -228,6 +228,15 @@ func Registry(trials int) []Experiment {
 // concurrency-layer experiments (0 means core.DefaultWorkers(), 1
 // forces the serial paths).
 func RegistryWorkers(trials, workers int) []Experiment {
+	return RegistryResolvers(trials, workers, "", "")
+}
+
+// RegistryResolvers is RegistryWorkers with the resolver-axis knobs
+// of E17: resolver restricts the cross-backend comparison to one
+// backend ("" or "all" compares all four) and resolversOut, when
+// non-empty, is the path the BENCH_resolvers.json artifact is
+// written to.
+func RegistryResolvers(trials, workers int, resolver, resolversOut string) []Experiment {
 	return []Experiment{
 		{"E1", Fig1Reception},
 		{"E2", Fig2Cumulative},
@@ -246,6 +255,7 @@ func RegistryWorkers(trials, workers int) []Experiment {
 		{"E14", func() (*Table, error) { return Scheduling(trials) }},
 		{"E15", func() (*Table, error) { return CommunicationGraph(trials) }},
 		{"E16", func() (*Table, error) { return ParallelScaling(workers) }},
+		{"E17", func() (*Table, error) { return ResolverComparison(workers, resolver, resolversOut) }},
 	}
 }
 

@@ -1,0 +1,128 @@
+package par
+
+import (
+	"context"
+	"sync"
+)
+
+// StreamChunk is the largest number of queued items one stream job
+// carries. Under sustained load jobs fill completely and the stream
+// amortizes scheduling over StreamChunk items; under trickle traffic
+// jobs flush as soon as the input channel runs dry, keeping latency at
+// one handoff.
+const StreamChunk = 256
+
+// streamJob is one chunk of stream input moving through the pipeline.
+type streamJob[In, Out any] struct {
+	items []In
+	done  chan []Out
+}
+
+// Stream answers a live stream of queries: it reads items from in
+// until the channel closes or ctx is cancelled, maps each through fn
+// on a pool of workers, and delivers the answers on the returned
+// channel in input order, one Out per input item. workers <= 0 means
+// Default().
+//
+// Items are gathered into chunks of up to StreamChunk: each chunk is
+// processed by one worker while later chunks are still being read, so
+// a sustained stream keeps every worker busy, while a slow trickle is
+// flushed immediately (a chunk never waits for more input once the
+// reader would block). Chunk buffers are recycled through a pool, so
+// steady-state streaming allocates only the answer slices.
+//
+// The output channel is closed after the last answer, or as soon as
+// ctx is cancelled (possibly dropping in-flight answers); cancelled
+// callers need not drain it. Abandoning the stream without cancelling
+// ctx leaks the pipeline goroutines — cancel when done early.
+func Stream[In, Out any](ctx context.Context, in <-chan In, workers int, fn func(In) Out) <-chan Out {
+	if workers <= 0 {
+		workers = Default()
+	}
+	out := make(chan Out, StreamChunk)
+	jobs := make(chan streamJob[In, Out], workers)    // feeds the worker pool
+	pending := make(chan streamJob[In, Out], workers) // same jobs, input order, feeds the emitter
+
+	var bufPool = sync.Pool{
+		New: func() any { return make([]In, 0, StreamChunk) },
+	}
+
+	// Reader: gather items into chunks, flushing on chunk-full, on a
+	// would-block read (latency), on input close, and on cancellation.
+	go func() {
+		defer close(jobs)
+		defer close(pending)
+		for {
+			// Block for the first item of the next chunk.
+			var item In
+			var ok bool
+			select {
+			case <-ctx.Done():
+				return
+			case item, ok = <-in:
+				if !ok {
+					return
+				}
+			}
+			buf := bufPool.Get().([]In)[:0]
+			buf = append(buf, item)
+			// Drain without blocking until the chunk fills.
+		fill:
+			for len(buf) < StreamChunk {
+				select {
+				case item, ok = <-in:
+					if !ok {
+						break fill
+					}
+					buf = append(buf, item)
+				default:
+					break fill
+				}
+			}
+			job := streamJob[In, Out]{items: buf, done: make(chan []Out, 1)}
+			select {
+			case <-ctx.Done():
+				return
+			case jobs <- job:
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case pending <- job:
+			}
+			if !ok {
+				return
+			}
+		}
+	}()
+
+	// Workers: process each chunk and hand the answers back.
+	for w := 0; w < workers; w++ {
+		go func() {
+			for job := range jobs {
+				res := make([]Out, len(job.items))
+				for i, item := range job.items {
+					res[i] = fn(item)
+				}
+				bufPool.Put(job.items[:0])
+				job.done <- res
+			}
+		}()
+	}
+
+	// Emitter: release answers in input order.
+	go func() {
+		defer close(out)
+		for job := range pending {
+			res := <-job.done
+			for _, o := range res {
+				select {
+				case <-ctx.Done():
+					return
+				case out <- o:
+				}
+			}
+		}
+	}()
+	return out
+}

@@ -5,35 +5,43 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/core"
+	"repro/internal/resolve"
 )
 
-// cacheKey identifies one locator build: a network name at a specific
-// registration version, with a specific performance parameter.
+// cacheKey identifies one resolver build: a network name at a specific
+// registration version, answered by a specific backend with its
+// parameters. eps is zero for non-locator kinds and radius is zero for
+// non-UDG kinds (normalized by the caller), so e.g. "exact at eps 0.1"
+// and "exact at eps 0.2" share one cache slot.
 type cacheKey struct {
 	name    string
 	version uint64
+	kind    resolve.Kind
 	eps     float64
+	radius  float64
 }
 
-// cacheEntry is one cached (possibly still building) locator. ready is
-// closed when loc/err are final; done mirrors the close under the
+// cacheEntry is one cached (possibly still building) resolver. ready
+// is closed when res/err are final; done mirrors the close under the
 // cache mutex so eviction can skip in-flight builds without waiting.
 type cacheEntry struct {
 	key   cacheKey
 	ready chan struct{}
 	done  bool
-	loc   *core.Locator
+	res   resolve.Resolver
 	err   error
 }
 
-// locatorCache is a single-flight LRU cache of Theorem 3 locators.
+// resolverCache is a single-flight LRU cache of query resolvers.
 // Concurrent get calls for the same key share one build: the first
 // caller builds while the rest wait on the entry's ready channel.
 // Completed entries beyond cap are evicted least-recently-used;
 // in-flight builds are never evicted, so the cache can transiently
-// exceed cap under a burst of distinct first-time keys.
-type locatorCache struct {
+// exceed cap under a burst of distinct first-time keys. The expensive
+// occupant is the Theorem 3 locator (O(n^3/eps) build, O(n/eps)
+// memory); the baseline backends are cheap but cached all the same so
+// every kind flows through one code path.
+type resolverCache struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[cacheKey]*list.Element
@@ -41,28 +49,28 @@ type locatorCache struct {
 	builds  atomic.Int64
 }
 
-func newLocatorCache(capacity int) *locatorCache {
+func newResolverCache(capacity int) *resolverCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &locatorCache{
+	return &resolverCache{
 		cap:     capacity,
 		entries: make(map[cacheKey]*list.Element),
 		lru:     list.New(),
 	}
 }
 
-// get returns the locator for key, building it with build on a miss.
+// get returns the resolver for key, building it with build on a miss.
 // Exactly one caller runs build per key generation; a failed build is
 // dropped from the cache so a later request retries it.
-func (c *locatorCache) get(key cacheKey, build func() (*core.Locator, error)) (*core.Locator, error) {
+func (c *resolverCache) get(key cacheKey, build func() (resolve.Resolver, error)) (resolve.Resolver, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
 		c.mu.Unlock()
 		<-e.ready
-		return e.loc, e.err
+		return e.res, e.err
 	}
 	e := &cacheEntry{key: key, ready: make(chan struct{})}
 	c.entries[key] = c.lru.PushFront(e)
@@ -70,10 +78,10 @@ func (c *locatorCache) get(key cacheKey, build func() (*core.Locator, error)) (*
 	c.mu.Unlock()
 
 	c.builds.Add(1)
-	loc, err := build()
+	res, err := build()
 
 	c.mu.Lock()
-	e.loc, e.err, e.done = loc, err, true
+	e.res, e.err, e.done = res, err, true
 	if err != nil {
 		if el, ok := c.entries[key]; ok && el.Value.(*cacheEntry) == e {
 			c.lru.Remove(el)
@@ -82,12 +90,12 @@ func (c *locatorCache) get(key cacheKey, build func() (*core.Locator, error)) (*
 	}
 	c.mu.Unlock()
 	close(e.ready)
-	return loc, err
+	return res, err
 }
 
 // evictLocked removes completed least-recently-used entries until the
 // cache is within capacity. Callers hold c.mu.
-func (c *locatorCache) evictLocked() {
+func (c *resolverCache) evictLocked() {
 	for el := c.lru.Back(); el != nil && len(c.entries) > c.cap; {
 		prev := el.Prev()
 		if e := el.Value.(*cacheEntry); e.done {
@@ -101,7 +109,7 @@ func (c *locatorCache) evictLocked() {
 // invalidate drops every completed entry for name with a version below
 // beforeVersion (stale snapshots after a hot swap). In-flight builds
 // for stale versions finish and are then aged out by the LRU.
-func (c *locatorCache) invalidate(name string, beforeVersion uint64) {
+func (c *resolverCache) invalidate(name string, beforeVersion uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for el := c.lru.Front(); el != nil; {
@@ -115,12 +123,12 @@ func (c *locatorCache) invalidate(name string, beforeVersion uint64) {
 	}
 }
 
-// Builds returns the number of locator builds started (cache misses);
-// the handler tests use it to assert single-flight dedup.
-func (c *locatorCache) Builds() int64 { return c.builds.Load() }
+// Builds returns the number of resolver builds started (cache
+// misses); the handler tests use it to assert single-flight dedup.
+func (c *resolverCache) Builds() int64 { return c.builds.Load() }
 
-// Len returns the number of cached (or building) locators.
-func (c *locatorCache) Len() int {
+// Len returns the number of cached (or building) resolvers.
+func (c *resolverCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)

@@ -1,7 +1,8 @@
 // Package serve is the query-serving subsystem: a long-running HTTP
-// service that owns a registry of named networks, builds Theorem 3
-// locators on demand behind a single-flight LRU cache, and answers
-// point-location traffic in batches and streams.
+// service that owns a registry of named networks, builds query
+// resolvers (internal/resolve) on demand behind a single-flight LRU
+// cache, and answers point-location traffic in batches and streams
+// through any of the four backends.
 //
 // # Endpoints
 //
@@ -11,26 +12,44 @@
 //	POST /v1/locate/stream  NDJSON points in -> NDJSON answers out
 //	GET  /healthz           liveness probe
 //
+// # Resolver selection
+//
+// Every query names its backend through the "resolver" field of the
+// /v1/locate body (or the resolver query parameter of the stream
+// endpoint): "exact" (direct SINR evaluation), "locator" (the
+// Theorem 3 structure with exact fallback), "voronoi" (nearest-
+// candidate + one SINR check) or "udg" (the graph-based baseline).
+// A network registration may set its own default backend (and a
+// default UDG radius) via the same "resolver"/"radius" fields; a
+// request that names neither uses the network's default, which is
+// "locator" when unset — the wire behavior of the pre-resolver API.
+// "eps" applies to the locator backend and "radius" to the UDG
+// backend; knobs irrelevant to the chosen backend are ignored, and
+// a zero UDG radius is derived via resolve.DefaultUDGRadius.
+//
 // # Hot swap
 //
-// Re-registering a name atomically replaces the network snapshot and
-// bumps its version. Queries capture the snapshot once at the start of
-// a request, so in-flight batches and streams finish against the
-// locator they started with while new requests see the new network —
-// mobility updates never drop traffic. Locators are cached per
-// (network, version, eps); concurrent first requests for the same key
-// share one O(n^3/eps) build (single-flight), and the cache evicts
-// least-recently-used locators beyond its capacity, which also ages
-// out locators of replaced network versions.
+// Re-registering a name atomically replaces the network snapshot
+// (stations, default backend, defaults) and bumps its version.
+// Queries capture the snapshot once at the start of a request, so
+// in-flight batches and streams finish against the resolver they
+// started with while new requests see the new network — mobility
+// updates never drop traffic. Resolvers are cached per (network,
+// version, kind, eps, radius); concurrent first requests for the same
+// key share one build (single-flight — the O(n^3/eps) locator build
+// is the expensive case), and the cache evicts least-recently-used
+// resolvers beyond its capacity, which also ages out resolvers of
+// replaced network versions.
 //
 // # Answer convention
 //
 // Served answers use the batch sentinel convention: "station" is the
 // index of the heard station, or NoStationHeard (-1) when no station
 // is heard — the JSON shape of core.NoStationHeard. Batch and stream
-// answers are exact (uncertainty rings are resolved by one direct SINR
-// evaluation), so they are identical to Network.HeardBy on every
-// point.
+// answers are exact for every backend (the locator resolves its
+// uncertainty rings via exact fallback), so "exact", "locator" and
+// "voronoi" are identical to Network.HeardBy on every point, while
+// "udg" answers its own graph-based reception model.
 //
 // A stream whose input contains a malformed line is truncated: the
 // answers for the points accepted so far are followed by one trailing

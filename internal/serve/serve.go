@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/resolve"
 )
 
 // NoStationHeard is the served sentinel for "no station heard",
@@ -21,8 +23,9 @@ import (
 const NoStationHeard = core.NoStationHeard
 
 // DefaultEps is the locator performance parameter used when a request
-// does not specify one.
-const DefaultEps = 0.05
+// does not specify one — the same default a bare resolve.NewLocator
+// uses, so library and server answer alike out of the box.
+const DefaultEps = resolve.DefaultEps
 
 // Options configures a Server.
 type Options struct {
@@ -50,10 +53,14 @@ type Options struct {
 
 // snapshot is one immutable registered generation of a network.
 // Requests capture a snapshot once and serve entirely from it, so a
-// concurrent hot swap never changes answers mid-request.
+// concurrent hot swap never changes answers mid-request. kind and
+// radius are the network's registered defaults; a request's own
+// "resolver"/"radius" fields override them per query.
 type snapshot struct {
 	net     *core.Network
 	version uint64
+	kind    resolve.Kind
+	radius  float64
 }
 
 // netEntry is a registry slot for one network name; the snapshot
@@ -68,7 +75,7 @@ type netEntry struct {
 type Server struct {
 	opt   Options
 	mux   *http.ServeMux
-	cache *locatorCache
+	cache *resolverCache
 
 	mu   sync.RWMutex // guards nets map shape and version bumps
 	nets map[string]*netEntry
@@ -94,7 +101,7 @@ func NewServer(opt Options) *Server {
 	s := &Server{
 		opt:   opt,
 		mux:   http.NewServeMux(),
-		cache: newLocatorCache(opt.MaxLocators),
+		cache: newResolverCache(opt.MaxLocators),
 		nets:  make(map[string]*netEntry),
 	}
 	s.mux.HandleFunc("/v1/networks", s.handleNetworks)
@@ -110,9 +117,11 @@ func NewServer(opt Options) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// LocatorBuilds returns the number of locator builds the server has
+// LocatorBuilds returns the number of resolver builds the server has
 // started — a cache-efficiency counter (and the single-flight test
-// hook).
+// hook). The name predates the pluggable-resolver API: since every
+// backend now flows through the same cache, the counter covers the
+// cheap baselines too, not just Theorem 3 locators.
 func (s *Server) LocatorBuilds() int64 { return s.cache.Builds() }
 
 // Wire types.
@@ -123,7 +132,11 @@ type PointJSON struct {
 	Y float64 `json:"y"`
 }
 
-// NetworkRequest is the POST /v1/networks body.
+// NetworkRequest is the POST /v1/networks body. Resolver sets the
+// network's default backend ("exact", "locator", "voronoi" or "udg";
+// empty means "locator") and Radius its default UDG connectivity
+// radius (0 means derived via resolve.DefaultUDGRadius); both can be
+// overridden per request.
 type NetworkRequest struct {
 	Name     string      `json:"name"`
 	Stations []PointJSON `json:"stations"`
@@ -131,6 +144,8 @@ type NetworkRequest struct {
 	Beta     float64     `json:"beta"`
 	Powers   []float64   `json:"powers,omitempty"`
 	Alpha    float64     `json:"alpha,omitempty"`
+	Resolver string      `json:"resolver,omitempty"`
+	Radius   float64     `json:"radius,omitempty"`
 }
 
 // NetworkResponse acknowledges a registration.
@@ -138,13 +153,19 @@ type NetworkResponse struct {
 	Name     string `json:"name"`
 	Version  uint64 `json:"version"`
 	Stations int    `json:"stations"`
+	Resolver string `json:"resolver"`
 }
 
-// LocateRequest is the POST /v1/locate body.
+// LocateRequest is the POST /v1/locate body. Resolver picks the
+// backend for this request (empty means the network's registered
+// default); Eps applies to the locator backend and Radius to the UDG
+// backend, both falling back to the network's registered defaults.
 type LocateRequest struct {
-	Network string      `json:"network"`
-	Eps     float64     `json:"eps,omitempty"`
-	Points  []PointJSON `json:"points"`
+	Network  string      `json:"network"`
+	Resolver string      `json:"resolver,omitempty"`
+	Eps      float64     `json:"eps,omitempty"`
+	Radius   float64     `json:"radius,omitempty"`
+	Points   []PointJSON `json:"points"`
 }
 
 // LocateResult is one answer: Kind is "H+" or "H-" (uncertainty rings
@@ -155,12 +176,15 @@ type LocateResult struct {
 	Station int    `json:"station"`
 }
 
-// LocateResponse is the POST /v1/locate reply.
+// LocateResponse is the POST /v1/locate reply. Resolver names the
+// backend that answered; Eps is the locator performance parameter
+// used (0 for non-locator backends).
 type LocateResponse struct {
-	Network string         `json:"network"`
-	Version uint64         `json:"version"`
-	Eps     float64        `json:"eps"`
-	Results []LocateResult `json:"results"`
+	Network  string         `json:"network"`
+	Version  uint64         `json:"version"`
+	Resolver string         `json:"resolver"`
+	Eps      float64        `json:"eps"`
+	Results  []LocateResult `json:"results"`
 }
 
 type errorResponse struct {
@@ -232,6 +256,15 @@ func (s *Server) registerNetwork(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid network: %v", err)
 		return
 	}
+	kind, err := resolve.ParseKind(req.Resolver)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Radius < 0 || math.IsNaN(req.Radius) || math.IsInf(req.Radius, 0) {
+		writeError(w, http.StatusBadRequest, "radius must be a non-negative finite number, got %g", req.Radius)
+		return
+	}
 
 	s.mu.Lock()
 	entry, ok := s.nets[req.Name]
@@ -245,14 +278,14 @@ func (s *Server) registerNetwork(w http.ResponseWriter, r *http.Request) {
 	}
 	// The swap is atomic: requests that loaded the old snapshot keep
 	// serving from it; every later request sees the new generation.
-	entry.snap.Store(&snapshot{net: net, version: version})
+	entry.snap.Store(&snapshot{net: net, version: version, kind: kind, radius: req.Radius})
 	s.mu.Unlock()
 
-	// Age out locators of replaced generations.
+	// Age out resolvers of replaced generations.
 	s.cache.invalidate(req.Name, version)
 
 	writeJSON(w, http.StatusOK, NetworkResponse{
-		Name: req.Name, Version: version, Stations: net.NumStations(),
+		Name: req.Name, Version: version, Stations: net.NumStations(), Resolver: kind.String(),
 	})
 }
 
@@ -263,6 +296,7 @@ func (s *Server) listNetworks(w http.ResponseWriter) {
 		if snap := entry.snap.Load(); snap != nil {
 			out = append(out, NetworkResponse{
 				Name: name, Version: snap.version, Stations: snap.net.NumStations(),
+				Resolver: snap.kind.String(),
 			})
 		}
 	}
@@ -278,30 +312,79 @@ var errUnknownNetwork = errors.New("serve: unknown network")
 // can start.
 var errEpsTooSmall = errors.New("serve: eps below server minimum")
 
-// locatorFor captures the current snapshot of name and returns its
-// locator for eps, building (or joining an in-flight single-flight
-// build) on a cache miss.
-func (s *Server) locatorFor(name string, eps float64) (*snapshot, *core.Locator, error) {
-	if eps < s.opt.MinEps {
-		return nil, nil, fmt.Errorf("%w (eps %g < %g)", errEpsTooSmall, eps, s.opt.MinEps)
-	}
+// resolverSpec is a request's backend selection: the resolver name
+// (empty means the network's registered default) and the per-kind
+// parameters, zero meaning "use the default".
+type resolverSpec struct {
+	kind   string
+	eps    float64
+	radius float64
+}
+
+// resolverFor captures the current snapshot of name and returns the
+// resolver answering spec against it, building (or joining an
+// in-flight single-flight build) on a cache miss. Parameters
+// irrelevant to the chosen backend are normalized to zero before the
+// cache lookup, so requests differing only in an ignored knob share
+// one resolver. The returned kind and eps are the effective ones
+// (after defaulting), for echoing in responses.
+func (s *Server) resolverFor(name string, spec resolverSpec) (*snapshot, resolve.Resolver, resolve.Kind, float64, error) {
 	s.mu.RLock()
 	entry, ok := s.nets[name]
 	s.mu.RUnlock()
 	if !ok {
-		return nil, nil, errUnknownNetwork
+		return nil, nil, 0, 0, errUnknownNetwork
 	}
 	snap := entry.snap.Load()
 	if snap == nil {
-		return nil, nil, errUnknownNetwork
+		return nil, nil, 0, 0, errUnknownNetwork
 	}
-	loc, err := s.cache.get(cacheKey{name: name, version: snap.version, eps: eps}, func() (*core.Locator, error) {
-		return snap.net.BuildLocatorOpts(eps, core.BuildOptions{Workers: s.opt.Workers})
+	kind := snap.kind
+	if spec.kind != "" {
+		k, err := resolve.ParseKind(spec.kind)
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		kind = k
+	}
+	// NaN/Inf knobs must be rejected before they can become part of a
+	// cache key: a NaN float in a Go map key never matches on lookup
+	// or delete, so it would turn every such request into a fresh
+	// build plus a permanently leaked cache entry.
+	eps, radius := 0.0, 0.0
+	switch kind {
+	case resolve.KindLocator:
+		eps = spec.eps
+		if eps == 0 {
+			eps = s.opt.DefaultEps
+		}
+		if math.IsNaN(eps) || math.IsInf(eps, 0) || eps < s.opt.MinEps {
+			return nil, nil, 0, 0, fmt.Errorf("%w (eps %g < %g)", errEpsTooSmall, eps, s.opt.MinEps)
+		}
+	case resolve.KindUDG:
+		radius = spec.radius
+		if radius == 0 {
+			radius = snap.radius
+		}
+		if radius < 0 || math.IsNaN(radius) || math.IsInf(radius, 0) {
+			return nil, nil, 0, 0, fmt.Errorf("serve: radius must be a non-negative finite number, got %g", radius)
+		}
+	}
+	key := cacheKey{name: name, version: snap.version, kind: kind, eps: eps, radius: radius}
+	res, err := s.cache.get(key, func() (resolve.Resolver, error) {
+		opts := []resolve.Option{resolve.WithWorkers(s.opt.Workers)}
+		if kind == resolve.KindLocator {
+			opts = append(opts, resolve.WithEpsilon(eps))
+		}
+		if kind == resolve.KindUDG && radius > 0 {
+			opts = append(opts, resolve.WithRadius(radius))
+		}
+		return resolve.New(kind, snap.net, opts...)
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, 0, err
 	}
-	return snap, loc, nil
+	return snap, res, kind, eps, nil
 }
 
 func locateStatus(err error) int {
@@ -332,11 +415,9 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d points exceeds limit %d", len(req.Points), s.opt.MaxBatch)
 		return
 	}
-	eps := req.Eps
-	if eps == 0 {
-		eps = s.opt.DefaultEps
-	}
-	snap, loc, err := s.locatorFor(req.Network, eps)
+	snap, res, kind, eps, err := s.resolverFor(req.Network, resolverSpec{
+		kind: req.Resolver, eps: req.Eps, radius: req.Radius,
+	})
 	if err != nil {
 		writeError(w, locateStatus(err), "%v", err)
 		return
@@ -345,35 +426,49 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 	for i, p := range req.Points {
 		pts[i] = geom.Pt(p.X, p.Y)
 	}
-	answers := loc.LocateExactBatchOpts(pts, core.BatchOptions{Workers: s.opt.Workers})
+	answers := make([]core.Location, len(pts))
+	if err := res.ResolveBatch(r.Context(), pts, answers); err != nil {
+		return // client went away mid-batch; nothing left to tell it
+	}
 	results := make([]LocateResult, len(answers))
 	for i, a := range answers {
 		results[i] = resultFor(a)
 	}
 	writeJSON(w, http.StatusOK, LocateResponse{
-		Network: req.Network, Version: snap.version, Eps: eps, Results: results,
+		Network: req.Network, Version: snap.version, Resolver: kind.String(), Eps: eps, Results: results,
 	})
 }
 
 // handleLocateStream answers NDJSON point lines with NDJSON result
-// lines over Locator.LocateStream. The request context cancels the
-// pipeline, so a client disconnect tears the stream down cleanly.
+// lines over the selected resolver's ResolveStream. The request
+// context cancels the pipeline, so a client disconnect tears the
+// stream down cleanly. Query parameters: network, resolver, eps,
+// radius — same semantics as the /v1/locate body fields.
 func (s *Server) handleLocateStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
-	name := r.URL.Query().Get("network")
-	eps := s.opt.DefaultEps
-	if v := r.URL.Query().Get("eps"); v != "" {
+	q := r.URL.Query()
+	name := q.Get("network")
+	spec := resolverSpec{kind: q.Get("resolver")}
+	if v := q.Get("eps"); v != "" {
 		parsed, err := strconv.ParseFloat(v, 64)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "bad eps %q", v)
 			return
 		}
-		eps = parsed
+		spec.eps = parsed
 	}
-	snap, loc, err := s.locatorFor(name, eps)
+	if v := q.Get("radius"); v != "" {
+		parsed, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad radius %q", v)
+			return
+		}
+		spec.radius = parsed
+	}
+	_, res, _, _, err := s.resolverFor(name, spec)
 	if err != nil {
 		writeError(w, locateStatus(err), "%v", err)
 		return
@@ -388,12 +483,10 @@ func (s *Server) handleLocateStream(w http.ResponseWriter, r *http.Request) {
 
 	ctx := r.Context()
 	in := make(chan geom.Point)
-	// echo carries each accepted input point to the writer so that H?
-	// stream answers can be resolved exactly against the snapshot. The
-	// pipeline preserves order, so echo and the output channel stay in
-	// lockstep; capacity only bounds reader run-ahead.
-	echo := make(chan geom.Point, 1024)
-	out := loc.LocateStreamOpts(ctx, in, core.BatchOptions{Workers: s.opt.Workers})
+	// Every served backend resolves uncertainty rings itself (exact
+	// fallback is on), so the stream needs no point echo to settle H?
+	// answers — the resolver's output is final.
+	out := res.ResolveStream(ctx, in)
 
 	// readErr carries a malformed-line error from the reader to the
 	// writer, which reports it as a trailing NDJSON error object after
@@ -403,7 +496,6 @@ func (s *Server) handleLocateStream(w http.ResponseWriter, r *http.Request) {
 	readErr := make(chan error, 1)
 	go func() {
 		defer close(in)
-		defer close(echo)
 		sc := bufio.NewScanner(r.Body)
 		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 		for sc.Scan() {
@@ -416,16 +508,10 @@ func (s *Server) handleLocateStream(w http.ResponseWriter, r *http.Request) {
 				readErr <- fmt.Errorf("bad point line: %v", err)
 				return
 			}
-			pt := geom.Pt(p.X, p.Y)
 			select {
 			case <-ctx.Done():
 				return
-			case echo <- pt:
-			}
-			select {
-			case <-ctx.Done():
-				return
-			case in <- pt:
+			case in <- geom.Pt(p.X, p.Y):
 			}
 		}
 		if err := sc.Err(); err != nil {
@@ -439,15 +525,6 @@ func (s *Server) handleLocateStream(w http.ResponseWriter, r *http.Request) {
 	const flushEvery = 256
 	n := 0
 	for a := range out {
-		p := <-echo
-		if a.Kind == core.Uncertain {
-			// Resolve the uncertainty ring exactly, as LocateExact does.
-			if snap.net.Heard(a.Station, p) {
-				a = core.Location{Kind: core.Reception, Station: a.Station}
-			} else {
-				a = core.Location{Kind: core.NoReception}
-			}
-		}
 		if err := enc.Encode(resultFor(a)); err != nil {
 			return // client went away; ctx cancellation stops the pipeline
 		}

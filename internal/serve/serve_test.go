@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/resolve"
 	"repro/internal/workload"
 )
 
@@ -638,4 +639,325 @@ func TestListNetworks(t *testing.T) {
 	if len(list) != 2 || list[0].Name != "a" || list[1].Name != "b" {
 		t.Fatalf("list = %+v", list)
 	}
+}
+
+// TestLocateEveryResolverKind answers the same batch through all four
+// backends over /v1/locate and checks each against its locally built
+// resolver: the three exact backends must match Network.HeardBy, the
+// UDG baseline must match the local UDG model (and, being a different
+// reception model, is allowed to disagree with SINR).
+func TestLocateEveryResolverKind(t *testing.T) {
+	stations := testStations(t, 12, 47)
+	net, err := core.NewUniform(stations, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp := postJSON(t, ts, "/v1/networks", registerReq("kinds", stations, 0.01, 3))
+	resp.Body.Close()
+
+	gen := workload.NewGenerator(53)
+	box := geom.NewBox(geom.Pt(-6, -6), geom.Pt(6, 6))
+	pts := gen.QueryPoints(600, box)
+	pts = append(pts, stations...)
+	sinrWant := net.HeardByBatch(pts)
+
+	for _, kind := range resolve.Kinds() {
+		local, err := resolve.New(kind, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]core.Location, len(pts))
+		if err := local.ResolveBatch(context.Background(), pts, want); err != nil {
+			t.Fatal(err)
+		}
+		req := LocateRequest{Network: "kinds", Resolver: kind.String()}
+		req.Points = make([]PointJSON, len(pts))
+		for i, p := range pts {
+			req.Points[i] = PointJSON{X: p.X, Y: p.Y}
+		}
+		resp := postJSON(t, ts, "/v1/locate", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%v: %s", kind, resp.Status)
+		}
+		out := decodeJSON[LocateResponse](t, resp)
+		if out.Resolver != kind.String() {
+			t.Fatalf("response resolver %q, want %q", out.Resolver, kind.String())
+		}
+		if kind == resolve.KindLocator && out.Eps != DefaultEps {
+			t.Fatalf("locator response eps %g, want default %g", out.Eps, DefaultEps)
+		}
+		for i := range pts {
+			if out.Results[i].Station != resolve.StationIndex(want[i]) {
+				t.Fatalf("%v: point %v served %d, local backend %d",
+					kind, pts[i], out.Results[i].Station, resolve.StationIndex(want[i]))
+			}
+			if kind != resolve.KindUDG && out.Results[i].Station != sinrWant[i] {
+				t.Fatalf("%v: point %v served %d, HeardBy %d", kind, pts[i], out.Results[i].Station, sinrWant[i])
+			}
+		}
+	}
+}
+
+// TestPerNetworkDefaultResolver registers a network whose default
+// backend is voronoi and checks a resolver-less request uses it,
+// while an explicit per-request "locator" still overrides.
+func TestPerNetworkDefaultResolver(t *testing.T) {
+	stations := testStations(t, 8, 59)
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	reg := registerReq("dflt", stations, 0.01, 3)
+	reg.Resolver = "voronoi"
+	resp := postJSON(t, ts, "/v1/networks", reg)
+	ack := decodeJSON[NetworkResponse](t, resp)
+	if ack.Resolver != "voronoi" {
+		t.Fatalf("register ack resolver %q, want voronoi", ack.Resolver)
+	}
+
+	req := LocateRequest{Network: "dflt", Points: []PointJSON{{X: 0.3, Y: 0.4}}}
+	out := decodeJSON[LocateResponse](t, postJSON(t, ts, "/v1/locate", req))
+	if out.Resolver != "voronoi" {
+		t.Fatalf("default resolver %q, want voronoi", out.Resolver)
+	}
+	req.Resolver = "locator"
+	out = decodeJSON[LocateResponse](t, postJSON(t, ts, "/v1/locate", req))
+	if out.Resolver != "locator" {
+		t.Fatalf("override resolver %q, want locator", out.Resolver)
+	}
+}
+
+// TestResolverHotSwapBetweenBackends hot-swaps a network's default
+// backend from locator to udg under traffic: answers before the swap
+// are SINR-exact, answers after follow the UDG model, and no request
+// fails in between.
+func TestResolverHotSwapBetweenBackends(t *testing.T) {
+	stations := testStations(t, 10, 61)
+	net, err := core.NewUniform(stations, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	reg := registerReq("swapkind", stations, 0.01, 3)
+	resp := postJSON(t, ts, "/v1/networks", reg)
+	resp.Body.Close()
+
+	gen := workload.NewGenerator(67)
+	box := geom.NewBox(geom.Pt(-6, -6), geom.Pt(6, 6))
+	pts := gen.QueryPoints(300, box)
+	req := LocateRequest{Network: "swapkind"}
+	req.Points = make([]PointJSON, len(pts))
+	for i, p := range pts {
+		req.Points[i] = PointJSON{X: p.X, Y: p.Y}
+	}
+
+	out := decodeJSON[LocateResponse](t, postJSON(t, ts, "/v1/locate", req))
+	if out.Resolver != "locator" {
+		t.Fatalf("pre-swap resolver %q", out.Resolver)
+	}
+	sinrWant := net.HeardByBatch(pts)
+	for i := range pts {
+		if out.Results[i].Station != sinrWant[i] {
+			t.Fatalf("pre-swap answer %d: %d != %d", i, out.Results[i].Station, sinrWant[i])
+		}
+	}
+
+	// Swap the same stations to a UDG default backend.
+	reg.Resolver = "udg"
+	resp = postJSON(t, ts, "/v1/networks", reg)
+	resp.Body.Close()
+
+	udgLocal, err := resolve.NewUDG(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	udgWant := make([]core.Location, len(pts))
+	if err := udgLocal.ResolveBatch(context.Background(), pts, udgWant); err != nil {
+		t.Fatal(err)
+	}
+	out = decodeJSON[LocateResponse](t, postJSON(t, ts, "/v1/locate", req))
+	if out.Resolver != "udg" || out.Version != 2 {
+		t.Fatalf("post-swap resolver %q version %d", out.Resolver, out.Version)
+	}
+	differs := false
+	for i := range pts {
+		if out.Results[i].Station != resolve.StationIndex(udgWant[i]) {
+			t.Fatalf("post-swap answer %d: %d != udg %d", i, out.Results[i].Station, resolve.StationIndex(udgWant[i]))
+		}
+		if out.Results[i].Station != sinrWant[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Log("note: UDG and SINR agreed on every sampled point (possible but unusual)")
+	}
+}
+
+// TestStreamResolverParam drives the NDJSON stream through a
+// non-default backend and checks the answers match the local one.
+func TestStreamResolverParam(t *testing.T) {
+	stations := testStations(t, 8, 71)
+	net, err := core.NewUniform(stations, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp := postJSON(t, ts, "/v1/networks", registerReq("streamkind", stations, 0.01, 3))
+	resp.Body.Close()
+
+	gen := workload.NewGenerator(73)
+	box := geom.NewBox(geom.Pt(-6, -6), geom.Pt(6, 6))
+	pts := gen.QueryPoints(500, box)
+	var in bytes.Buffer
+	for _, p := range pts {
+		fmt.Fprintf(&in, "{\"x\":%g,\"y\":%g}\n", p.X, p.Y)
+	}
+	resp, err = ts.Client().Post(ts.URL+"/v1/locate/stream?network=streamkind&resolver=exact",
+		"application/x-ndjson", &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: %s", resp.Status)
+	}
+	want := net.HeardByBatch(pts)
+	sc := bufio.NewScanner(resp.Body)
+	i := 0
+	for sc.Scan() {
+		var r LocateResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Station != want[i] {
+			t.Fatalf("stream answer %d: served %d, want %d", i, r.Station, want[i])
+		}
+		i++
+	}
+	if i != len(pts) {
+		t.Fatalf("got %d answers for %d points", i, len(pts))
+	}
+}
+
+// TestResolverErrors covers the new failure modes: unknown resolver
+// names (register and locate), negative radii, and eps irrelevance
+// for non-locator backends.
+func TestResolverErrors(t *testing.T) {
+	stations := testStations(t, 4, 79)
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	bad := registerReq("bad", stations, 0.01, 3)
+	bad.Resolver = "psychic"
+	resp := postJSON(t, ts, "/v1/networks", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown register resolver: %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	neg := registerReq("neg", stations, 0.01, 3)
+	neg.Radius = -1
+	resp = postJSON(t, ts, "/v1/networks", neg)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative register radius: %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, ts, "/v1/networks", registerReq("ok", stations, 0.01, 3))
+	resp.Body.Close()
+
+	req := LocateRequest{Network: "ok", Resolver: "psychic", Points: []PointJSON{{X: 1}}}
+	resp = postJSON(t, ts, "/v1/locate", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown locate resolver: %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	req = LocateRequest{Network: "ok", Resolver: "udg", Radius: -2, Points: []PointJSON{{X: 1}}}
+	resp = postJSON(t, ts, "/v1/locate", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative locate radius: %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	// A tiny eps is only a locator concern: the exact backend must
+	// ignore it instead of rejecting the request.
+	before := srv.LocatorBuilds()
+	req = LocateRequest{Network: "ok", Resolver: "exact", Eps: 1e-9, Points: []PointJSON{{X: 1}}}
+	resp = postJSON(t, ts, "/v1/locate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("exact backend rejected an (irrelevant) tiny eps: %s", resp.Status)
+	}
+	resp.Body.Close()
+	if got := srv.LocatorBuilds(); got != before+1 {
+		t.Errorf("exact build count advanced by %d, want 1", got-before)
+	}
+
+	// Requests differing only in an ignored knob share one resolver.
+	req = LocateRequest{Network: "ok", Resolver: "exact", Eps: 0.3, Points: []PointJSON{{X: 1}}}
+	resp = postJSON(t, ts, "/v1/locate", req)
+	resp.Body.Close()
+	if got := srv.LocatorBuilds(); got != before+1 {
+		t.Errorf("ignored eps split the cache: %d builds, want 1", got-before)
+	}
+}
+
+// TestNaNKnobsRejectedBeforeCaching checks NaN/Inf eps and radius are
+// rejected before they can become cache-key material: a NaN float in
+// a map key never matches on lookup or delete, so an accepted NaN
+// would mean one fresh build plus one permanently leaked cache entry
+// per request.
+func TestNaNKnobsRejectedBeforeCaching(t *testing.T) {
+	stations := testStations(t, 4, 83)
+	srv := NewServer(Options{MaxLocators: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp := postJSON(t, ts, "/v1/networks", registerReq("nan", stations, 0.01, 3))
+	resp.Body.Close()
+
+	for _, url := range []string{
+		"/v1/locate/stream?network=nan&resolver=udg&radius=NaN",
+		"/v1/locate/stream?network=nan&resolver=udg&radius=+Inf",
+		"/v1/locate/stream?network=nan&resolver=locator&eps=NaN",
+	} {
+		for i := 0; i < 5; i++ {
+			resp, err := ts.Client().Post(ts.URL+url, "application/x-ndjson", strings.NewReader("{\"x\":0,\"y\":0}\n"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("%s: %s, want 400", url, resp.Status)
+			}
+			resp.Body.Close()
+		}
+	}
+	if got := srv.LocatorBuilds(); got != 0 {
+		t.Errorf("NaN knobs started %d builds, want 0", got)
+	}
+	if got := srv.cache.Len(); got != 0 {
+		t.Errorf("NaN knobs leaked %d cache entries, want 0", got)
+	}
+
+	// A non-finite register-time radius is rejected too; JSON itself
+	// cannot carry NaN, so an overflowing literal stands in for it
+	// (rejected at decode or at the finite-radius check — 400 either
+	// way).
+	resp, err := ts.Client().Post(ts.URL+"/v1/networks", "application/json",
+		strings.NewReader(`{"name":"inf","stations":[{"x":0,"y":0}],"noise":0.01,"beta":3,"radius":1e400}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("Inf register radius: %s, want 400", resp.Status)
+	}
+	resp.Body.Close()
 }

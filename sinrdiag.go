@@ -29,7 +29,49 @@
 // serial one. For serving query traffic as a long-running process, the
 // sinrserve binary (internal/serve) exposes the same engine over HTTP
 // with named-network registration, atomic hot swap and a single-flight
-// locator cache.
+// resolver cache.
+//
+// # The Resolver API
+//
+// The question every algorithm in this package answers is the same —
+// "which station is heard at p?" — and the Resolver interface is its
+// one query surface: Resolve (single point), ResolveBatch (sharded
+// slice), ResolveStream (ordered live pipeline) and Stats (backend
+// metadata), over four interchangeable backends:
+//
+//	r, err := sinrdiag.NewResolver(sinrdiag.ResolverLocator, net,
+//		sinrdiag.WithEpsilon(0.05), sinrdiag.WithWorkers(8))
+//	answer := r.Resolve(ctx, sinrdiag.Pt(0.4, 0.2))
+//
+//	NewExactResolver    direct SINR evaluation (ground truth, O(n)/query)
+//	NewLocatorResolver  Theorem 3 structure (O(log n)/query; exact
+//	                    fallback for H? rings on by default, disable
+//	                    with WithExactFallback(false))
+//	NewVoronoiResolver  nearest-candidate + one SINR check (O(n)/query)
+//	NewUDGResolver      graph-based UDG/protocol baseline (a different
+//	                    reception model; WithRadius / WithInterfRadius)
+//
+// Construction is by functional options (WithWorkers, WithEpsilon,
+// WithExactFallback, WithRadius, WithInterfRadius); network-level
+// parameters (powers, alpha) stay on the network constructors
+// (WithPowers, WithAlpha). The pre-Resolver entry points — HeardBy,
+// Locate/LocateExact, the *Batch/*Stream families and the
+// BuildOptions/BatchOptions structs — remain supported and delegate
+// to the same kernels, but new code should prefer a Resolver; see the
+// README migration table.
+//
+// # Migration: old API -> Resolver
+//
+//	Network.HeardBy(p)            NewExactResolver(net) + Resolve
+//	Network.HeardByBatch(ps)      NewExactResolver(net) + ResolveBatch
+//	Network.NaiveLocate(p)        NewExactResolver(net) + Resolve
+//	Network.VoronoiLocate(p, t)   NewVoronoiResolver(net) + Resolve
+//	BuildLocator + Locate         NewLocatorResolver(net, WithExactFallback(false))
+//	BuildLocator + LocateExact    NewLocatorResolver(net)
+//	BuildLocatorOpts{Workers}     NewLocatorResolver(net, WithWorkers(k))
+//	Locator.LocateBatch(ps)       LocatorResolver.ResolveBatch
+//	Locator.LocateStream(ctx,in)  LocatorResolver.ResolveStream
+//	udg baselines (internal)      NewUDGResolver(net, WithRadius(r))
 //
 // # The no-station answer, in both shapes
 //
@@ -59,6 +101,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diagram"
 	"repro/internal/geom"
+	"repro/internal/resolve"
 )
 
 // Point is a point in the Euclidean plane.
@@ -97,10 +140,19 @@ type Locator = core.Locator
 
 // BuildOptions tunes locator construction (worker count of the
 // parallel per-station build; see Network.BuildLocatorOpts).
+//
+// Deprecated: new code should build a LocatorResolver with the
+// functional options WithEpsilon and WithWorkers instead; this struct
+// remains for the pre-Resolver entry points, which delegate to the
+// same build kernel.
 type BuildOptions = core.BuildOptions
 
 // BatchOptions tunes batch query execution (worker count the query
 // slice is sharded over; see Locator.LocateBatchOpts).
+//
+// Deprecated: new code should construct a Resolver with WithWorkers
+// and call ResolveBatch/ResolveStream; this struct remains for the
+// pre-Resolver entry points, which delegate to the same kernels.
 type BatchOptions = core.BatchOptions
 
 // Location is a point-location answer.
@@ -178,6 +230,120 @@ func MergeStations(s1, s2, p1, p2 Point) (Point, error) {
 func ThreeStationAnalysis(s1, s2 Point) (ThreeStationReport, error) {
 	return core.ThreeStationAnalysis(s1, s2)
 }
+
+// Resolver is the one query interface over every reception model:
+// Resolve / ResolveBatch / ResolveStream answer "which station is
+// heard at p?" and Stats reports the backend's kind, parameters and
+// build cost. The no-station answer convention (NoReception vs the
+// NoStationHeard sentinel) is documented once on the interface's
+// package (internal/resolve) and in this package's comment.
+type Resolver = resolve.Resolver
+
+// ResolverKind identifies a resolver backend (exact, locator,
+// voronoi, udg).
+type ResolverKind = resolve.Kind
+
+// ResolverStats is a resolver's self-description (kind, parameters,
+// build cost).
+type ResolverStats = resolve.Stats
+
+// ResolverOption customizes resolver construction; options irrelevant
+// to a backend are validated but ignored, so one option slice can
+// configure any kind.
+type ResolverOption = resolve.Option
+
+// The four resolver backends.
+const (
+	ResolverExact   = resolve.KindExact
+	ResolverLocator = resolve.KindLocator
+	ResolverVoronoi = resolve.KindVoronoi
+	ResolverUDG     = resolve.KindUDG
+)
+
+// DefaultResolverEpsilon is the Theorem 3 performance parameter used
+// when a LocatorResolver is built without WithEpsilon.
+const DefaultResolverEpsilon = resolve.DefaultEps
+
+// ExactResolver answers by direct SINR evaluation — the ground truth.
+type ExactResolver = resolve.ExactResolver
+
+// LocatorResolver answers through the Theorem 3 structure, settling
+// uncertainty rings exactly unless WithExactFallback(false).
+type LocatorResolver = resolve.LocatorResolver
+
+// VoronoiResolver answers via the nearest-candidate check of
+// Observation 2.2 plus one SINR evaluation.
+type VoronoiResolver = resolve.VoronoiResolver
+
+// UDGResolver answers under the graph-based UDG/protocol rule — the
+// baseline reception model the paper argues against.
+type UDGResolver = resolve.UDGResolver
+
+// NewResolver builds the backend named by kind — the registry entry
+// point used when the kind arrives as data (a wire field, a flag).
+func NewResolver(kind ResolverKind, net *Network, opts ...ResolverOption) (Resolver, error) {
+	return resolve.New(kind, net, opts...)
+}
+
+// NewExactResolver wraps net in the ground-truth backend.
+func NewExactResolver(net *Network, opts ...ResolverOption) (*ExactResolver, error) {
+	return resolve.NewExact(net, opts...)
+}
+
+// NewLocatorResolver builds the Theorem 3 structure for net and wraps
+// it (WithEpsilon, WithExactFallback, WithWorkers apply).
+func NewLocatorResolver(net *Network, opts ...ResolverOption) (*LocatorResolver, error) {
+	return resolve.NewLocator(net, opts...)
+}
+
+// NewVoronoiResolver builds the nearest-candidate baseline for net.
+func NewVoronoiResolver(net *Network, opts ...ResolverOption) (*VoronoiResolver, error) {
+	return resolve.NewVoronoi(net, opts...)
+}
+
+// NewUDGResolver builds the graph-based baseline over net's stations
+// (WithRadius, WithInterfRadius, WithWorkers apply).
+func NewUDGResolver(net *Network, opts ...ResolverOption) (*UDGResolver, error) {
+	return resolve.NewUDG(net, opts...)
+}
+
+// ParseResolverKind maps a wire/flag name ("exact", "locator",
+// "voronoi", "udg"; "" means locator) to its ResolverKind.
+func ParseResolverKind(s string) (ResolverKind, error) { return resolve.ParseKind(s) }
+
+// ResolverKinds lists every backend, in kind order.
+func ResolverKinds() []ResolverKind { return resolve.Kinds() }
+
+// WithWorkers sets the worker count used by ResolveBatch,
+// ResolveStream and the locator build (0 = one per CPU, 1 = serial;
+// answers are identical for every setting).
+func WithWorkers(workers int) ResolverOption { return resolve.WithWorkers(workers) }
+
+// WithEpsilon sets the Theorem 3 performance parameter of a
+// LocatorResolver (default DefaultResolverEpsilon).
+func WithEpsilon(eps float64) ResolverOption { return resolve.WithEpsilon(eps) }
+
+// WithExactFallback controls whether a LocatorResolver settles H?
+// answers exactly (default true) or surfaces Uncertain to the caller.
+func WithExactFallback(on bool) ResolverOption { return resolve.WithExactFallback(on) }
+
+// WithRadius sets a UDGResolver's connectivity radius (and its
+// interference radius, unless WithInterfRadius overrides it); zero
+// means DefaultUDGRadius of the network.
+func WithRadius(r float64) ResolverOption { return resolve.WithRadius(r) }
+
+// WithInterfRadius sets a UDGResolver's interference radius
+// independently (the Quasi-UDG model).
+func WithInterfRadius(r float64) ResolverOption { return resolve.WithInterfRadius(r) }
+
+// DefaultUDGRadius derives a comparison-worthy UDG radius from the
+// network: the interference-free reception range of its weakest
+// station, with documented fallbacks for noiseless networks.
+func DefaultUDGRadius(net *Network) float64 { return resolve.DefaultUDGRadius(net) }
+
+// StationIndex flattens a Location to the batch wire shape: the heard
+// station's index, or NoStationHeard for a no-reception answer.
+func StationIndex(loc Location) int { return resolve.StationIndex(loc) }
 
 // Diagram is a measured SINR diagram: per-zone polygonal geometry and
 // the communication graph induced by concurrent transmission.

@@ -1,6 +1,7 @@
 package sinrdiag
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -110,5 +111,73 @@ func TestFacadeDiagram(t *testing.T) {
 	}
 	if got := len(d.CommunicationGraph()); got != 2 {
 		t.Errorf("graph size = %d", got)
+	}
+}
+
+// TestFacadeResolverDelegation checks the acceptance contract of the
+// Resolver redesign at the facade: every old entry point (HeardBy,
+// NaiveLocate, VoronoiLocate, BuildLocator+LocateExact) returns
+// answers identical to its Resolver replacement, and the facade
+// constructors/options round-trip.
+func TestFacadeResolverDelegation(t *testing.T) {
+	net, err := NewUniform([]Point{Pt(0, 0), Pt(3, 1), Pt(-1, 2), Pt(2, -2)}, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := net.BuildLocator(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewExactResolver(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locRes, err := NewLocatorResolver(net, WithEpsilon(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	voro, err := NewVoronoiResolver(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if locRes.Stats().Kind != ResolverLocator || locRes.Stats().Eps != 0.1 {
+		t.Fatalf("locator stats = %+v", locRes.Stats())
+	}
+
+	ctx := context.Background()
+	for i := -30; i <= 30; i++ {
+		for j := -30; j <= 30; j++ {
+			p := Pt(float64(i)/6, float64(j)/6)
+			want := net.NaiveLocate(p)
+			if got := exact.Resolve(ctx, p); got != want {
+				t.Fatalf("exact resolver %v != NaiveLocate %v at %v", got, want, p)
+			}
+			if got := locRes.Resolve(ctx, p); got != loc.LocateExact(p) {
+				t.Fatalf("locator resolver %v != LocateExact %v at %v", got, loc.LocateExact(p), p)
+			}
+			if got := voro.Resolve(ctx, p); got != net.VoronoiLocate(p, nil) {
+				t.Fatalf("voronoi resolver %v != VoronoiLocate %v at %v", got, net.VoronoiLocate(p, nil), p)
+			}
+			idx, ok := net.HeardBy(p)
+			if !ok {
+				idx = NoStationHeard
+			}
+			if got := StationIndex(exact.Resolve(ctx, p)); got != idx {
+				t.Fatalf("StationIndex %d != HeardBy %d at %v", got, idx, p)
+			}
+		}
+	}
+
+	for _, kind := range ResolverKinds() {
+		parsed, err := ParseResolverKind(kind.String())
+		if err != nil || parsed != kind {
+			t.Fatalf("ParseResolverKind(%q) = %v, %v", kind.String(), parsed, err)
+		}
+		if _, err := NewResolver(kind, net, WithWorkers(2)); err != nil {
+			t.Fatalf("NewResolver(%v): %v", kind, err)
+		}
+	}
+	if DefaultUDGRadius(net) <= 0 {
+		t.Fatal("DefaultUDGRadius must be positive")
 	}
 }

@@ -1,0 +1,150 @@
+// Command apicheck is the facade API-compatibility gate: it lists the
+// exported top-level symbols of the root sinrdiag package and compares
+// them against the checked-in baseline api/facade.txt.
+//
+// The check fails when a baseline symbol is missing — removing an
+// exported facade name without leaving a (possibly deprecated) alias
+// behind breaks downstream code — and when a new exported symbol is
+// not yet recorded, so API growth is a reviewed, explicit act:
+//
+//	go run ./tools/apicheck          # gate (CI runs this)
+//	go run ./tools/apicheck -write   # regenerate the baseline
+//
+// The baseline is one "kind name" line per symbol (e.g. "func
+// NewResolver", "type Locator", "const NoReception"), sorted, so API
+// diffs read naturally in review.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory of the facade package")
+	baseline := flag.String("baseline", "api/facade.txt", "baseline symbol list")
+	write := flag.Bool("write", false, "regenerate the baseline instead of checking")
+	flag.Parse()
+
+	if err := run(*dir, *baseline, *write); err != nil {
+		fmt.Fprintln(os.Stderr, "apicheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, baseline string, write bool) error {
+	current, err := exportedSymbols(dir)
+	if err != nil {
+		return err
+	}
+	if write {
+		out := strings.Join(current, "\n") + "\n"
+		if err := os.WriteFile(baseline, []byte(out), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("apicheck: wrote %s (%d symbols)\n", baseline, len(current))
+		return nil
+	}
+
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		return fmt.Errorf("reading baseline (run with -write to create it): %w", err)
+	}
+	want := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			want[line] = true
+		}
+	}
+	got := map[string]bool{}
+	for _, s := range current {
+		got[s] = true
+	}
+
+	var removed, added []string
+	for s := range want {
+		if !got[s] {
+			removed = append(removed, s)
+		}
+	}
+	for s := range got {
+		if !want[s] {
+			added = append(added, s)
+		}
+	}
+	sort.Strings(removed)
+	sort.Strings(added)
+
+	if len(removed) > 0 {
+		fmt.Fprintf(os.Stderr, "apicheck: %d exported facade symbol(s) removed without a deprecated alias:\n", len(removed))
+		for _, s := range removed {
+			fmt.Fprintf(os.Stderr, "  - %s\n", s)
+		}
+	}
+	if len(added) > 0 {
+		fmt.Fprintf(os.Stderr, "apicheck: %d new exported facade symbol(s) not in the baseline (run `go run ./tools/apicheck -write` and commit %s):\n", len(added), baseline)
+		for _, s := range added {
+			fmt.Fprintf(os.Stderr, "  + %s\n", s)
+		}
+	}
+	if len(removed) > 0 || len(added) > 0 {
+		return fmt.Errorf("facade API drifted from %s", baseline)
+	}
+	fmt.Printf("apicheck: facade API matches %s (%d symbols)\n", baseline, len(current))
+	return nil
+}
+
+// exportedSymbols parses the non-test files of the package in dir and
+// returns its exported top-level symbols as sorted "kind name" lines.
+func exportedSymbols(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var syms []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					// Methods belong to their receiver type's API, and the
+					// facade's types are aliases whose methods live in the
+					// internal packages — only track package-level funcs.
+					if d.Recv == nil && d.Name.IsExported() {
+						syms = append(syms, "func "+d.Name.Name)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch sp := spec.(type) {
+						case *ast.TypeSpec:
+							if sp.Name.IsExported() {
+								syms = append(syms, "type "+sp.Name.Name)
+							}
+						case *ast.ValueSpec:
+							kind := "var"
+							if d.Tok == token.CONST {
+								kind = "const"
+							}
+							for _, name := range sp.Names {
+								if name.IsExported() {
+									syms = append(syms, kind+" "+name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(syms)
+	return syms, nil
+}
