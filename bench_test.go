@@ -206,6 +206,59 @@ func BenchmarkQueryDS(b *testing.B) {
 			}
 			gen := workload.NewGenerator(17)
 			qs := gen.QueryPoints(1024, geom.NewBox(geom.Pt(-6, -6), geom.Pt(6, 6)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loc.Locate(qs[i%len(qs)])
+			}
+		})
+	}
+}
+
+// BenchmarkLocateScan is the O(n) full-scan baseline of the locate
+// hot path (E18): nearest station by linear scan, then that station's
+// QDS classification. Compare against BenchmarkQueryDS (the indexed
+// path on the identical locator and query mix) for the spatial-index
+// speedup.
+func BenchmarkLocateScan(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			net := benchNetwork(b, n)
+			loc := benchLocators[n]
+			if loc == nil {
+				var err error
+				loc, err = net.BuildLocator(0.1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchLocators[n] = loc
+			}
+			gen := workload.NewGenerator(17)
+			qs := gen.QueryPoints(1024, geom.NewBox(geom.Pt(-6, -6), geom.Pt(6, 6)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loc.LocateScan(qs[i%len(qs)])
+			}
+		})
+	}
+}
+
+// BenchmarkLocateNoIndex is the pre-index kd-tree-only path (a
+// locator built with NoSpatialIndex), isolating what the sharded
+// index adds on top of the nearest-station lookup. Small sizes only:
+// the point is the per-query constant, not the build.
+func BenchmarkLocateNoIndex(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			net := benchNetwork(b, n)
+			loc, err := net.BuildLocatorOpts(0.1, core.BuildOptions{NoSpatialIndex: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := workload.NewGenerator(17)
+			qs := gen.QueryPoints(1024, geom.NewBox(geom.Pt(-6, -6), geom.Pt(6, 6)))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				loc.Locate(qs[i%len(qs)])

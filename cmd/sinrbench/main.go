@@ -8,6 +8,8 @@
 //	sinrbench [-trials N] [-only E7] [-parallel W]
 //	          [-resolver exact|locator|voronoi|udg|all]
 //	          [-resolvers-out BENCH_resolvers.json]
+//	          [-hotpath-sizes 16,64,256,1024] [-hotpath-queries 4096]
+//	          [-hotpath-out BENCH_hotpath.json]
 //
 // -trials scales the randomized validations (default 5); -only runs a
 // single experiment by id; -parallel sets the worker count for the
@@ -16,13 +18,25 @@
 // cross-backend comparison to one query backend (default all four)
 // and -resolvers-out is where E17 writes its BENCH_resolvers.json
 // artifact (qps/latency/disagreement per workload x backend; empty
-// disables the file).
+// disables the file). The -hotpath-* flags steer E18, the sharded
+// spatial-index hot-path comparison: the network-size axis, the
+// per-workload query count, and the path of its BENCH_hotpath.json
+// artifact (no file unless a path is given, so a plain suite run
+// never clobbers the committed perf trajectory). The committed
+// BENCH_hotpath.json is regenerated explicitly with
+//
+//	sinrbench -only E18 -hotpath-sizes 16,64,256,1024 \
+//	          -hotpath-out BENCH_hotpath.json
+//
+// — the n=1024 leg builds a large Theorem 3 locator; expect minutes
+// on one core.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/exp"
@@ -34,17 +48,41 @@ func main() {
 	parallel := flag.Int("parallel", 0, "workers for concurrency-layer experiments (0 = NumCPU, 1 = serial)")
 	resolver := flag.String("resolver", "all", "restrict the E17 cross-backend comparison to one backend (exact, locator, voronoi, udg or all)")
 	resolversOut := flag.String("resolvers-out", "BENCH_resolvers.json", "path E17 writes its JSON artifact to (empty = no file)")
+	hotpathSizes := flag.String("hotpath-sizes", "16,64,256", "comma-separated network sizes of the E18 hot-path comparison (the committed artifact uses 16,64,256,1024; the n=1024 build takes minutes)")
+	hotpathQueries := flag.Int("hotpath-queries", exp.DefaultHotPathQueries, "queries per workload in E18")
+	hotpathOut := flag.String("hotpath-out", "", "path E18 writes its JSON artifact to (empty = no file; the committed trajectory is regenerated explicitly, see CONTRIBUTING.md)")
 	flag.Parse()
 
-	if err := run(*trials, *only, *parallel, *resolver, *resolversOut); err != nil {
+	sizes, err := parseSizes(*hotpathSizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sinrbench:", err)
+		os.Exit(1)
+	}
+	if err := run(*trials, *only, *parallel, *resolver, *resolversOut, sizes, *hotpathQueries, *hotpathOut); err != nil {
 		fmt.Fprintln(os.Stderr, "sinrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(trials int, only string, workers int, resolver, resolversOut string) error {
+// parseSizes parses the -hotpath-sizes comma list.
+func parseSizes(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return exp.DefaultHotPathSizes, nil
+	}
+	var sizes []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad -hotpath-sizes entry %q (want integers >= 2)", f)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}
+
+func run(trials int, only string, workers int, resolver, resolversOut string, hotSizes []int, hotQueries int, hotPathOut string) error {
 	failed, ran := 0, 0
-	for _, e := range exp.RegistryResolvers(trials, workers, resolver, resolversOut) {
+	for _, e := range exp.RegistryHotPath(trials, workers, resolver, resolversOut, hotSizes, hotQueries, hotPathOut) {
 		if only != "" && !strings.EqualFold(e.ID, only) {
 			continue
 		}

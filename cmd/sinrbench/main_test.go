@@ -8,13 +8,13 @@ import (
 // TestRunSingleExperiment smoke-tests the CLI path on the cheapest
 // experiment (E1): selection by id, table printing, error plumbing.
 func TestRunSingleExperiment(t *testing.T) {
-	if err := run(1, "E1", 0, "all", ""); err != nil {
+	if err := run(1, "E1", 0, "all", "", nil, 64, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunCaseInsensitiveSelector(t *testing.T) {
-	if err := run(1, "e2", 1, "all", ""); err != nil {
+	if err := run(1, "e2", 1, "all", "", nil, 64, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -22,13 +22,13 @@ func TestRunCaseInsensitiveSelector(t *testing.T) {
 // TestRunParallelExperiment smoke-tests the concurrency-layer
 // experiment (E16) through the -parallel plumbing, serial workers.
 func TestRunParallelExperiment(t *testing.T) {
-	if err := run(1, "E16", 1, "all", ""); err != nil {
+	if err := run(1, "E16", 1, "all", "", nil, 64, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if err := run(1, "E99", 0, "all", ""); err == nil {
+	if err := run(1, "E99", 0, "all", "", nil, 64, ""); err == nil {
 		t.Fatal("unknown experiment id must fail")
 	}
 }
@@ -37,16 +37,45 @@ func TestRunUnknownID(t *testing.T) {
 // single-backend run plus the JSON artifact emission.
 func TestRunResolverComparison(t *testing.T) {
 	out := t.TempDir() + "/BENCH_resolvers.json"
-	if err := run(1, "E17", 1, "all", out); err != nil {
+	if err := run(1, "E17", 1, "all", out, nil, 64, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if _, err := os.Stat(out); err != nil {
 		t.Fatalf("BENCH_resolvers.json not written: %v", err)
 	}
-	if err := run(1, "E17", 1, "voronoi", ""); err != nil {
+	if err := run(1, "E17", 1, "voronoi", "", nil, 64, ""); err != nil {
 		t.Fatalf("single-backend run: %v", err)
 	}
-	if err := run(1, "E17", 1, "psychic", ""); err == nil {
+	if err := run(1, "E17", 1, "psychic", "", nil, 64, ""); err == nil {
 		t.Fatal("unknown backend must fail")
+	}
+}
+
+// TestRunHotPath smoke-tests the E18 hot-path comparison through the
+// -hotpath-* plumbing: a tiny size axis plus the JSON artifact.
+func TestRunHotPath(t *testing.T) {
+	out := t.TempDir() + "/BENCH_hotpath.json"
+	if err := run(1, "E18", 1, "all", "", []int{8, 12}, 256, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("BENCH_hotpath.json not written: %v", err)
+	}
+}
+
+// TestParseSizes covers the -hotpath-sizes flag parser.
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes(" 16, 64 ")
+	if err != nil || len(got) != 2 || got[0] != 16 || got[1] != 64 {
+		t.Fatalf("parseSizes = %v, %v", got, err)
+	}
+	if _, err := parseSizes("16,zap"); err == nil {
+		t.Fatal("garbage size accepted")
+	}
+	if _, err := parseSizes("1"); err == nil {
+		t.Fatal("size < 2 accepted")
+	}
+	if got, err := parseSizes(""); err != nil || len(got) == 0 {
+		t.Fatalf("empty sizes should default, got %v, %v", got, err)
 	}
 }

@@ -7,6 +7,13 @@
 //
 //	sinrserve [-addr :8080] [-max-locators 8] [-workers 0] [-default-eps 0.05] [-min-eps 0.01]
 //
+// The listener is bound before the startup line is printed, and the
+// line reports the actual bound address — so -addr 127.0.0.1:0 picks
+// a free ephemeral port and scripts (the CI serve-smoke job) can read
+// it from stdout instead of guessing ports:
+//
+//	sinrserve: listening on 127.0.0.1:43627 (...)
+//
 // Endpoints (see internal/serve):
 //
 //	POST /v1/networks       register or hot-swap a named network
@@ -24,6 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -55,16 +63,24 @@ func run(addr string, maxLocators, workers int, defaultEps, minEps float64) erro
 		MinEps:      minEps,
 	})
 	srv := &http.Server{
-		Addr:              addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// Bind before announcing: the printed address is the one actually
+	// listening (with -addr host:0 the kernel-assigned port), so a
+	// supervisor polling it can never race the bind or pick a port
+	// that was taken.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sinrserve: listening on %s (max-locators=%d workers=%d default-eps=%g min-eps=%g)\n",
+		ln.Addr(), maxLocators, workers, defaultEps, minEps)
+
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("sinrserve: listening on %s (max-locators=%d workers=%d default-eps=%g min-eps=%g)\n",
-			addr, maxLocators, workers, defaultEps, minEps)
-		errCh <- srv.ListenAndServe()
+		errCh <- srv.Serve(ln)
 	}()
 
 	stop := make(chan os.Signal, 1)

@@ -17,6 +17,13 @@ type BuildOptions struct {
 	// setting — per-station builds are independent and each lands in
 	// its own slot of the locator.
 	Workers int
+
+	// NoSpatialIndex skips building the sharded spatial index over
+	// the per-station cover boxes. The zero value builds it (the
+	// index is on by default): queries are answer-identical with and
+	// without it, so the only reason to disable it is benchmarking
+	// the pre-index path.
+	NoSpatialIndex bool
 }
 
 // BatchOptions tunes batch query execution.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/kdtree"
+	"repro/internal/shardindex"
 )
 
 // LocationKind is the answer category of an approximate point-location
@@ -48,6 +49,12 @@ type Locator struct {
 	tree *kdtree.Tree
 	qds  []*QDS
 	eps  float64
+	// sx is the sharded spatial index over the per-station cover
+	// boxes (QDS.CoverBox): one grid-cell lookup bounds the candidate
+	// stations whose zones can contain a query point, and an empty
+	// answer certifies H- without touching the kd-tree. nil when the
+	// build disabled it (BuildOptions.NoSpatialIndex).
+	sx *shardindex.Index
 }
 
 // BuildLocator constructs the combined point-location structure with
@@ -84,6 +91,14 @@ func (n *Network) BuildLocatorOpts(eps float64, opt BuildOptions) (*Locator, err
 	if err != nil {
 		return nil, err
 	}
+	if !opt.NoSpatialIndex {
+		boxes := make([]shardindex.Box, len(loc.qds))
+		for i, q := range loc.qds {
+			b := q.CoverBox()
+			boxes[i] = shardindex.Box{MinX: b.Min.X, MinY: b.Min.Y, MaxX: b.Max.X, MaxY: b.Max.Y}
+		}
+		loc.sx = shardindex.Build(boxes)
+	}
 	return loc, nil
 }
 
@@ -103,15 +118,44 @@ func (l *Locator) NumUncertainCells() int {
 	return total
 }
 
-// Locate answers an approximate point-location query in O(log n):
-// nearest-station lookup (kd-tree), then an O(1) cell classification
-// in that station's QDS. By Observation 2.2 no other station can be
-// heard at p, so a T- answer for the nearest station implies H-.
+// Locate answers an approximate point-location query. With the
+// spatial index (the default) the path is: one grid-cell lookup over
+// the per-station cover boxes — an empty candidate set certifies H-
+// immediately, which is the common case for traffic over the mostly
+// empty plane — then the kd-tree nearest-station check as the
+// residual filter (Observation 2.2: only the nearest station can be
+// heard at p) and an O(1) cell classification in that station's QDS.
+// Without the index it is the kd-tree plus classification alone.
+// Answers are identical either way, and identical to LocateScan's
+// full scan over every station. The hot path performs no allocations.
 func (l *Locator) Locate(p geom.Point) Location {
+	if l.sx != nil {
+		if !l.sx.Covers(p.X, p.Y) {
+			// No station's cover box contains p, so every QDS would
+			// classify it T-: certified H- in one cell lookup.
+			return Location{Kind: NoReception}
+		}
+		idx, _, ok := l.tree.Nearest(p)
+		if !ok {
+			return Location{Kind: NoReception}
+		}
+		if !l.sx.Contains(int32(idx), p.X, p.Y) {
+			// p is in some station's box, but not the nearest's: its
+			// QDS would classify p T- (the box covers every non-T-
+			// cell), and by Observation 2.2 nobody else can be heard.
+			return Location{Kind: NoReception}
+		}
+		return l.classify(idx, p)
+	}
 	idx, _, ok := l.tree.Nearest(p)
 	if !ok {
 		return Location{Kind: NoReception}
 	}
+	return l.classify(idx, p)
+}
+
+// classify maps station idx's QDS cell answer for p to a Location.
+func (l *Locator) classify(idx int, p geom.Point) Location {
 	switch l.qds[idx].Classify(p) {
 	case TPlus:
 		return Location{Kind: Reception, Station: idx}
@@ -120,6 +164,25 @@ func (l *Locator) Locate(p geom.Point) Location {
 	default:
 		return Location{Kind: NoReception}
 	}
+}
+
+// LocateScan answers the same query as Locate by scanning every
+// station: a linear nearest-station pass (ties broken toward the
+// lowest index, the kd-tree's convention) followed by that station's
+// QDS classification. It is the O(n) pre-index baseline kept for
+// benchmarking (experiment E18) and for the property tests that pin
+// Locate's answers to it point-for-point.
+func (l *Locator) LocateScan(p geom.Point) Location {
+	if len(l.net.stations) == 0 {
+		return Location{Kind: NoReception}
+	}
+	best, bestD2 := 0, geom.Dist2(l.net.stations[0], p)
+	for i := 1; i < len(l.net.stations); i++ {
+		if d2 := geom.Dist2(l.net.stations[i], p); d2 < bestD2 {
+			best, bestD2 = i, d2
+		}
+	}
+	return l.classify(best, p)
 }
 
 // LocateExact resolves a query exactly: it uses the fast path of
@@ -146,6 +209,10 @@ func (l *Locator) ResolveUncertain(loc Location, p geom.Point) Location {
 	}
 	return Location{Kind: NoReception}
 }
+
+// SpatialIndex returns the sharded spatial index of the locator, or
+// nil when the build disabled it (BuildOptions.NoSpatialIndex).
+func (l *Locator) SpatialIndex() *shardindex.Index { return l.sx }
 
 // Network returns the network the locator was built for.
 func (l *Locator) Network() *Network { return l.net }

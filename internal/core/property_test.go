@@ -141,6 +141,71 @@ func TestQuickInterferenceAdditive(t *testing.T) {
 	}
 }
 
+// TestQuickIndexedLocateMatchesScan: the spatial-index fast path of
+// Locate/LocateExact/HeardBy answers point-for-point identically to
+// both the pre-index scan baseline (LocateScan) and a locator built
+// with the index disabled, across random networks, epsilons and
+// query points — including points far outside every zone (the
+// index's fast H- exit) and points near zone boundaries (the H?
+// rings).
+func TestQuickIndexedLocateMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + rng.Intn(10)
+		stations := make([]geom.Point, n)
+		for i := range stations {
+			stations[i] = geom.Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+		}
+		if trial%4 == 3 {
+			// Exercise the degenerate point-zone path too.
+			stations[n-1] = stations[0]
+		}
+		net := mustNet(t, stations, 0.01, 1.5+rng.Float64()*3)
+		eps := []float64{0.5, 0.2, 0.1}[rng.Intn(3)]
+		indexed, err := net.BuildLocatorOpts(eps, BuildOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("trial %d: indexed build: %v", trial, err)
+		}
+		plain, err := net.BuildLocatorOpts(eps, BuildOptions{Workers: 1, NoSpatialIndex: true})
+		if err != nil {
+			t.Fatalf("trial %d: plain build: %v", trial, err)
+		}
+		if indexed.SpatialIndex() == nil || plain.SpatialIndex() != nil {
+			t.Fatalf("trial %d: index presence wrong (on by default, off on request)", trial)
+		}
+		for q := 0; q < 1500; q++ {
+			// Mix wide-area points (mostly H-) with points near a
+			// station (H+ and H? territory).
+			var p geom.Point
+			if q%2 == 0 {
+				p = geom.Pt(rng.Float64()*30-15, rng.Float64()*30-15)
+			} else {
+				s := stations[rng.Intn(n)]
+				r := rng.Float64() * 2
+				a := rng.Float64() * 2 * math.Pi
+				p = geom.Pt(s.X+r*math.Cos(a), s.Y+r*math.Sin(a))
+			}
+			want := indexed.LocateScan(p)
+			if got := indexed.Locate(p); got != want {
+				t.Fatalf("trial %d: Locate(%v) = %+v, scan = %+v", trial, p, got, want)
+			}
+			if got := plain.Locate(p); got != want {
+				t.Fatalf("trial %d: no-index Locate(%v) = %+v, scan = %+v", trial, p, got, want)
+			}
+			wantExact := indexed.ResolveUncertain(want, p)
+			if got := indexed.LocateExact(p); got != wantExact {
+				t.Fatalf("trial %d: LocateExact(%v) = %+v, want %+v", trial, p, got, wantExact)
+			}
+			gi, oki := indexed.HeardBy(p)
+			gp, okp := plain.HeardBy(p)
+			if gi != gp || oki != okp {
+				t.Fatalf("trial %d: HeardBy(%v) indexed (%d,%v) != plain (%d,%v)",
+					trial, p, gi, oki, gp, okp)
+			}
+		}
+	}
+}
+
 // TestQuickZoneShrinksWithMoreInterferers: adding a station never
 // grows an existing zone (the Figure 1(C) silencing effect, stated as
 // the contrapositive).

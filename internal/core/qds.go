@@ -187,6 +187,54 @@ func (q *QDS) Bounds() ZoneBounds { return q.bounds }
 // NumUncertainCells returns |T?|, the size driver of the structure.
 func (q *QDS) NumUncertainCells() int { return q.numUncertain }
 
+// CoverBox returns a box guaranteed to contain every point Classify
+// answers T+ or T? for — the zone plus its uncertainty ring. It is
+// derived from the stored columns (every non-T- cell lies in a stored
+// column between its outermost T? rows) and padded by one grid pitch
+// so floating-point disagreement between the box arithmetic and
+// CellOf's floor can never misplace a boundary point. Points outside
+// the box are certifiably T-, which is what lets a spatial index skip
+// this structure entirely for most of the plane.
+func (q *QDS) CoverBox() geom.Box {
+	if q.pointZone {
+		s := q.net.stations[q.station]
+		// Classify answers T? only within geom.Eps of the station.
+		pad := 2 * geom.Eps
+		return geom.NewBox(geom.Pt(s.X-pad, s.Y-pad), geom.Pt(s.X+pad, s.Y+pad))
+	}
+	first := true
+	var colMin, colMax, rowMin, rowMax int
+	for col, qc := range q.cols {
+		if first {
+			colMin, colMax, rowMin, rowMax = col, col, qc.minRow, qc.maxRow
+			first = false
+			continue
+		}
+		if col < colMin {
+			colMin = col
+		}
+		if col > colMax {
+			colMax = col
+		}
+		if qc.minRow < rowMin {
+			rowMin = qc.minRow
+		}
+		if qc.maxRow > rowMax {
+			rowMax = qc.maxRow
+		}
+	}
+	if first {
+		// No stored columns: everything is T-; an inverted box indexes
+		// nowhere.
+		return geom.Box{Min: geom.Pt(1, 1), Max: geom.Pt(-1, -1)}
+	}
+	pad := q.grid.Gamma
+	return geom.NewBox(
+		geom.Pt(q.grid.ColumnX(colMin)-pad, q.grid.RowY(rowMin)-pad),
+		geom.Pt(q.grid.ColumnX(colMax+1)+pad, q.grid.RowY(rowMax+1)+pad),
+	)
+}
+
 // NumColumns returns the number of stored grid columns.
 func (q *QDS) NumColumns() int { return len(q.cols) }
 

@@ -222,8 +222,8 @@ func TestCommunicationGraphExperiment(t *testing.T) {
 func TestRegistryIDsUnique(t *testing.T) {
 	seen := map[string]bool{}
 	reg := Registry(1)
-	if len(reg) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(reg))
+	if len(reg) != 19 {
+		t.Fatalf("registry has %d experiments, want 19 (E1-E18 plus E10b)", len(reg))
 	}
 	for _, e := range reg {
 		if e.ID == "" || e.Run == nil {
@@ -264,6 +264,45 @@ func TestResolverComparisonShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	var back []ResolverBenchRow
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("artifact round-trip lost rows: %d != %d", len(back), len(rows))
+	}
+}
+
+// TestHotPathComparisonShape checks the E18 measurement: identical
+// indexed/scan answers, an allocation-free indexed loop, and a sane
+// artifact round-trip.
+func TestHotPathComparisonShape(t *testing.T) {
+	rows, err := MeasureHotPath([]int{8, 16}, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 2 sizes x 3 workloads", len(rows))
+	}
+	for _, r := range rows {
+		if r.Mismatches != 0 {
+			t.Fatalf("%s/n=%d: indexed and scan paths disagree on %d points", r.Workload, r.Stations, r.Mismatches)
+		}
+		if r.IndexedAllocs > 0.01 {
+			t.Fatalf("%s/n=%d: indexed hot path allocates %.3f/op", r.Workload, r.Stations, r.IndexedAllocs)
+		}
+		if r.ScanNanos <= 0 || r.IndexedNanos <= 0 || r.IndexCells <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	out := t.TempDir() + "/BENCH_hotpath.json"
+	if err := WriteHotPathBenchJSON(out, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []HotPathBenchRow
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}

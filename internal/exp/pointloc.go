@@ -231,12 +231,30 @@ func RegistryWorkers(trials, workers int) []Experiment {
 	return RegistryResolvers(trials, workers, "", "")
 }
 
+// DefaultHotPathSizes is the network-size axis of the E18 hot-path
+// comparison: up to 1024 stations at constant density — the committed
+// BENCH_hotpath.json trajectory point is produced at these sizes.
+// CI and tests pass a smaller axis (the n=1024 locator build is the
+// expensive part, not the queries).
+var DefaultHotPathSizes = []int{16, 64, 256, 1024}
+
+// DefaultHotPathQueries is the per-workload query count of E18.
+const DefaultHotPathQueries = 4096
+
 // RegistryResolvers is RegistryWorkers with the resolver-axis knobs
 // of E17: resolver restricts the cross-backend comparison to one
 // backend ("" or "all" compares all four) and resolversOut, when
 // non-empty, is the path the BENCH_resolvers.json artifact is
-// written to.
+// written to. E18 runs with its default sizes and no artifact; use
+// RegistryHotPath to control it.
 func RegistryResolvers(trials, workers int, resolver, resolversOut string) []Experiment {
+	return RegistryHotPath(trials, workers, resolver, resolversOut, DefaultHotPathSizes, DefaultHotPathQueries, "")
+}
+
+// RegistryHotPath is RegistryResolvers with the E18 hot-path knobs:
+// the network-size axis, the per-workload query count and the path
+// the BENCH_hotpath.json artifact is written to (empty = no file).
+func RegistryHotPath(trials, workers int, resolver, resolversOut string, hotSizes []int, hotQueries int, hotPathOut string) []Experiment {
 	return []Experiment{
 		{"E1", Fig1Reception},
 		{"E2", Fig2Cumulative},
@@ -256,6 +274,7 @@ func RegistryResolvers(trials, workers int, resolver, resolversOut string) []Exp
 		{"E15", func() (*Table, error) { return CommunicationGraph(trials) }},
 		{"E16", func() (*Table, error) { return ParallelScaling(workers) }},
 		{"E17", func() (*Table, error) { return ResolverComparison(workers, resolver, resolversOut) }},
+		{"E18", func() (*Table, error) { return HotPathComparison(workers, hotSizes, hotQueries, hotPathOut) }},
 	}
 }
 

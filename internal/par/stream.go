@@ -13,9 +13,14 @@ import (
 const StreamChunk = 256
 
 // streamJob is one chunk of stream input moving through the pipeline.
+// Jobs are pooled: the items and res buffers and the done channel are
+// recycled once the emitter has drained the answers, so a sustained
+// stream reaches an allocation-free steady state (no per-chunk or
+// per-item garbage; only the answers the caller receives).
 type streamJob[In, Out any] struct {
 	items []In
-	done  chan []Out
+	res   []Out
+	done  chan struct{} // one signal per trip through the pool
 }
 
 // Stream answers a live stream of queries: it reads items from in
@@ -28,8 +33,9 @@ type streamJob[In, Out any] struct {
 // processed by one worker while later chunks are still being read, so
 // a sustained stream keeps every worker busy, while a slow trickle is
 // flushed immediately (a chunk never waits for more input once the
-// reader would block). Chunk buffers are recycled through a pool, so
-// steady-state streaming allocates only the answer slices.
+// reader would block). Jobs — input buffer, answer buffer and
+// completion signal alike — are recycled through a sync.Pool, so
+// steady-state streaming performs no per-chunk allocations.
 //
 // The output channel is closed after the last answer, or as soon as
 // ctx is cancelled (possibly dropping in-flight answers); cancelled
@@ -40,11 +46,17 @@ func Stream[In, Out any](ctx context.Context, in <-chan In, workers int, fn func
 		workers = Default()
 	}
 	out := make(chan Out, StreamChunk)
-	jobs := make(chan streamJob[In, Out], workers)    // feeds the worker pool
-	pending := make(chan streamJob[In, Out], workers) // same jobs, input order, feeds the emitter
+	jobs := make(chan *streamJob[In, Out], workers)    // feeds the worker pool
+	pending := make(chan *streamJob[In, Out], workers) // same jobs, input order, feeds the emitter
 
-	var bufPool = sync.Pool{
-		New: func() any { return make([]In, 0, StreamChunk) },
+	var jobPool = sync.Pool{
+		New: func() any {
+			return &streamJob[In, Out]{
+				items: make([]In, 0, StreamChunk),
+				res:   make([]Out, 0, StreamChunk),
+				done:  make(chan struct{}, 1),
+			}
+		},
 	}
 
 	// Reader: gather items into chunks, flushing on chunk-full, on a
@@ -64,22 +76,21 @@ func Stream[In, Out any](ctx context.Context, in <-chan In, workers int, fn func
 					return
 				}
 			}
-			buf := bufPool.Get().([]In)[:0]
-			buf = append(buf, item)
+			job := jobPool.Get().(*streamJob[In, Out])
+			job.items = append(job.items[:0], item)
 			// Drain without blocking until the chunk fills.
 		fill:
-			for len(buf) < StreamChunk {
+			for len(job.items) < StreamChunk {
 				select {
 				case item, ok = <-in:
 					if !ok {
 						break fill
 					}
-					buf = append(buf, item)
+					job.items = append(job.items, item)
 				default:
 					break fill
 				}
 			}
-			job := streamJob[In, Out]{items: buf, done: make(chan []Out, 1)}
 			select {
 			case <-ctx.Done():
 				return
@@ -96,32 +107,35 @@ func Stream[In, Out any](ctx context.Context, in <-chan In, workers int, fn func
 		}
 	}()
 
-	// Workers: process each chunk and hand the answers back.
+	// Workers: process each chunk into the job's own answer buffer and
+	// signal the emitter.
 	for w := 0; w < workers; w++ {
 		go func() {
 			for job := range jobs {
-				res := make([]Out, len(job.items))
-				for i, item := range job.items {
-					res[i] = fn(item)
+				job.res = job.res[:0]
+				for _, item := range job.items {
+					job.res = append(job.res, fn(item))
 				}
-				bufPool.Put(job.items[:0])
-				job.done <- res
+				job.done <- struct{}{}
 			}
 		}()
 	}
 
-	// Emitter: release answers in input order.
+	// Emitter: release answers in input order, then recycle the job.
+	// The done signal has been consumed by the time a job is pooled,
+	// so a recycled job's channel is always empty.
 	go func() {
 		defer close(out)
 		for job := range pending {
-			res := <-job.done
-			for _, o := range res {
+			<-job.done
+			for _, o := range job.res {
 				select {
 				case <-ctx.Done():
 					return
 				case out <- o:
 				}
 			}
+			jobPool.Put(job)
 		}
 	}()
 	return out

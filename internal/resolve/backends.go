@@ -62,7 +62,10 @@ func NewLocator(net *core.Network, opts ...Option) (*LocatorResolver, error) {
 		return nil, err
 	}
 	start := time.Now()
-	loc, err := net.BuildLocatorOpts(c.eps, core.BuildOptions{Workers: c.workers})
+	loc, err := net.BuildLocatorOpts(c.eps, core.BuildOptions{
+		Workers:        c.workers,
+		NoSpatialIndex: !c.spatialIndex,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -75,19 +78,24 @@ func wrapLocator(loc *core.Locator, c config, buildCost time.Duration) *LocatorR
 	if c.exactFallback {
 		fn = loc.LocateExact
 	}
-	r.engine = engine{
-		fn:      fn,
-		workers: c.workers,
-		stats: Stats{
-			Kind:          KindLocator,
-			Stations:      loc.NumStations(),
-			Workers:       c.workers,
-			Eps:           loc.Eps(),
-			ExactFallback: c.exactFallback,
-			UncertainSize: loc.NumUncertainCells(),
-			BuildCost:     buildCost,
-		},
+	stats := Stats{
+		Kind:          KindLocator,
+		Stations:      loc.NumStations(),
+		Workers:       c.workers,
+		Eps:           loc.Eps(),
+		ExactFallback: c.exactFallback,
+		UncertainSize: loc.NumUncertainCells(),
+		BuildCost:     buildCost,
 	}
+	if sx := loc.SpatialIndex(); sx != nil {
+		s := sx.Stats()
+		stats.SpatialIndex = true
+		stats.IndexCells = s.Cols * s.Rows
+		stats.IndexOccupied = s.Occupied
+		stats.IndexMaxPerCell = s.MaxPerCell
+		stats.IndexAvgPerCell = s.AvgPerCell
+	}
+	r.engine = engine{fn: fn, workers: c.workers, stats: stats}
 	return r
 }
 

@@ -77,6 +77,17 @@ type Stats struct {
 	ExactFallback bool    // locator: H? answers settled exactly
 	UncertainSize int     // locator: total |T?| across stations
 
+	// Spatial-index self-description (locator-only; zero when the
+	// index is disabled or the backend has none). IndexCells is the
+	// grid size, IndexOccupied the cells with at least one candidate
+	// station, IndexMaxPerCell the worst-case candidate list a query
+	// can hit and IndexAvgPerCell the mean over occupied cells.
+	SpatialIndex    bool
+	IndexCells      int
+	IndexOccupied   int
+	IndexMaxPerCell int
+	IndexAvgPerCell float64
+
 	ConnRadius   float64 // UDG connectivity radius
 	InterfRadius float64 // UDG interference radius
 

@@ -266,3 +266,33 @@ func TestOptionValidation(t *testing.T) {
 		t.Fatalf("quasi-UDG: %v, %+v", err, r.Stats())
 	}
 }
+
+// TestWithSpatialIndex checks the index knob: on by default with
+// stats exported, off on request, and answer-identical either way.
+func TestWithSpatialIndex(t *testing.T) {
+	net := testNetwork(t, 12, 808)
+	on, err := NewLocator(net, WithWorkers(1), WithEpsilon(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := NewLocator(net, WithWorkers(1), WithEpsilon(0.2), WithSpatialIndex(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := on.Stats(); !s.SpatialIndex || s.IndexCells <= 0 || s.IndexOccupied <= 0 ||
+		s.IndexMaxPerCell <= 0 || s.IndexAvgPerCell <= 0 {
+		t.Fatalf("default locator stats lack index description: %+v", s)
+	}
+	if s := off.Stats(); s.SpatialIndex || s.IndexCells != 0 || s.IndexOccupied != 0 {
+		t.Fatalf("WithSpatialIndex(false) stats still describe an index: %+v", s)
+	}
+	if on.Locator().SpatialIndex() == nil || off.Locator().SpatialIndex() != nil {
+		t.Fatal("index presence does not match the option")
+	}
+	ctx := context.Background()
+	for _, p := range testQueries(t, net, 2000, 809) {
+		if got, want := on.Resolve(ctx, p), off.Resolve(ctx, p); got != want {
+			t.Fatalf("Resolve(%v) indexed %+v != plain %+v", p, got, want)
+		}
+	}
+}

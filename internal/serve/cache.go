@@ -33,6 +33,11 @@ type cacheEntry struct {
 }
 
 // resolverCache is a single-flight LRU cache of query resolvers.
+// A cached locator owns its sharded spatial index, so the index is
+// versioned with the snapshot that built it: a hot swap bumps the
+// version, misses the cache, and builds a fresh locator+index pair,
+// while requests still holding the old snapshot keep answering from
+// the old pair — index and network can never disagree mid-request.
 // Concurrent get calls for the same key share one build: the first
 // caller builds while the rest wait on the entry's ready channel.
 // Completed entries beyond cap are evicted least-recently-used;

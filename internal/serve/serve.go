@@ -402,15 +402,49 @@ func resultFor(loc core.Location) LocateResult {
 	return LocateResult{Kind: core.NoReception.String(), Station: NoStationHeard}
 }
 
+// locateScratch is the pooled per-request scratch of the batch locate
+// handler: the decoded request (whose Points array the JSON decoder
+// reuses), the query points, the resolver answers and the wire
+// results all ride along between requests, so steady-state batch
+// serving recycles its large buffers instead of re-allocating them
+// per request.
+type locateScratch struct {
+	req     LocateRequest
+	pts     []geom.Point
+	answers []core.Location
+	results []LocateResult
+}
+
+var locatePool = sync.Pool{New: func() any { return new(locateScratch) }}
+
+// grow returns buf resized to n entries, reusing its backing array
+// when the capacity allows.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
 func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
-	var req LocateRequest
-	if !decodeBody(w, r, s.opt.MaxBodyBytes, &req) {
+	sc := locatePool.Get().(*locateScratch)
+	defer locatePool.Put(sc)
+	// The JSON decoder only writes fields present in the body, so the
+	// recycled request — including every element of the reused Points
+	// array, where an omitted coordinate would otherwise inherit a
+	// previous request's value — must be zeroed by hand before the
+	// decoder refills it in place.
+	pts := sc.req.Points[:cap(sc.req.Points)]
+	clear(pts)
+	sc.req = LocateRequest{Points: pts[:0]}
+	if !decodeBody(w, r, s.opt.MaxBodyBytes, &sc.req) {
 		return
 	}
+	req := &sc.req
 	if len(req.Points) > s.opt.MaxBatch {
 		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d points exceeds limit %d", len(req.Points), s.opt.MaxBatch)
 		return
@@ -422,20 +456,20 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, locateStatus(err), "%v", err)
 		return
 	}
-	pts := make([]geom.Point, len(req.Points))
+	sc.pts = grow(sc.pts, len(req.Points))
 	for i, p := range req.Points {
-		pts[i] = geom.Pt(p.X, p.Y)
+		sc.pts[i] = geom.Pt(p.X, p.Y)
 	}
-	answers := make([]core.Location, len(pts))
-	if err := res.ResolveBatch(r.Context(), pts, answers); err != nil {
+	sc.answers = grow(sc.answers, len(sc.pts))
+	if err := res.ResolveBatch(r.Context(), sc.pts, sc.answers); err != nil {
 		return // client went away mid-batch; nothing left to tell it
 	}
-	results := make([]LocateResult, len(answers))
-	for i, a := range answers {
-		results[i] = resultFor(a)
+	sc.results = grow(sc.results, len(sc.answers))
+	for i, a := range sc.answers {
+		sc.results[i] = resultFor(a)
 	}
 	writeJSON(w, http.StatusOK, LocateResponse{
-		Network: req.Network, Version: snap.version, Resolver: kind.String(), Eps: eps, Results: results,
+		Network: req.Network, Version: snap.version, Resolver: kind.String(), Eps: eps, Results: sc.results,
 	})
 }
 
@@ -468,7 +502,7 @@ func (s *Server) handleLocateStream(w http.ResponseWriter, r *http.Request) {
 		}
 		spec.radius = parsed
 	}
-	_, res, _, _, err := s.resolverFor(name, spec)
+	snap, res, kind, _, err := s.resolverFor(name, spec)
 	if err != nil {
 		writeError(w, locateStatus(err), "%v", err)
 		return
@@ -520,6 +554,12 @@ func (s *Server) handleLocateStream(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	// The whole stream is answered from the snapshot captured above; a
+	// concurrent hot swap never changes answers mid-stream. The echoed
+	// version lets clients (and the swap-consistency tests) pin every
+	// answer line to the network generation that produced it.
+	w.Header().Set("Sinr-Network-Version", strconv.FormatUint(snap.version, 10))
+	w.Header().Set("Sinr-Resolver", kind.String())
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	const flushEvery = 256

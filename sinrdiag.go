@@ -46,7 +46,11 @@
 //	NewExactResolver    direct SINR evaluation (ground truth, O(n)/query)
 //	NewLocatorResolver  Theorem 3 structure (O(log n)/query; exact
 //	                    fallback for H? rings on by default, disable
-//	                    with WithExactFallback(false))
+//	                    with WithExactFallback(false); carries a
+//	                    sharded spatial index over zone cover boxes —
+//	                    points outside every zone resolve H- from one
+//	                    allocation-free grid lookup — disable with
+//	                    WithSpatialIndex(false))
 //	NewVoronoiResolver  nearest-candidate + one SINR check (O(n)/query)
 //	NewUDGResolver      graph-based UDG/protocol baseline (a different
 //	                    reception model; WithRadius / WithInterfRadius)
@@ -326,6 +330,17 @@ func WithEpsilon(eps float64) ResolverOption { return resolve.WithEpsilon(eps) }
 // WithExactFallback controls whether a LocatorResolver settles H?
 // answers exactly (default true) or surfaces Uncertain to the caller.
 func WithExactFallback(on bool) ResolverOption { return resolve.WithExactFallback(on) }
+
+// WithSpatialIndex controls whether a LocatorResolver's Theorem 3
+// structure carries the sharded spatial index over per-station zone
+// cover boxes (default true): queries outside every zone are answered
+// H- from one grid-cell lookup, with the kd-tree nearest-station
+// check as the residual filter for covered points. Answers are
+// identical either way; the resolver's Stats describe the index
+// (SpatialIndex, IndexCells, IndexOccupied, IndexMaxPerCell,
+// IndexAvgPerCell). Disabling it exists for benchmarking the
+// pre-index path.
+func WithSpatialIndex(on bool) ResolverOption { return resolve.WithSpatialIndex(on) }
 
 // WithRadius sets a UDGResolver's connectivity radius (and its
 // interference radius, unless WithInterfRadius overrides it); zero

@@ -1,0 +1,187 @@
+// Command benchgate is the CI benchmark-regression gate: it parses
+// two `go test -bench` outputs (the PR head and its merge base),
+// compares per-benchmark medians, and fails on
+//
+//   - a ns/op regression beyond -max-regress (default 20%) on any
+//     benchmark present in both files, and
+//   - any allocs/op increase — or, with -require-zero-allocs, any
+//     nonzero allocs/op at head — on benchmarks matching the -hot
+//     regexp (the locate hot path).
+//
+// Benchmarks new at head are reported but never fail the ns/op
+// check (there is nothing to compare against); the allocs floor
+// still applies to them. Benchmarks present at base but missing at
+// head DO fail: deleting a gated benchmark must not bypass the gate.
+//
+// Usage:
+//
+//	go test -run xxx -bench ... -benchmem -count 6 > head.bench   # on the PR
+//	go test -run xxx -bench ... -benchmem -count 6 > base.bench   # on the merge base
+//	go run ./tools/benchgate -base base.bench -head head.bench
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is the aggregated measurements of one benchmark name.
+type sample struct {
+	ns     []float64
+	allocs []float64
+}
+
+func main() {
+	base := flag.String("base", "", "bench output of the merge base")
+	head := flag.String("head", "", "bench output of the PR head")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed ns/op regression (fraction)")
+	hot := flag.String("hot", "BenchmarkQueryDS/|BenchmarkLocateScan|BenchmarkLocateNoIndex", "regexp of hot-path benchmarks held to the allocs/op rules")
+	requireZero := flag.Bool("require-zero-allocs", true, "hot-path benchmarks must report 0 allocs/op at head")
+	flag.Parse()
+
+	if *head == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -head is required")
+		os.Exit(2)
+	}
+	hotRe, err := regexp.Compile(*hot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: bad -hot regexp:", err)
+		os.Exit(2)
+	}
+	headS, err := parse(*head)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	baseS := map[string]*sample{}
+	if *base != "" {
+		if baseS, err = parse(*base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
+
+	names := make([]string, 0, len(headS))
+	for name := range headS {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	violations := 0
+	for _, name := range names {
+		h := headS[name]
+		hNs := median(h.ns)
+		line := fmt.Sprintf("%-46s head %12.1f ns/op", name, hNs)
+		if b, ok := baseS[name]; ok {
+			bNs := median(b.ns)
+			delta := (hNs - bNs) / bNs
+			line += fmt.Sprintf("   base %12.1f ns/op   delta %+6.1f%%", bNs, 100*delta)
+			if delta > *maxRegress {
+				line += fmt.Sprintf("   FAIL (> %+.0f%%)", 100**maxRegress)
+				violations++
+			}
+		} else {
+			line += "   (new at head)"
+		}
+		if hotRe.MatchString(name) && len(h.allocs) > 0 {
+			hAllocs := median(h.allocs)
+			line += fmt.Sprintf("   %g allocs/op", hAllocs)
+			if b, ok := baseS[name]; ok && len(b.allocs) > 0 && hAllocs > median(b.allocs) {
+				line += fmt.Sprintf("   FAIL (allocs rose from %g)", median(b.allocs))
+				violations++
+			}
+			if *requireZero && hAllocs > 0 {
+				line += "   FAIL (hot path must not allocate)"
+				violations++
+			}
+		}
+		fmt.Println(line)
+	}
+	// A benchmark that existed at base but is gone at head is itself a
+	// violation: deleting (or un-matching) a gated benchmark must not
+	// silently bypass the gate.
+	baseNames := make([]string, 0, len(baseS))
+	for name := range baseS {
+		baseNames = append(baseNames, name)
+	}
+	sort.Strings(baseNames)
+	for _, name := range baseNames {
+		if _, ok := headS[name]; !ok {
+			fmt.Printf("%-46s FAIL (present at base, missing at head)\n", name)
+			violations++
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d violation(s)\n", violations)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: no regressions")
+}
+
+// benchLine matches one `go test -bench` result line; the trailing
+// measurement pairs ("123 ns/op", "0 allocs/op", ...) are parsed
+// separately.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parse aggregates a bench output file per benchmark name (multiple
+// -count runs append to the same sample).
+func parse(path string) (map[string]*sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]*sample{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		s := out[m[1]]
+		if s == nil {
+			s = &sample{}
+			out[m[1]] = s
+		}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.ns = append(s.ns, v)
+			case "allocs/op":
+				s.allocs = append(s.allocs, v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, nil
+}
+
+// median returns the middle value (mean of the middle two for even
+// counts); it is robust to the odd scheduling hiccup a mean is not.
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
