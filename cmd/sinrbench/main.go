@@ -10,6 +10,8 @@
 //	          [-resolvers-out BENCH_resolvers.json]
 //	          [-hotpath-sizes 16,64,256,1024] [-hotpath-queries 4096]
 //	          [-hotpath-out BENCH_hotpath.json]
+//	          [-churn-sizes 16,64,256,1024] [-churn-events 64]
+//	          [-churn-queries 512] [-churn-out BENCH_dynamic.json]
 //
 // -trials scales the randomized validations (default 5); -only runs a
 // single experiment by id; -parallel sets the worker count for the
@@ -30,6 +32,16 @@
 //
 // — the n=1024 leg builds a large Theorem 3 locator; expect minutes
 // on one core.
+//
+// The -churn-* flags steer E19, the dynamic-churn comparison
+// (incremental epoch Apply vs from-scratch rebuild, with exact
+// correctness probes at checkpoints): the network-size axis, the
+// churn-trace length and probe count per cell, and the path of its
+// BENCH_dynamic.json artifact. The committed BENCH_dynamic.json is
+// regenerated explicitly with
+//
+//	sinrbench -only E19 -churn-sizes 16,64,256,1024 \
+//	          -churn-out BENCH_dynamic.json
 package main
 
 import (
@@ -51,38 +63,51 @@ func main() {
 	hotpathSizes := flag.String("hotpath-sizes", "16,64,256", "comma-separated network sizes of the E18 hot-path comparison (the committed artifact uses 16,64,256,1024; the n=1024 build takes minutes)")
 	hotpathQueries := flag.Int("hotpath-queries", exp.DefaultHotPathQueries, "queries per workload in E18")
 	hotpathOut := flag.String("hotpath-out", "", "path E18 writes its JSON artifact to (empty = no file; the committed trajectory is regenerated explicitly, see CONTRIBUTING.md)")
+	churnSizes := flag.String("churn-sizes", "16,64,256", "comma-separated network sizes of the E19 dynamic-churn comparison (the committed artifact uses 16,64,256,1024)")
+	churnEvents := flag.Int("churn-events", exp.DefaultDynamicEvents, "churn-trace length per (size, process) cell in E19")
+	churnQueries := flag.Int("churn-queries", exp.DefaultDynamicQueries, "correctness probes per checkpoint in E19")
+	churnOut := flag.String("churn-out", "", "path E19 writes its JSON artifact to (empty = no file; the committed trajectory is regenerated explicitly, see CONTRIBUTING.md)")
 	flag.Parse()
 
-	sizes, err := parseSizes(*hotpathSizes)
+	sizes, err := parseSizes("-hotpath-sizes", *hotpathSizes, exp.DefaultHotPathSizes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sinrbench:", err)
 		os.Exit(1)
 	}
-	if err := run(*trials, *only, *parallel, *resolver, *resolversOut, sizes, *hotpathQueries, *hotpathOut); err != nil {
+	dynSizes, err := parseSizes("-churn-sizes", *churnSizes, exp.DefaultDynamicSizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sinrbench:", err)
+		os.Exit(1)
+	}
+	if err := run(*trials, *only, *parallel, *resolver, *resolversOut, sizes, *hotpathQueries, *hotpathOut,
+		dynSizes, *churnEvents, *churnQueries, *churnOut); err != nil {
 		fmt.Fprintln(os.Stderr, "sinrbench:", err)
 		os.Exit(1)
 	}
 }
 
-// parseSizes parses the -hotpath-sizes comma list.
-func parseSizes(s string) ([]int, error) {
+// parseSizes parses a network-size-axis comma list (the -hotpath-sizes
+// and -churn-sizes flags).
+func parseSizes(flagName, s string, def []int) ([]int, error) {
 	if strings.TrimSpace(s) == "" {
-		return exp.DefaultHotPathSizes, nil
+		return def, nil
 	}
 	var sizes []int
 	for _, f := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || n < 2 {
-			return nil, fmt.Errorf("bad -hotpath-sizes entry %q (want integers >= 2)", f)
+			return nil, fmt.Errorf("bad %s entry %q (want integers >= 2)", flagName, f)
 		}
 		sizes = append(sizes, n)
 	}
 	return sizes, nil
 }
 
-func run(trials int, only string, workers int, resolver, resolversOut string, hotSizes []int, hotQueries int, hotPathOut string) error {
+func run(trials int, only string, workers int, resolver, resolversOut string, hotSizes []int, hotQueries int, hotPathOut string,
+	dynSizes []int, dynEvents, dynQueries int, dynOut string) error {
 	failed, ran := 0, 0
-	for _, e := range exp.RegistryHotPath(trials, workers, resolver, resolversOut, hotSizes, hotQueries, hotPathOut) {
+	for _, e := range exp.RegistryDynamic(trials, workers, resolver, resolversOut, hotSizes, hotQueries, hotPathOut,
+		dynSizes, dynEvents, dynQueries, dynOut) {
 		if only != "" && !strings.EqualFold(e.ID, only) {
 			continue
 		}

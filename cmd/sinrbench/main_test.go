@@ -3,18 +3,27 @@ package main
 import (
 	"os"
 	"testing"
+
+	"repro/internal/exp"
 )
+
+// runOnly runs one experiment through the CLI plumbing with small
+// defaults for every axis knob.
+func runOnly(only string, workers int, resolver, resolversOut string, hotSizes []int, hotQueries int, hotPathOut string) error {
+	return run(1, only, workers, resolver, resolversOut, hotSizes, hotQueries, hotPathOut,
+		[]int{8}, 4, 32, "")
+}
 
 // TestRunSingleExperiment smoke-tests the CLI path on the cheapest
 // experiment (E1): selection by id, table printing, error plumbing.
 func TestRunSingleExperiment(t *testing.T) {
-	if err := run(1, "E1", 0, "all", "", nil, 64, ""); err != nil {
+	if err := runOnly("E1", 0, "all", "", nil, 64, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunCaseInsensitiveSelector(t *testing.T) {
-	if err := run(1, "e2", 1, "all", "", nil, 64, ""); err != nil {
+	if err := runOnly("e2", 1, "all", "", nil, 64, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -22,13 +31,13 @@ func TestRunCaseInsensitiveSelector(t *testing.T) {
 // TestRunParallelExperiment smoke-tests the concurrency-layer
 // experiment (E16) through the -parallel plumbing, serial workers.
 func TestRunParallelExperiment(t *testing.T) {
-	if err := run(1, "E16", 1, "all", "", nil, 64, ""); err != nil {
+	if err := runOnly("E16", 1, "all", "", nil, 64, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if err := run(1, "E99", 0, "all", "", nil, 64, ""); err == nil {
+	if err := runOnly("E99", 0, "all", "", nil, 64, ""); err == nil {
 		t.Fatal("unknown experiment id must fail")
 	}
 }
@@ -37,16 +46,16 @@ func TestRunUnknownID(t *testing.T) {
 // single-backend run plus the JSON artifact emission.
 func TestRunResolverComparison(t *testing.T) {
 	out := t.TempDir() + "/BENCH_resolvers.json"
-	if err := run(1, "E17", 1, "all", out, nil, 64, ""); err != nil {
+	if err := runOnly("E17", 1, "all", out, nil, 64, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if _, err := os.Stat(out); err != nil {
 		t.Fatalf("BENCH_resolvers.json not written: %v", err)
 	}
-	if err := run(1, "E17", 1, "voronoi", "", nil, 64, ""); err != nil {
+	if err := runOnly("E17", 1, "voronoi", "", nil, 64, ""); err != nil {
 		t.Fatalf("single-backend run: %v", err)
 	}
-	if err := run(1, "E17", 1, "psychic", "", nil, 64, ""); err == nil {
+	if err := runOnly("E17", 1, "psychic", "", nil, 64, ""); err == nil {
 		t.Fatal("unknown backend must fail")
 	}
 }
@@ -55,7 +64,7 @@ func TestRunResolverComparison(t *testing.T) {
 // -hotpath-* plumbing: a tiny size axis plus the JSON artifact.
 func TestRunHotPath(t *testing.T) {
 	out := t.TempDir() + "/BENCH_hotpath.json"
-	if err := run(1, "E18", 1, "all", "", []int{8, 12}, 256, out); err != nil {
+	if err := runOnly("E18", 1, "all", "", []int{8, 12}, 256, out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if _, err := os.Stat(out); err != nil {
@@ -63,19 +72,32 @@ func TestRunHotPath(t *testing.T) {
 	}
 }
 
-// TestParseSizes covers the -hotpath-sizes flag parser.
+// TestRunDynamicChurn smoke-tests the E19 dynamic-churn comparison
+// through the -churn-* plumbing: a tiny size axis plus the JSON
+// artifact.
+func TestRunDynamicChurn(t *testing.T) {
+	out := t.TempDir() + "/BENCH_dynamic.json"
+	if err := run(1, "E19", 1, "all", "", nil, 64, "", []int{8}, 6, 32, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("BENCH_dynamic.json not written: %v", err)
+	}
+}
+
+// TestParseSizes covers the -hotpath-sizes / -churn-sizes flag parser.
 func TestParseSizes(t *testing.T) {
-	got, err := parseSizes(" 16, 64 ")
+	got, err := parseSizes("-hotpath-sizes", " 16, 64 ", exp.DefaultHotPathSizes)
 	if err != nil || len(got) != 2 || got[0] != 16 || got[1] != 64 {
 		t.Fatalf("parseSizes = %v, %v", got, err)
 	}
-	if _, err := parseSizes("16,zap"); err == nil {
+	if _, err := parseSizes("-hotpath-sizes", "16,zap", nil); err == nil {
 		t.Fatal("garbage size accepted")
 	}
-	if _, err := parseSizes("1"); err == nil {
+	if _, err := parseSizes("-churn-sizes", "1", nil); err == nil {
 		t.Fatal("size < 2 accepted")
 	}
-	if got, err := parseSizes(""); err != nil || len(got) == 0 {
+	if got, err := parseSizes("-churn-sizes", "", exp.DefaultDynamicSizes); err != nil || len(got) == 0 {
 		t.Fatalf("empty sizes should default, got %v, %v", got, err)
 	}
 }

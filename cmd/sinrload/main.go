@@ -3,17 +3,20 @@
 // percentiles. It generates a network locally, registers it with the
 // server, fires /v1/locate batches from concurrent clients, and can
 // verify every served answer byte-identically against a locally built
-// resolver of the same kind and hot-swap the network mid-run to prove
-// replacement drops no traffic.
+// resolver of the same kind, hot-swap the network mid-run to prove
+// replacement drops no traffic, and churn the station set mid-run
+// through the PATCH delta API to prove incremental mutation drops no
+// traffic either.
 //
 // Usage:
 //
 //	sinrload -addr http://127.0.0.1:8080 [-network load] [-n 64]
 //	         [-queries 200000] [-batch 512] [-concurrency 8]
 //	         [-workload uniform|hotspot|mobility]
-//	         [-resolver exact|locator|voronoi|udg] [-eps 0.05]
+//	         [-resolver exact|locator|voronoi|udg|dynamic] [-eps 0.05]
 //	         [-radius 0] [-noise 0.01] [-beta 3] [-seed 1]
-//	         [-swap-every 0] [-verify]
+//	         [-swap-every 0] [-churn-every 0]
+//	         [-churn-kind arrive|depart|power|mix] [-verify]
 //
 // -resolver selects the serving backend per request, turning every
 // workload into a cross-backend comparison scenario; -radius sets the
@@ -22,10 +25,24 @@
 // (bumping its version and forcing a resolver rebuild + atomic hot
 // swap) after every K batches; station locations are unchanged, so
 // served answers must stay identical while the swap happens under
-// load. -verify recomputes all answers locally through the same
-// backend kind and exits non-zero on any mismatch, so the command
-// doubles as an end-to-end correctness check in CI (the serve-smoke
-// matrix runs it once per backend).
+// load.
+//
+// -churn-every K instead PATCHes a station delta (one -churn-kind
+// event: an arrival, a departure, a power-walk step, or a mix) after
+// every K batches, mirroring each delta in a local dynamic engine so
+// the client knows every server generation's exact station set.
+// Served batches carry the version that answered them, so -verify
+// checks each answer against the right generation even when batches
+// race deltas. Note that power churn makes the network non-uniform,
+// which the locator backend rejects — pair -churn-kind power/mix with
+// the exact, voronoi or dynamic backend.
+//
+// -verify recomputes all answers locally through the same backend
+// kind (the ground-truth exact backend for "dynamic", whose served
+// answers are exact by construction) and exits non-zero on any
+// mismatch, so the command doubles as an end-to-end correctness check
+// in CI (the serve-smoke matrix runs it once per backend, plus a
+// churn leg).
 package main
 
 import (
@@ -43,89 +60,212 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dynamic"
 	"repro/internal/geom"
 	"repro/internal/resolve"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
+// config bundles the flag surface of one load run.
+type config struct {
+	addr, name            string
+	n                     int
+	queries, batch        int
+	concurrency           int
+	workload, resolver    string
+	eps, radius           float64
+	noise, beta           float64
+	seed                  int64
+	swapEvery, churnEvery int
+	churnKind             string
+	verify                bool
+}
+
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the sinrserve instance")
-	name := flag.String("network", "load", "network name to register and query")
-	n := flag.Int("n", 64, "number of stations")
-	queries := flag.Int("queries", 200000, "total locate queries to send")
-	batch := flag.Int("batch", 512, "points per /v1/locate request")
-	concurrency := flag.Int("concurrency", 8, "concurrent client goroutines")
-	wl := flag.String("workload", "uniform", "query workload: uniform, hotspot or mobility")
-	resolver := flag.String("resolver", "locator", "serving backend: exact, locator, voronoi or udg")
-	eps := flag.Float64("eps", serve.DefaultEps, "locator performance parameter (locator backend only)")
-	radius := flag.Float64("radius", 0, "UDG connectivity radius (udg backend only; 0 = derived from the network)")
-	noise := flag.Float64("noise", 0.01, "background noise")
-	beta := flag.Float64("beta", 3, "reception threshold")
-	seed := flag.Int64("seed", 1, "workload seed")
-	swapEvery := flag.Int("swap-every", 0, "hot-swap the network after every K batches (0 = never)")
-	verify := flag.Bool("verify", false, "verify every served answer against direct HeardBy evaluation")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "base URL of the sinrserve instance")
+	flag.StringVar(&cfg.name, "network", "load", "network name to register and query")
+	flag.IntVar(&cfg.n, "n", 64, "number of stations")
+	flag.IntVar(&cfg.queries, "queries", 200000, "total locate queries to send")
+	flag.IntVar(&cfg.batch, "batch", 512, "points per /v1/locate request")
+	flag.IntVar(&cfg.concurrency, "concurrency", 8, "concurrent client goroutines")
+	flag.StringVar(&cfg.workload, "workload", "uniform", "query workload: uniform, hotspot or mobility")
+	flag.StringVar(&cfg.resolver, "resolver", "locator", "serving backend: exact, locator, voronoi, udg or dynamic")
+	flag.Float64Var(&cfg.eps, "eps", serve.DefaultEps, "locator performance parameter (locator backend only)")
+	flag.Float64Var(&cfg.radius, "radius", 0, "UDG connectivity radius (udg backend only; 0 = derived from the network)")
+	flag.Float64Var(&cfg.noise, "noise", 0.01, "background noise")
+	flag.Float64Var(&cfg.beta, "beta", 3, "reception threshold")
+	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed")
+	flag.IntVar(&cfg.swapEvery, "swap-every", 0, "hot-swap the network after every K batches (0 = never)")
+	flag.IntVar(&cfg.churnEvery, "churn-every", 0, "PATCH one churn delta after every K batches (0 = never)")
+	flag.StringVar(&cfg.churnKind, "churn-kind", "mix", "churn process: arrive, depart, power or mix")
+	flag.BoolVar(&cfg.verify, "verify", false, "verify every served answer against a locally built backend of the same kind")
 	flag.Parse()
 
-	if err := run(*addr, *name, *n, *queries, *batch, *concurrency, *wl, *resolver, *eps, *radius, *noise, *beta, *seed, *swapEvery, *verify); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sinrload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, name string, n, queries, batchSize, concurrency int, wl, resolver string, eps, radius, noise, beta float64, seed int64, swapEvery int, verify bool) error {
-	if n < 1 || queries < 1 || batchSize < 1 || concurrency < 1 {
+// churnWeights maps -churn-kind to (arrive, depart, power) weights.
+func churnWeights(kind string) (float64, float64, float64, error) {
+	switch kind {
+	case "arrive":
+		return 1, 0, 0, nil
+	case "depart":
+		return 0, 1, 0, nil
+	case "power":
+		return 0, 0, 1, nil
+	case "mix":
+		return 1, 1, 1, nil
+	default:
+		return 0, 0, 0, fmt.Errorf("unknown churn kind %q (want arrive, depart, power or mix)", kind)
+	}
+}
+
+// deltaFor converts one churn event to the wire delta document.
+func deltaFor(ev workload.ChurnEvent) serve.NetworkDeltaRequest {
+	switch ev.Kind {
+	case workload.ChurnArrive:
+		return serve.NetworkDeltaRequest{Add: []serve.DeltaStationJSON{{X: ev.Pos.X, Y: ev.Pos.Y, Power: ev.Power}}}
+	case workload.ChurnDepart:
+		return serve.NetworkDeltaRequest{Remove: []int{ev.Station}}
+	default:
+		return serve.NetworkDeltaRequest{SetPower: []serve.PowerUpdateJSON{{Station: ev.Station, Power: ev.Power}}}
+	}
+}
+
+// localDelta converts the same event for the local mirror engine.
+func localDelta(ev workload.ChurnEvent) dynamic.Delta {
+	switch ev.Kind {
+	case workload.ChurnArrive:
+		return dynamic.Delta{Add: []dynamic.Station{{Pos: ev.Pos, Power: ev.Power}}}
+	case workload.ChurnDepart:
+		return dynamic.Delta{Remove: []int{ev.Station}}
+	default:
+		return dynamic.Delta{SetPower: []dynamic.PowerUpdate{{Station: ev.Station, Power: ev.Power}}}
+	}
+}
+
+func run(cfg config) error {
+	if cfg.n < 1 || cfg.queries < 1 || cfg.batch < 1 || cfg.concurrency < 1 {
 		return fmt.Errorf("-n, -queries, -batch and -concurrency must all be >= 1 (got %d, %d, %d, %d)",
-			n, queries, batchSize, concurrency)
+			cfg.n, cfg.queries, cfg.batch, cfg.concurrency)
 	}
-	gen := workload.NewGenerator(seed)
+	if cfg.swapEvery > 0 && cfg.churnEvery > 0 {
+		return fmt.Errorf("-swap-every and -churn-every are mutually exclusive (a swap resets the delta history)")
+	}
+	gen := workload.NewGenerator(cfg.seed)
 	box := geom.NewBox(geom.Pt(-5, -5), geom.Pt(5, 5))
-	stations, err := gen.UniformSeparated(n, box, 0.05)
+	stations, err := gen.UniformSeparated(cfg.n, box, 0.05)
 	if err != nil {
 		return err
 	}
-	net, err := core.NewUniform(stations, noise, beta)
+	net, err := core.NewUniform(stations, cfg.noise, cfg.beta)
 	if err != nil {
 		return err
 	}
-	kind, err := resolve.ParseKind(resolver)
+	kind, err := resolve.ParseKind(cfg.resolver)
+	if err != nil {
+		return err
+	}
+	pArr, pDep, pPow, err := churnWeights(cfg.churnKind)
 	if err != nil {
 		return err
 	}
 
 	var points []geom.Point
-	switch wl {
+	switch cfg.workload {
 	case "uniform":
-		points = gen.QueryPoints(queries, box)
+		points = gen.QueryPoints(cfg.queries, box)
 	case "hotspot":
-		points = gen.HotspotPoints(queries, box, 4, 0.8, 0.3)
+		points = gen.HotspotPoints(cfg.queries, box, 4, 0.8, 0.3)
 	case "mobility":
-		walkers := concurrency * 64
-		steps := (queries + walkers - 1) / walkers
+		walkers := cfg.concurrency * 64
+		steps := (cfg.queries + walkers - 1) / walkers
 		points = gen.MobilityTrace(walkers, steps, box, 0.05)
-		points = points[:queries]
+		points = points[:cfg.queries]
 	default:
-		return fmt.Errorf("unknown workload %q", wl)
+		return fmt.Errorf("unknown workload %q", cfg.workload)
+	}
+
+	// Local mirror of the server's generations: version -> the epoch
+	// snapshot holding that generation's exact station set. Version 1
+	// is the registration; each PATCH (or swap) adds one.
+	mirror, err := dynamic.New(net)
+	if err != nil {
+		return err
+	}
+	numBatches := (len(points) + cfg.batch - 1) / cfg.batch
+	var churnTrace []workload.ChurnEvent
+	if cfg.churnEvery > 0 {
+		churnTrace = gen.ChurnTrace(cfg.n, numBatches/cfg.churnEvery+1, box, pArr, pDep, pPow, 0.25)
 	}
 
 	client := &http.Client{Timeout: 5 * time.Minute}
-	reg := registration(name, stations, noise, beta)
-	if err := register(client, addr, reg); err != nil {
+	reg := registration(cfg.name, stations, cfg.noise, cfg.beta)
+	regResp, err := register(client, cfg.addr, reg)
+	if err != nil {
 		return fmt.Errorf("registering network: %w", err)
 	}
+	epochs := map[uint64]*dynamic.Snapshot{regResp.Version: mirror.Snapshot()}
 	fmt.Printf("registered %q: %d stations, workload=%s, resolver=%s, %d queries in batches of %d over %d clients\n",
-		name, n, wl, kind, len(points), batchSize, concurrency)
+		cfg.name, cfg.n, cfg.workload, kind, len(points), cfg.batch, cfg.concurrency)
 
-	numBatches := (len(points) + batchSize - 1) / batchSize
-	served := make([]int, len(points)) // station index or -1 per query
+	served := make([]int, len(points))      // station index or -1 per query
+	servedVer := make([]uint64, numBatches) // generation that answered each batch
 	latencies := make([]time.Duration, numBatches)
 	var next atomic.Int64
 	var failed atomic.Int64
-	var swaps atomic.Int64
+	var swaps, churns atomic.Int64
+
+	// mutMu serializes mutations (swaps and churn deltas) and the
+	// epochs map, so the local mirror applies deltas in exactly the
+	// order the server does and version numbers line up.
+	var mutMu sync.Mutex
+	churnIdx := 0
+	lastVer := regResp.Version // server versions are offset when the name pre-existed
+	doChurn := func(b int) {
+		mutMu.Lock()
+		defer mutMu.Unlock()
+		if churnIdx >= len(churnTrace) {
+			return
+		}
+		ev := churnTrace[churnIdx]
+		churnIdx++
+		resp, err := patch(client, cfg.addr, cfg.name, deltaFor(ev))
+		if err != nil {
+			failed.Add(1)
+			fmt.Fprintf(os.Stderr, "sinrload: churn after batch %d: %v\n", b, err)
+			return
+		}
+		snap, err := mirror.Apply(localDelta(ev))
+		if err != nil {
+			failed.Add(1)
+			fmt.Fprintf(os.Stderr, "sinrload: mirroring churn delta: %v\n", err)
+			return
+		}
+		// The mirror tracks generations, not absolute versions: the
+		// server's version counter survives re-registrations of the
+		// same name, so assert per-delta monotonicity and that the
+		// server's engine epoch moved in lockstep with the mirror's —
+		// not that version and epoch coincide.
+		if resp.Version != lastVer+1 || resp.Epoch != snap.Epoch() {
+			failed.Add(1)
+			fmt.Fprintf(os.Stderr, "sinrload: server at version %d epoch %d after delta, expected version %d, local mirror epoch %d\n",
+				resp.Version, resp.Epoch, lastVer+1, snap.Epoch())
+			return
+		}
+		lastVer = resp.Version
+		epochs[resp.Version] = snap
+		churns.Add(1)
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
-	for c := 0; c < concurrency; c++ {
+	for c := 0; c < cfg.concurrency; c++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -134,32 +274,43 @@ func run(addr, name string, n, queries, batchSize, concurrency int, wl, resolver
 				if b >= numBatches {
 					return
 				}
-				lo := b * batchSize
-				hi := lo + batchSize
+				lo := b * cfg.batch
+				hi := lo + cfg.batch
 				if hi > len(points) {
 					hi = len(points)
 				}
 				t0 := time.Now()
-				results, err := locate(client, addr, name, kind.String(), eps, radius, points[lo:hi])
+				results, version, err := locate(client, cfg.addr, cfg.name, kind.String(), cfg.eps, cfg.radius, points[lo:hi])
 				latencies[b] = time.Since(t0)
 				if err != nil {
 					failed.Add(1)
 					fmt.Fprintf(os.Stderr, "sinrload: batch %d: %v\n", b, err)
 					continue
 				}
+				servedVer[b] = version
 				for i, r := range results {
 					served[lo+i] = r.Station
 				}
 				// Hot-swap under load: re-register the same stations,
-				// bumping the version and forcing a locator rebuild while
+				// bumping the version and forcing a resolver rebuild while
 				// other clients keep querying.
-				if swapEvery > 0 && b > 0 && b%swapEvery == 0 {
-					if err := register(client, addr, reg); err != nil {
+				if cfg.swapEvery > 0 && b > 0 && b%cfg.swapEvery == 0 {
+					mutMu.Lock()
+					resp, err := register(client, cfg.addr, reg)
+					if err != nil {
 						failed.Add(1)
 						fmt.Fprintf(os.Stderr, "sinrload: hot swap after batch %d: %v\n", b, err)
 					} else {
+						// Stations unchanged: the new generation serves the
+						// same epoch-1 station set.
+						lastVer = resp.Version
+						epochs[resp.Version] = mirror.Snapshot()
 						swaps.Add(1)
 					}
+					mutMu.Unlock()
+				}
+				if cfg.churnEvery > 0 && b > 0 && b%cfg.churnEvery == 0 {
+					doChurn(b)
 				}
 			}
 		}()
@@ -169,47 +320,92 @@ func run(addr, name string, n, queries, batchSize, concurrency int, wl, resolver
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	qps := float64(len(points)) / elapsed.Seconds()
-	fmt.Printf("served %d queries in %v (%.0f queries/s, %d batches, %d hot swaps, %d failed)\n",
-		len(points), elapsed.Round(time.Millisecond), qps, numBatches, swaps.Load(), failed.Load())
+	fmt.Printf("served %d queries in %v (%.0f queries/s, %d batches, %d hot swaps, %d churn deltas, %d failed)\n",
+		len(points), elapsed.Round(time.Millisecond), qps, numBatches, swaps.Load(), churns.Load(), failed.Load())
 	fmt.Printf("batch latency: p50=%v p90=%v p99=%v max=%v\n",
 		pct(latencies, 0.50), pct(latencies, 0.90), pct(latencies, 0.99), latencies[len(latencies)-1].Round(time.Microsecond))
 
 	if failed.Load() > 0 {
-		return fmt.Errorf("%d batch requests failed", failed.Load())
+		return fmt.Errorf("%d requests failed", failed.Load())
 	}
 
-	if verify {
-		// Rebuild the same backend locally: for exact, locator and
-		// voronoi this equals Network.HeardBy; for udg it is the graph
-		// model with the identical (derived or explicit) radius.
-		var vopts []resolve.Option
-		if radius > 0 {
-			vopts = append(vopts, resolve.WithRadius(radius))
-		}
-		local, err := resolve.New(kind, net, vopts...)
+	if cfg.verify {
+		mismatches, err := verifyServed(cfg, kind, epochs, points, served, servedVer, numBatches)
 		if err != nil {
 			return err
 		}
-		answers := make([]core.Location, len(points))
-		if err := local.ResolveBatch(context.Background(), points, answers); err != nil {
-			return err
+		if mismatches > 0 {
+			return fmt.Errorf("%d of %d served answers differ from the local %s backend", mismatches, len(points), kind)
 		}
-		mismatches := 0
+		fmt.Printf("verified: all %d served answers identical to the local %s backend across %d generation(s)\n",
+			len(points), kind, len(epochs))
+	}
+	return nil
+}
+
+// verifyServed rebuilds, per server generation, the same backend kind
+// locally (the exact ground truth for the dynamic kind, whose served
+// answers are exact by construction) and compares every served answer
+// against it. Batches are grouped by the generation that answered
+// them, so answers racing a swap or churn delta are checked against
+// the right station set. It returns the mismatch count; the caller
+// turns a nonzero count into a non-zero exit.
+func verifyServed(cfg config, kind resolve.Kind, epochs map[uint64]*dynamic.Snapshot,
+	points []geom.Point, served []int, servedVer []uint64, numBatches int) (int, error) {
+	byVer := make(map[uint64][]int)
+	for b := 0; b < numBatches; b++ {
+		byVer[servedVer[b]] = append(byVer[servedVer[b]], b)
+	}
+	versions := make([]uint64, 0, len(byVer))
+	for v := range byVer {
+		versions = append(versions, v)
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+
+	mismatches := 0
+	for _, ver := range versions {
+		snap, ok := epochs[ver]
+		if !ok {
+			return 0, fmt.Errorf("server answered from version %d, which no local mutation produced", ver)
+		}
+		vkind := kind
+		if kind == resolve.KindDynamic {
+			vkind = resolve.KindExact
+		}
+		var vopts []resolve.Option
+		if cfg.radius > 0 {
+			vopts = append(vopts, resolve.WithRadius(cfg.radius))
+		}
+		local, err := resolve.New(vkind, snap.Network(), vopts...)
+		if err != nil {
+			return 0, fmt.Errorf("rebuilding the %s backend for version %d: %w", vkind, ver, err)
+		}
+		var pts []geom.Point
+		var got []int
+		for _, b := range byVer[ver] {
+			lo := b * cfg.batch
+			hi := lo + cfg.batch
+			if hi > len(points) {
+				hi = len(points)
+			}
+			pts = append(pts, points[lo:hi]...)
+			got = append(got, served[lo:hi]...)
+		}
+		answers := make([]core.Location, len(pts))
+		if err := local.ResolveBatch(context.Background(), pts, answers); err != nil {
+			return 0, err
+		}
 		for i, a := range answers {
-			if want := resolve.StationIndex(a); served[i] != want {
+			if want := resolve.StationIndex(a); got[i] != want {
 				if mismatches < 5 {
-					fmt.Fprintf(os.Stderr, "sinrload: mismatch at %v: served %d, local %s backend %d\n",
-						points[i], served[i], kind, want)
+					fmt.Fprintf(os.Stderr, "sinrload: version %d mismatch at %v: served %d, local %s backend %d\n",
+						ver, pts[i], got[i], kind, want)
 				}
 				mismatches++
 			}
 		}
-		if mismatches > 0 {
-			return fmt.Errorf("%d of %d served answers differ from the local %s backend", mismatches, len(answers), kind)
-		}
-		fmt.Printf("verified: all %d served answers identical to the local %s backend\n", len(answers), kind)
 	}
-	return nil
+	return mismatches, nil
 }
 
 func registration(name string, stations []geom.Point, noise, beta float64) serve.NetworkRequest {
@@ -221,24 +417,55 @@ func registration(name string, stations []geom.Point, noise, beta float64) serve
 	return req
 }
 
-func register(client *http.Client, addr string, req serve.NetworkRequest) error {
+func register(client *http.Client, addr string, req serve.NetworkRequest) (serve.NetworkResponse, error) {
+	var out serve.NetworkResponse
 	body, err := json.Marshal(req)
 	if err != nil {
-		return err
+		return out, err
 	}
 	resp, err := client.Post(addr+"/v1/networks", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return out, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("register: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return out, fmt.Errorf("register: %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
-	return nil
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, err
+	}
+	return out, nil
 }
 
-func locate(client *http.Client, addr, name, resolver string, eps, radius float64, pts []geom.Point) ([]serve.LocateResult, error) {
+// patch applies one delta document via PATCH /v1/networks/{name}.
+func patch(client *http.Client, addr, name string, delta serve.NetworkDeltaRequest) (serve.NetworkResponse, error) {
+	var out serve.NetworkResponse
+	body, err := json.Marshal(delta)
+	if err != nil {
+		return out, err
+	}
+	req, err := http.NewRequest(http.MethodPatch, addr+"/v1/networks/"+name, bytes.NewReader(body))
+	if err != nil {
+		return out, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return out, fmt.Errorf("patch: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+func locate(client *http.Client, addr, name, resolver string, eps, radius float64, pts []geom.Point) ([]serve.LocateResult, uint64, error) {
 	req := serve.LocateRequest{Network: name, Resolver: resolver, Eps: eps, Radius: radius}
 	req.Points = make([]serve.PointJSON, len(pts))
 	for i, p := range pts {
@@ -246,25 +473,25 @@ func locate(client *http.Client, addr, name, resolver string, eps, radius float6
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	resp, err := client.Post(addr+"/v1/locate", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("locate: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return nil, 0, fmt.Errorf("locate: %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
 	var out serve.LocateResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if len(out.Results) != len(pts) {
-		return nil, fmt.Errorf("locate: %d results for %d points", len(out.Results), len(pts))
+		return nil, 0, fmt.Errorf("locate: %d results for %d points", len(out.Results), len(pts))
 	}
-	return out.Results, nil
+	return out.Results, out.Version, nil
 }
 
 // pct returns the p-quantile of sorted latencies.

@@ -104,3 +104,44 @@ func ExampleNewResolver() {
 	// voronoi: station 0 (H+)
 	// udg: station -1 (H-)
 }
+
+// ExampleNewDynamicNetwork mutates a live station set with deltas:
+// each Apply produces a fresh immutable epoch snapshot, and snapshots
+// held across later mutations keep answering from their own epoch's
+// station set.
+func ExampleNewDynamicNetwork() {
+	net, err := sinrdiag.NewUniform([]sinrdiag.Point{
+		{X: 0, Y: 0}, {X: 3, Y: 1}, {X: -1, Y: 2},
+	}, 0.01, 3)
+	if err != nil {
+		panic(err)
+	}
+	// On a 3-station network one delta is already 1/3 churn — past the
+	// default amortized-rebuild threshold — so raise it to keep this
+	// tiny example on the incremental path (production-sized networks
+	// stay incremental at the default).
+	dyn, err := sinrdiag.NewDynamicNetwork(net, sinrdiag.WithRebuildFraction(1))
+	if err != nil {
+		panic(err)
+	}
+	before := dyn.Snapshot()
+
+	// A new station arrives right next to the query point: it captures
+	// the reception there from epoch 2 on.
+	after, err := dyn.Apply(sinrdiag.DynamicDelta{
+		Add: []sinrdiag.DynamicStation{{Pos: sinrdiag.Pt(0.5, 0.2)}},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	p := sinrdiag.Pt(0.45, 0.2)
+	i, _ := before.HeardBy(p)
+	j, _ := after.HeardBy(p)
+	fmt.Printf("epoch %d: station %d\n", before.Epoch(), i)
+	fmt.Printf("epoch %d: station %d (%s apply, %d stations)\n",
+		after.Epoch(), j, after.ApplyStats().Path, after.NumStations())
+	// Output:
+	// epoch 1: station 0
+	// epoch 2: station 3 (incremental apply, 4 stations)
+}

@@ -1,0 +1,42 @@
+// Package dynamic is the dynamic-network engine: it maintains a
+// station set under a log of single- or multi-station mutations
+// (arrivals, departures, power updates) and materializes each state as
+// an immutable epoch Snapshot, without paying full-rebuild cost per
+// mutation on the hot path.
+//
+// The paper's machinery (and the rest of this repository before this
+// package) assumes a static station set: every change used to mean a
+// fresh core.NewNetwork plus a fresh locator and spatial index. Under
+// churn workloads — stations joining, leaving and re-tuning power
+// while queries are in flight — that is O(full rebuild) per event.
+// Here a mutation instead flows through Network.Apply, which patches
+// the derived structures copy-on-write:
+//
+//   - the canonical station/power slices are copied (O(n) memcpy, the
+//     floor any index-compacting representation pays);
+//   - each station owns a stable slot whose location, power and
+//     conservative zone cover box never change, so an arrival or
+//     departure touches exactly the grid cells of its own box
+//     (shardindex.DynIndex, a persistent copy-on-write grid);
+//   - the kd-tree is not rebuilt: the base tree of the last full build
+//     answers through an index-remapping filter (kdtree.NearestMapped)
+//     and stations admitted since are scanned as a small overlay.
+//
+// Once cumulative churn exceeds a threshold fraction of the station
+// count at the last full build (WithRebuildFraction), the next Apply
+// rebuilds everything from scratch and resets the accounting — the
+// classic static-dynamic amortization, keeping the overlay small and
+// query cost bounded. ApplyStats on every snapshot says which path ran.
+//
+// Snapshots answer queries exactly (Snapshot.Locate / HeardBy): one
+// grid lookup certifies most of the plane H-, the Observation 2.2
+// nearest-station reduction plus a single SINR evaluation settles
+// covered points of uniform beta > 1 networks, and other networks fall
+// back to the exact scan. Answers equal a from-scratch build on the
+// same station set point-for-point — the property tests pin this
+// against core.BuildLocator with and without its spatial index.
+//
+// The epoch-pinning query surface (Resolver interface, batch/stream)
+// lives in internal/resolve (DynamicResolver); the serving layer's
+// PATCH /v1/networks/{name} mutation API in internal/serve.
+package dynamic

@@ -222,8 +222,8 @@ func TestCommunicationGraphExperiment(t *testing.T) {
 func TestRegistryIDsUnique(t *testing.T) {
 	seen := map[string]bool{}
 	reg := Registry(1)
-	if len(reg) != 19 {
-		t.Fatalf("registry has %d experiments, want 19 (E1-E18 plus E10b)", len(reg))
+	if len(reg) != 20 {
+		t.Fatalf("registry has %d experiments, want 20 (E1-E19 plus E10b)", len(reg))
 	}
 	for _, e := range reg {
 		if e.ID == "" || e.Run == nil {
@@ -303,6 +303,47 @@ func TestHotPathComparisonShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	var back []HotPathBenchRow
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("artifact round-trip lost rows: %d != %d", len(back), len(rows))
+	}
+}
+
+// TestDynamicChurnShape checks the E19 measurement small: every
+// (size, process) cell present, zero correctness mismatches against
+// the independent exact baseline, live timing on both sides, and a
+// sane artifact round-trip.
+func TestDynamicChurnShape(t *testing.T) {
+	rows, err := MeasureDynamicChurn([]int{8, 16}, 12, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 2 sizes x 4 churn processes", len(rows))
+	}
+	for _, r := range rows {
+		if r.Mismatches != 0 {
+			t.Fatalf("%s/n=%d: %d query mismatches vs the from-scratch baseline", r.Churn, r.Stations, r.Mismatches)
+		}
+		if r.ApplyNanos <= 0 || r.RebuildNanos <= 0 || r.Checkpoints == 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.Incremental+r.Rebuilds != r.Events {
+			t.Fatalf("%s/n=%d: %d incremental + %d rebuilds != %d events",
+				r.Churn, r.Stations, r.Incremental, r.Rebuilds, r.Events)
+		}
+	}
+	out := t.TempDir() + "/BENCH_dynamic.json"
+	if err := WriteDynamicBenchJSON(out, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []DynamicBenchRow
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}

@@ -254,7 +254,19 @@ func RegistryResolvers(trials, workers int, resolver, resolversOut string) []Exp
 // RegistryHotPath is RegistryResolvers with the E18 hot-path knobs:
 // the network-size axis, the per-workload query count and the path
 // the BENCH_hotpath.json artifact is written to (empty = no file).
+// E19 runs with its default churn axis and no artifact; use
+// RegistryDynamic to control it.
 func RegistryHotPath(trials, workers int, resolver, resolversOut string, hotSizes []int, hotQueries int, hotPathOut string) []Experiment {
+	return RegistryDynamic(trials, workers, resolver, resolversOut, hotSizes, hotQueries, hotPathOut,
+		DefaultDynamicSizes, DefaultDynamicEvents, DefaultDynamicQueries, "")
+}
+
+// RegistryDynamic is RegistryHotPath with the E19 churn knobs: the
+// network-size axis, the churn-trace length and correctness-probe
+// count per cell, and the path the BENCH_dynamic.json artifact is
+// written to (empty = no file).
+func RegistryDynamic(trials, workers int, resolver, resolversOut string, hotSizes []int, hotQueries int, hotPathOut string,
+	dynSizes []int, dynEvents, dynQueries int, dynOut string) []Experiment {
 	return []Experiment{
 		{"E1", Fig1Reception},
 		{"E2", Fig2Cumulative},
@@ -275,6 +287,7 @@ func RegistryHotPath(trials, workers int, resolver, resolversOut string, hotSize
 		{"E16", func() (*Table, error) { return ParallelScaling(workers) }},
 		{"E17", func() (*Table, error) { return ResolverComparison(workers, resolver, resolversOut) }},
 		{"E18", func() (*Table, error) { return HotPathComparison(workers, hotSizes, hotQueries, hotPathOut) }},
+		{"E19", func() (*Table, error) { return DynamicChurnComparison(dynSizes, dynEvents, dynQueries, dynOut) }},
 	}
 }
 

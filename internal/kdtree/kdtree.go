@@ -105,6 +105,60 @@ func (t *Tree) search(ni int, q geom.Point, best *int, bestD2 *float64) {
 	}
 }
 
+// NearestMapped returns the point minimizing (distance, mapped index)
+// among the points remap accepts, reporting the mapped index and the
+// squared distance. remap(i) translates a tree index (into the slice
+// passed to New) to the caller's current index space and reports
+// whether the point still exists there; rejected points are skipped.
+//
+// This is the query of the dynamic-network overlay: a base tree built
+// over an old epoch's stations answers for the current epoch by
+// remapping surviving stations to their current indices and filtering
+// out departed ones. Ties are broken toward the lowest mapped index,
+// so — as long as remap preserves the base order, which index
+// compaction does — the answer agrees with Nearest on a tree built
+// from scratch over the mapped points.
+func (t *Tree) NearestMapped(q geom.Point, remap func(int) (int, bool)) (mapped int, d2 float64, ok bool) {
+	if t == nil || t.root < 0 {
+		return 0, 0, false
+	}
+	best := -1
+	bestD2 := math.Inf(1)
+	t.searchMapped(t.root, q, remap, &best, &bestD2)
+	if best < 0 {
+		return 0, 0, false
+	}
+	return best, bestD2, true
+}
+
+func (t *Tree) searchMapped(ni int, q geom.Point, remap func(int) (int, bool), best *int, bestD2 *float64) {
+	n := &t.nodes[ni]
+	if m, ok := remap(n.idx); ok {
+		if d2 := geom.Dist2(n.p, q); d2 < *bestD2 || (d2 == *bestD2 && (*best < 0 || m < *best)) {
+			*bestD2 = d2
+			*best = m
+		}
+	}
+	var delta float64
+	if n.axis == 0 {
+		delta = q.X - n.p.X
+	} else {
+		delta = q.Y - n.p.Y
+	}
+	near, far := n.left, n.right
+	if delta > 0 {
+		near, far = n.right, n.left
+	}
+	if near >= 0 {
+		t.searchMapped(near, q, remap, best, bestD2)
+	}
+	// <= so an equal-distance point with a lower mapped index on the
+	// far side is still visited.
+	if far >= 0 && delta*delta <= *bestD2 {
+		t.searchMapped(far, q, remap, best, bestD2)
+	}
+}
+
 // NearestK returns the indices of the k points closest to q in
 // ascending distance order (fewer if the tree holds fewer points).
 // Exact distance ties are broken toward the lowest original index,

@@ -239,3 +239,72 @@ func TestNearestKTieBreak(t *testing.T) {
 		}
 	}
 }
+
+// TestNearestMappedAgainstFilteredScan pins NearestMapped to a linear
+// scan over the mapped points with (d2, mapped index) ordering —
+// including duplicate coordinates, where the tie-break decides.
+func TestNearestMappedAgainstFilteredScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(float64(rng.Intn(9)), float64(rng.Intn(9)))
+		}
+		// A random subset survives; survivors are compacted in order,
+		// exactly like a dynamic network's index compaction.
+		mapped := make([]int, n)
+		cur := 0
+		for i := range mapped {
+			mapped[i] = -1
+			if rng.Intn(4) > 0 {
+				mapped[i] = cur
+				cur++
+			}
+		}
+		remap := func(i int) (int, bool) { return mapped[i], mapped[i] >= 0 }
+		tree := New(pts)
+		for q := 0; q < 60; q++ {
+			p := geom.Pt(rng.Float64()*10-0.5, rng.Float64()*10-0.5)
+			wantIdx, wantD2, wantOK := -1, math.Inf(1), false
+			for i, s := range pts {
+				m, ok := remap(i)
+				if !ok {
+					continue
+				}
+				if d2 := geom.Dist2(s, p); d2 < wantD2 || (d2 == wantD2 && m < wantIdx) {
+					wantIdx, wantD2, wantOK = m, d2, true
+				}
+			}
+			gotIdx, gotD2, gotOK := tree.NearestMapped(p, remap)
+			if gotOK != wantOK {
+				t.Fatalf("trial %d: ok = %v, want %v", trial, gotOK, wantOK)
+			}
+			if wantOK && (gotIdx != wantIdx || gotD2 != wantD2) {
+				t.Fatalf("trial %d: NearestMapped(%v) = (%d, %g), want (%d, %g)",
+					trial, p, gotIdx, gotD2, wantIdx, wantD2)
+			}
+		}
+	}
+}
+
+// TestNearestMappedIdentityAgreesWithNearest: with the identity remap,
+// NearestMapped must answer exactly like Nearest.
+func TestNearestMappedIdentityAgreesWithNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pts := make([]geom.Point, 100)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*4, rng.Float64()*4)
+	}
+	tree := New(pts)
+	identity := func(i int) (int, bool) { return i, true }
+	for q := 0; q < 500; q++ {
+		p := geom.Pt(rng.Float64()*5-0.5, rng.Float64()*5-0.5)
+		wantIdx, wantDist, wantOK := tree.Nearest(p)
+		gotIdx, gotD2, gotOK := tree.NearestMapped(p, identity)
+		if gotOK != wantOK || gotIdx != wantIdx || math.Abs(math.Sqrt(gotD2)-wantDist) > 1e-12 {
+			t.Fatalf("NearestMapped(%v) = (%d, %g, %v), Nearest = (%d, %g, %v)",
+				p, gotIdx, math.Sqrt(gotD2), gotOK, wantIdx, wantDist, wantOK)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package resolve
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func dynTestEngine(t *testing.T) (*dynamic.Network, geom.Box) {
+	t.Helper()
+	box := geom.NewBox(geom.Pt(-4, -4), geom.Pt(4, 4))
+	pts, err := workload.NewGenerator(21).UniformSeparated(12, box, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := core.NewUniform(pts, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := dynamic.New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dyn, box
+}
+
+// TestDynamicKindWiring covers the Kind plumbing: the wire name
+// round-trips, the static registry rejects it, and Kinds stays the
+// four static backends.
+func TestDynamicKindWiring(t *testing.T) {
+	k, err := ParseKind("dynamic")
+	if err != nil || k != KindDynamic {
+		t.Fatalf("ParseKind(dynamic) = (%v, %v)", k, err)
+	}
+	if got := KindDynamic.String(); got != "dynamic" {
+		t.Fatalf("KindDynamic.String() = %q", got)
+	}
+	net, err := core.NewUniform([]geom.Point{geom.Pt(0, 0), geom.Pt(2, 0)}, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(KindDynamic, net); err == nil {
+		t.Fatal("New(KindDynamic, net) accepted a bare network")
+	}
+	for _, k := range Kinds() {
+		if k == KindDynamic {
+			t.Fatal("Kinds() lists the dynamic backend")
+		}
+	}
+}
+
+// TestDynamicResolverMatchesExactAcrossEpochs: at every epoch, the
+// dynamic resolver's single/batch/stream answers must match an
+// ExactResolver built from scratch on the same station set.
+func TestDynamicResolverMatchesExactAcrossEpochs(t *testing.T) {
+	dyn, box := dynTestEngine(t)
+	r, err := NewDynamic(dyn, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(22)
+	probes := gen.QueryPoints(200, box)
+	ctx := context.Background()
+
+	for _, ev := range gen.ChurnTrace(12, 10, box, 1, 1, 1, 0.3) {
+		var d dynamic.Delta
+		switch ev.Kind {
+		case workload.ChurnArrive:
+			d = dynamic.Delta{Add: []dynamic.Station{{Pos: ev.Pos, Power: ev.Power}}}
+		case workload.ChurnDepart:
+			d = dynamic.Delta{Remove: []int{ev.Station}}
+		case workload.ChurnPower:
+			d = dynamic.Delta{SetPower: []dynamic.PowerUpdate{{Station: ev.Station, Power: ev.Power}}}
+		}
+		snap, err := dyn.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := NewExact(snap.Network())
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := make([]core.Location, len(probes))
+		if err := r.ResolveBatch(ctx, probes, batch); err != nil {
+			t.Fatal(err)
+		}
+		in := make(chan geom.Point)
+		go func() {
+			defer close(in)
+			for _, p := range probes {
+				in <- p
+			}
+		}()
+		i := 0
+		for got := range r.ResolveStream(ctx, in) {
+			if want := exact.Resolve(ctx, probes[i]); got != want {
+				t.Fatalf("epoch %d: stream answer %d = %+v, want %+v", snap.Epoch(), i, got, want)
+			}
+			i++
+		}
+		if i != len(probes) {
+			t.Fatalf("stream delivered %d answers, want %d", i, len(probes))
+		}
+		for j, p := range probes {
+			want := exact.Resolve(ctx, p)
+			if got := r.Resolve(ctx, p); got != want {
+				t.Fatalf("epoch %d: Resolve(%v) = %+v, want %+v", snap.Epoch(), p, got, want)
+			}
+			if batch[j] != want {
+				t.Fatalf("epoch %d: batch[%d] = %+v, want %+v", snap.Epoch(), j, batch[j], want)
+			}
+		}
+		if st := r.Stats(); st.Kind != KindDynamic || st.Epoch != snap.Epoch() || st.Stations != snap.NumStations() {
+			t.Fatalf("stats %+v out of step with epoch %d (%d stations)", st, snap.Epoch(), snap.NumStations())
+		}
+	}
+}
+
+// TestPinHoldsEpoch: a pinned snapshot resolver keeps answering from
+// its epoch while the engine moves on; the live resolver follows.
+func TestPinHoldsEpoch(t *testing.T) {
+	dyn, box := dynTestEngine(t)
+	r, err := NewDynamic(dyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := r.Pin()
+	if pinned.Stats().Epoch != 1 {
+		t.Fatalf("pinned epoch %d, want 1", pinned.Stats().Epoch)
+	}
+	probes := workload.NewGenerator(23).QueryPoints(100, box)
+	ctx := context.Background()
+	before := make([]core.Location, len(probes))
+	for i, p := range probes {
+		before[i] = pinned.Resolve(ctx, p)
+	}
+	// Drastic churn: remove most stations.
+	if _, err := dyn.Apply(dynamic.Delta{Remove: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range probes {
+		if got := pinned.Resolve(ctx, p); got != before[i] {
+			t.Fatalf("pinned answer changed at %v: %+v -> %+v", p, before[i], got)
+		}
+	}
+	if got := r.Stats(); got.Epoch != 2 || got.Stations != 2 {
+		t.Fatalf("live resolver stats %+v, want epoch 2 with 2 stations", got)
+	}
+}

@@ -14,14 +14,18 @@ import (
 // Kind identifies a resolver backend.
 type Kind int
 
-// The four backends. KindLocator is the default of registry-style
-// callers (zero value is KindExact so an uninitialized Kind is the
-// ground truth, never an approximation).
+// The backends. KindLocator is the default of registry-style callers
+// (zero value is KindExact so an uninitialized Kind is the ground
+// truth, never an approximation). KindDynamic is the epoch-snapshot
+// backend of a dynamic network: unlike the static four it cannot be
+// built from a bare *core.Network — use NewDynamic / NewDynamicSnapshot
+// with a dynamic engine — so it is not listed by Kinds().
 const (
 	KindExact   Kind = iota // direct SINR evaluation (ground truth)
 	KindLocator             // Theorem 3 point-location structure
 	KindVoronoi             // nearest-candidate + one SINR check
 	KindUDG                 // graph-based UDG/protocol baseline
+	KindDynamic             // dynamic-network epoch snapshot
 )
 
 // String implements fmt.Stringer; the names double as the wire and
@@ -36,13 +40,17 @@ func (k Kind) String() string {
 		return "voronoi"
 	case KindUDG:
 		return "udg"
+	case KindDynamic:
+		return "dynamic"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
-// Kinds lists every backend, in Kind order — the iteration set of
-// cross-backend comparisons and CI matrices.
+// Kinds lists every static backend, in Kind order — the iteration set
+// of cross-backend comparisons and CI matrices. KindDynamic is not
+// listed: it answers for a dynamic engine's current epoch, not for a
+// fixed network, so it has no place in a fixed-network comparison.
 func Kinds() []Kind { return []Kind{KindExact, KindLocator, KindVoronoi, KindUDG} }
 
 // ParseKind maps a wire/flag name to its Kind. The empty string maps
@@ -59,8 +67,10 @@ func ParseKind(s string) (Kind, error) {
 		return KindVoronoi, nil
 	case "udg":
 		return KindUDG, nil
+	case "dynamic":
+		return KindDynamic, nil
 	default:
-		return 0, fmt.Errorf("resolve: unknown resolver kind %q (want exact, locator, voronoi or udg)", s)
+		return 0, fmt.Errorf("resolve: unknown resolver kind %q (want exact, locator, voronoi, udg or dynamic)", s)
 	}
 }
 
@@ -72,6 +82,11 @@ type Stats struct {
 	Kind     Kind
 	Stations int
 	Workers  int // batch/stream worker count (0 = one per CPU)
+
+	// Epoch is the dynamic-network epoch the resolver answers from
+	// (dynamic backend only; a DynamicResolver reports the epoch
+	// current at the Stats call).
+	Epoch uint64
 
 	Eps           float64 // locator performance parameter
 	ExactFallback bool    // locator: H? answers settled exactly
@@ -184,6 +199,8 @@ func New(kind Kind, net *core.Network, opts ...Option) (Resolver, error) {
 		return NewVoronoi(net, opts...)
 	case KindUDG:
 		return NewUDG(net, opts...)
+	case KindDynamic:
+		return nil, fmt.Errorf("resolve: the dynamic backend answers for a dynamic engine, not a bare network; use NewDynamic or NewDynamicSnapshot")
 	default:
 		return nil, fmt.Errorf("resolve: unknown resolver kind %v", kind)
 	}

@@ -6,11 +6,12 @@
 //
 // # Endpoints
 //
-//	POST /v1/networks       register or replace a named network
-//	GET  /v1/networks       list registered networks
-//	POST /v1/locate         JSON batch of points -> exact answers
-//	POST /v1/locate/stream  NDJSON points in -> NDJSON answers out
-//	GET  /healthz           liveness probe
+//	POST  /v1/networks        register or replace a named network
+//	GET   /v1/networks        list registered networks
+//	PATCH /v1/networks/{name} apply a station delta (add/remove/set_power)
+//	POST  /v1/locate          JSON batch of points -> exact answers
+//	POST  /v1/locate/stream   NDJSON points in -> NDJSON answers out
+//	GET   /healthz            liveness probe
 //
 // # Resolver selection
 //
@@ -18,7 +19,9 @@
 // /v1/locate body (or the resolver query parameter of the stream
 // endpoint): "exact" (direct SINR evaluation), "locator" (the
 // Theorem 3 structure with exact fallback), "voronoi" (nearest-
-// candidate + one SINR check) or "udg" (the graph-based baseline).
+// candidate + one SINR check), "udg" (the graph-based baseline) or
+// "dynamic" (the current dynamic-engine epoch snapshot: exact answers,
+// O(1) resolver turnover per PATCH instead of a backend rebuild).
 // A network registration may set its own default backend (and a
 // default UDG radius) via the same "resolver"/"radius" fields; a
 // request that names neither uses the network's default, which is
@@ -27,10 +30,20 @@
 // backend; knobs irrelevant to the chosen backend are ignored, and
 // a zero UDG radius is derived via resolve.DefaultUDGRadius.
 //
-// # Hot swap
+// # Hot swap and deltas
 //
 // Re-registering a name atomically replaces the network snapshot
 // (stations, default backend, defaults) and bumps its version.
+// PATCH /v1/networks/{name} mutates it instead: the delta document
+// (internal/dynamic wire shape: set_power, remove, add — pre-delta
+// indices throughout) flows through the network's dynamic engine,
+// which patches its spatial structures copy-on-write below the churn
+// threshold and rebuilds amortized above it, and the resulting epoch
+// snapshot is swapped in as the next version. The response echoes the
+// epoch and which apply path ran; the Sinr-Network-Version header of
+// streams (and the "version" of batch replies) reflects epochs, so
+// clients can pin any answer to the exact station set that produced
+// it.
 // Queries capture the snapshot once at the start of a request, so
 // in-flight batches and streams finish against the resolver they
 // started with while new requests see the new network — mobility

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/dynamic"
 	"repro/internal/geom"
 	"repro/internal/resolve"
 )
@@ -53,20 +54,30 @@ type Options struct {
 
 // snapshot is one immutable registered generation of a network.
 // Requests capture a snapshot once and serve entirely from it, so a
-// concurrent hot swap never changes answers mid-request. kind and
-// radius are the network's registered defaults; a request's own
-// "resolver"/"radius" fields override them per query.
+// concurrent hot swap or PATCH delta never changes answers
+// mid-request. kind and radius are the network's registered defaults;
+// a request's own "resolver"/"radius" fields override them per query.
+// epoch is the dynamic-engine epoch snapshot behind this generation —
+// the station set net was materialized from — and is what the dynamic
+// resolver kind answers with.
 type snapshot struct {
 	net     *core.Network
 	version uint64
 	kind    resolve.Kind
 	radius  float64
+	epoch   *dynamic.Snapshot
 }
 
 // netEntry is a registry slot for one network name; the snapshot
-// pointer is swapped atomically on replacement.
+// pointer is swapped atomically on replacement. mu serializes the
+// writers — full re-registrations and PATCH deltas — so version
+// numbers are strictly increasing per name; readers never take it.
+// dyn is the mutation engine PATCH deltas flow through; a full POST
+// replaces it wholesale.
 type netEntry struct {
 	snap atomic.Pointer[snapshot]
+	mu   sync.Mutex
+	dyn  *dynamic.Network
 }
 
 // Server owns the network registry and locator cache and implements
@@ -105,6 +116,7 @@ func NewServer(opt Options) *Server {
 		nets:  make(map[string]*netEntry),
 	}
 	s.mux.HandleFunc("/v1/networks", s.handleNetworks)
+	s.mux.HandleFunc("PATCH /v1/networks/{name}", s.handlePatchNetwork)
 	s.mux.HandleFunc("/v1/locate", s.handleLocate)
 	s.mux.HandleFunc("/v1/locate/stream", s.handleLocateStream)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -148,12 +160,46 @@ type NetworkRequest struct {
 	Radius   float64     `json:"radius,omitempty"`
 }
 
-// NetworkResponse acknowledges a registration.
+// NetworkResponse acknowledges a registration or a PATCH delta.
+// Epoch and ApplyPath are set by PATCH responses: Epoch is the
+// dynamic-engine epoch (1 on registration, +1 per delta; it tracks
+// Version until a re-registration resets it) and ApplyPath says which
+// maintenance path the delta took ("incremental" or "rebuild").
 type NetworkResponse struct {
-	Name     string `json:"name"`
-	Version  uint64 `json:"version"`
-	Stations int    `json:"stations"`
-	Resolver string `json:"resolver"`
+	Name      string `json:"name"`
+	Version   uint64 `json:"version"`
+	Stations  int    `json:"stations"`
+	Resolver  string `json:"resolver"`
+	Epoch     uint64 `json:"epoch,omitempty"`
+	ApplyPath string `json:"apply_path,omitempty"`
+}
+
+// DeltaStationJSON is an arriving station of a PATCH delta. A zero or
+// omitted power means the uniform default 1.
+type DeltaStationJSON struct {
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Power float64 `json:"power,omitempty"`
+}
+
+// PowerUpdateJSON changes the power of one existing station.
+type PowerUpdateJSON struct {
+	Station int     `json:"station"`
+	Power   float64 `json:"power"`
+}
+
+// NetworkDeltaRequest is the PATCH /v1/networks/{name} body: a delta
+// document applied to the network's current generation. Phases apply
+// in order set_power, remove, add; set_power and remove address
+// stations by their index in the generation the delta lands on
+// (pre-delta indices throughout), removals compact the survivors in
+// order, and additions append. In-flight requests keep answering from
+// the generation they started on; the response's version is the new
+// generation every later request sees.
+type NetworkDeltaRequest struct {
+	SetPower []PowerUpdateJSON  `json:"set_power,omitempty"`
+	Remove   []int              `json:"remove,omitempty"`
+	Add      []DeltaStationJSON `json:"add,omitempty"`
 }
 
 // LocateRequest is the POST /v1/locate body. Resolver picks the
@@ -266,26 +312,105 @@ func (s *Server) registerNetwork(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	dyn, err := dynamic.New(net)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid network: %v", err)
+		return
+	}
+
 	s.mu.Lock()
 	entry, ok := s.nets[req.Name]
 	if !ok {
 		entry = &netEntry{}
 		s.nets[req.Name] = entry
 	}
+	s.mu.Unlock()
+
+	// entry.mu serializes this store against concurrent PATCHes (and
+	// other re-registrations) of the same name, so versions are
+	// strictly increasing.
+	entry.mu.Lock()
 	version := uint64(1)
 	if old := entry.snap.Load(); old != nil {
 		version = old.version + 1
 	}
+	entry.dyn = dyn
 	// The swap is atomic: requests that loaded the old snapshot keep
 	// serving from it; every later request sees the new generation.
-	entry.snap.Store(&snapshot{net: net, version: version, kind: kind, radius: req.Radius})
-	s.mu.Unlock()
+	entry.snap.Store(&snapshot{net: net, version: version, kind: kind, radius: req.Radius, epoch: dyn.Snapshot()})
+	entry.mu.Unlock()
 
 	// Age out resolvers of replaced generations.
 	s.cache.invalidate(req.Name, version)
 
 	writeJSON(w, http.StatusOK, NetworkResponse{
 		Name: req.Name, Version: version, Stations: net.NumStations(), Resolver: kind.String(),
+	})
+}
+
+// handlePatchNetwork applies a delta document to a registered network:
+// the dynamic engine absorbs it (incrementally below the churn
+// threshold, amortized-rebuild above) and the resulting epoch snapshot
+// is hot-swapped in as a new generation. In-flight batches and streams
+// finish on the generation they captured; their superseded resolvers
+// are released from the cache once the swap lands.
+func (s *Server) handlePatchNetwork(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req NetworkDeltaRequest
+	if !decodeBody(w, r, s.opt.MaxBodyBytes, &req) {
+		return
+	}
+	delta := dynamic.Delta{Remove: req.Remove}
+	for _, pu := range req.SetPower {
+		delta.SetPower = append(delta.SetPower, dynamic.PowerUpdate{Station: pu.Station, Power: pu.Power})
+	}
+	for _, st := range req.Add {
+		delta.Add = append(delta.Add, dynamic.Station{Pos: geom.Pt(st.X, st.Y), Power: st.Power})
+	}
+
+	s.mu.RLock()
+	entry, ok := s.nets[name]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown network %q", name)
+		return
+	}
+
+	entry.mu.Lock()
+	old := entry.snap.Load()
+	if old == nil || entry.dyn == nil {
+		// The entry is published to s.nets before its first snapshot
+		// and engine are stored (registerNetwork holds entry.mu for
+		// that store, not s.mu); a PATCH racing the initial POST of
+		// this name can win entry.mu first and must see the network
+		// as not-yet-registered rather than Apply on a nil engine.
+		entry.mu.Unlock()
+		writeError(w, http.StatusNotFound, "unknown network %q", name)
+		return
+	}
+	es, err := entry.dyn.Apply(delta)
+	if err != nil {
+		entry.mu.Unlock()
+		writeError(w, http.StatusBadRequest, "invalid delta: %v", err)
+		return
+	}
+	version := old.version + 1
+	entry.snap.Store(&snapshot{
+		net: es.Network(), version: version, kind: old.kind, radius: old.radius, epoch: es,
+	})
+	entry.mu.Unlock()
+
+	// Release the superseded generation's resolvers.
+	s.cache.invalidate(name, version)
+
+	stats := es.ApplyStats()
+	writeJSON(w, http.StatusOK, NetworkResponse{
+		Name:      name,
+		Version:   version,
+		Stations:  es.NumStations(),
+		Resolver:  old.kind.String(),
+		Epoch:     es.Epoch(),
+		ApplyPath: stats.Path.String(),
 	})
 }
 
@@ -372,6 +497,12 @@ func (s *Server) resolverFor(name string, spec resolverSpec) (*snapshot, resolve
 	}
 	key := cacheKey{name: name, version: snap.version, kind: kind, eps: eps, radius: radius}
 	res, err := s.cache.get(key, func() (resolve.Resolver, error) {
+		if kind == resolve.KindDynamic {
+			// The epoch snapshot already carries its query structures:
+			// an O(1) wrap instead of a backend build, which is what
+			// keeps per-PATCH resolver turnover off the rebuild cost.
+			return resolve.NewDynamicSnapshot(snap.epoch, resolve.WithWorkers(s.opt.Workers))
+		}
 		opts := []resolve.Option{resolve.WithWorkers(s.opt.Workers)}
 		if kind == resolve.KindLocator {
 			opts = append(opts, resolve.WithEpsilon(eps))

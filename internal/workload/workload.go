@@ -226,3 +226,109 @@ func (g *Generator) Float64() float64 { return g.rng.Float64() }
 
 // Intn exposes the underlying RNG's uniform integer draw.
 func (g *Generator) Intn(n int) int { return g.rng.Intn(n) }
+
+// ChurnKind classifies one churn event of a dynamic-network trace.
+type ChurnKind int
+
+// The three churn processes: a station arriving, a station departing,
+// and a station's transmission power taking one multiplicative
+// random-walk step.
+const (
+	ChurnArrive ChurnKind = iota
+	ChurnDepart
+	ChurnPower
+)
+
+// String implements fmt.Stringer; the names double as the sinrload
+// -churn-kind flag vocabulary ("arrive", "depart", "power").
+func (k ChurnKind) String() string {
+	switch k {
+	case ChurnArrive:
+		return "arrive"
+	case ChurnDepart:
+		return "depart"
+	case ChurnPower:
+		return "power"
+	default:
+		return fmt.Sprintf("ChurnKind(%d)", int(k))
+	}
+}
+
+// ChurnEvent is one single-station mutation of a churn trace. Station
+// indexes the station set as it stands when the event is applied
+// (arrivals append at the end, departures compact the set in order, so
+// consumers replaying the trace agree on indices); Pos is the arrival
+// location; Power is the arriving station's power or the power-walk
+// step's new absolute power.
+type ChurnEvent struct {
+	Kind    ChurnKind
+	Station int        // depart, power: index at event time
+	Pos     geom.Point // arrive: location
+	Power   float64    // arrive, power: absolute power
+}
+
+// churnMinStations is the floor below which a trace never lets the
+// station set shrink: departures that would breach it are emitted as
+// arrivals instead, so every prefix of the trace is a valid network.
+const churnMinStations = 2
+
+// ChurnTrace generates a reproducible sequence of single-station churn
+// events over a deployment of n0 stations with uniform power 1:
+// arrivals uniform in box, departures uniform over the current set,
+// and power walks taking one multiplicative log-normal step (sigma
+// powerSigma, clamped to [1/8, 8]) on a uniformly chosen station.
+// pArrive, pDepart and pPower weight the three processes (they are
+// normalized; a weighting that does not sum to a positive number is a
+// programming error and panics). The generator
+// tracks the virtual station set, so every departure index is valid at
+// its point in the trace and the power of a walked station follows its
+// own history across events.
+func (g *Generator) ChurnTrace(n0, events int, box geom.Box, pArrive, pDepart, pPower, powerSigma float64) []ChurnEvent {
+	if n0 < 1 || events < 1 {
+		return nil
+	}
+	powers := make([]float64, n0)
+	for i := range powers {
+		powers[i] = 1
+	}
+	total := pArrive + pDepart + pPower
+	if !(total > 0) { // catches non-positive sums and NaN
+		panic("workload: churn process weights must sum to a positive number")
+	}
+	out := make([]ChurnEvent, 0, events)
+	for len(out) < events {
+		kind := ChurnArrive
+		switch r := g.rng.Float64() * total; {
+		case r < pArrive:
+			kind = ChurnArrive
+		case r < pArrive+pDepart:
+			kind = ChurnDepart
+		default:
+			kind = ChurnPower
+		}
+		if kind == ChurnDepart && len(powers) <= churnMinStations {
+			kind = ChurnArrive
+		}
+		switch kind {
+		case ChurnArrive:
+			out = append(out, ChurnEvent{Kind: ChurnArrive, Pos: g.uniformPoint(box), Power: 1})
+			powers = append(powers, 1)
+		case ChurnDepart:
+			i := g.rng.Intn(len(powers))
+			out = append(out, ChurnEvent{Kind: ChurnDepart, Station: i})
+			powers = append(powers[:i:i], powers[i+1:]...)
+		case ChurnPower:
+			i := g.rng.Intn(len(powers))
+			p := powers[i] * math.Exp(powerSigma*g.rng.NormFloat64())
+			if p < 0.125 {
+				p = 0.125
+			}
+			if p > 8 {
+				p = 8
+			}
+			powers[i] = p
+			out = append(out, ChurnEvent{Kind: ChurnPower, Station: i, Power: p})
+		}
+	}
+	return out
+}

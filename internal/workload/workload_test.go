@@ -252,3 +252,94 @@ func TestMobilityTrace(t *testing.T) {
 		t.Error("NaN in trace")
 	}
 }
+
+// TestChurnTraceValidAndReproducible replays a trace against a virtual
+// station set and checks every event is applicable at its position:
+// departure and power indices in range, the floor respected, powers
+// positive, and the same seed reproducing the same trace.
+func TestChurnTraceValidAndReproducible(t *testing.T) {
+	box := geom.NewBox(geom.Pt(-5, -5), geom.Pt(5, 5))
+	trace := NewGenerator(42).ChurnTrace(6, 500, box, 1, 1, 1, 0.3)
+	if len(trace) != 500 {
+		t.Fatalf("trace length %d, want 500", len(trace))
+	}
+	count := 6
+	kinds := map[ChurnKind]int{}
+	for i, ev := range trace {
+		kinds[ev.Kind]++
+		switch ev.Kind {
+		case ChurnArrive:
+			if !box.Contains(ev.Pos) {
+				t.Fatalf("event %d: arrival at %v outside box", i, ev.Pos)
+			}
+			if ev.Power <= 0 {
+				t.Fatalf("event %d: arrival power %g", i, ev.Power)
+			}
+			count++
+		case ChurnDepart:
+			if ev.Station < 0 || ev.Station >= count {
+				t.Fatalf("event %d: departure index %d of %d", i, ev.Station, count)
+			}
+			count--
+			if count < 2 {
+				t.Fatalf("event %d: station count fell to %d", i, count)
+			}
+		case ChurnPower:
+			if ev.Station < 0 || ev.Station >= count {
+				t.Fatalf("event %d: power index %d of %d", i, ev.Station, count)
+			}
+			if ev.Power < 0.125 || ev.Power > 8 {
+				t.Fatalf("event %d: power %g outside clamp", i, ev.Power)
+			}
+		}
+	}
+	for k := ChurnArrive; k <= ChurnPower; k++ {
+		if kinds[k] == 0 {
+			t.Fatalf("no %v events in a mixed trace", k)
+		}
+	}
+	again := NewGenerator(42).ChurnTrace(6, 500, box, 1, 1, 1, 0.3)
+	for i := range trace {
+		if trace[i] != again[i] {
+			t.Fatalf("event %d not reproducible: %+v vs %+v", i, trace[i], again[i])
+		}
+	}
+}
+
+// TestChurnTraceRejectsDegenerateWeights: an all-zero (or otherwise
+// non-positive) weighting must panic as documented, not silently
+// degenerate into a pure power-walk trace.
+func TestChurnTraceRejectsDegenerateWeights(t *testing.T) {
+	box := geom.NewBox(geom.Pt(0, 0), geom.Pt(1, 1))
+	for _, w := range [][3]float64{{0, 0, 0}, {-1, 1, 0}, {math.NaN(), 0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ChurnTrace(weights=%v) did not panic", w)
+				}
+			}()
+			NewGenerator(1).ChurnTrace(4, 10, box, w[0], w[1], w[2], 0.3)
+		}()
+	}
+}
+
+// TestChurnTraceDepartureFloor: a departures-only trace must convert
+// to arrivals at the floor instead of emptying the set.
+func TestChurnTraceDepartureFloor(t *testing.T) {
+	box := geom.NewBox(geom.Pt(0, 0), geom.Pt(1, 1))
+	trace := NewGenerator(1).ChurnTrace(4, 50, box, 0, 1, 0, 0)
+	count := 4
+	for i, ev := range trace {
+		switch ev.Kind {
+		case ChurnDepart:
+			count--
+		case ChurnArrive:
+			count++
+		default:
+			t.Fatalf("event %d: unexpected %v in a departures-only trace", i, ev.Kind)
+		}
+		if count < 2 {
+			t.Fatalf("event %d: count %d below floor", i, count)
+		}
+	}
+}

@@ -94,6 +94,30 @@
 // batch answer i, and (_, false) to NoStationHeard. Batch answers never
 // use (0, false)'s ambiguous zero, so -1 is safe to compare directly.
 //
+// # Dynamic networks
+//
+// Everything above answers for a fixed station set. When stations
+// join, leave, or change power while queries are in flight, wrap the
+// network in a dynamic engine and mutate it with deltas:
+//
+//	dyn, err := sinrdiag.NewDynamicNetwork(net)
+//	snap, err := dyn.Apply(sinrdiag.DynamicDelta{
+//		Add: []sinrdiag.DynamicStation{{Pos: sinrdiag.Pt(2, 1)}},
+//	})
+//	heard, ok := snap.HeardBy(sinrdiag.Pt(0.4, 0.2))
+//
+// Every Apply produces a fresh immutable epoch Snapshot without
+// paying full-rebuild cost on the hot path (spatial structures are
+// patched copy-on-write; a from-scratch rebuild is amortized over
+// the churn threshold, see WithRebuildFraction), and snapshots answer
+// point-for-point identically to a from-scratch build on the same
+// final station set. NewDynamicResolver adapts an engine to the
+// Resolver interface with epoch pinning: a batch or stream answers
+// entirely from the epoch current when the call starts, however many
+// deltas land while it runs. The sinrserve binary exposes the same
+// engine over HTTP as PATCH /v1/networks/{name}; see the README's
+// "Dynamic networks" section for the delta wire format.
+//
 // The facade re-exports the library's core types; the full API
 // (geometry kit, polynomial/Sturm machinery, Voronoi diagrams, UDG
 // baselines, rasterization, experiment harness) lives in the internal
@@ -104,6 +128,7 @@ package sinrdiag
 import (
 	"repro/internal/core"
 	"repro/internal/diagram"
+	"repro/internal/dynamic"
 	"repro/internal/geom"
 	"repro/internal/resolve"
 )
@@ -359,6 +384,93 @@ func DefaultUDGRadius(net *Network) float64 { return resolve.DefaultUDGRadius(ne
 // StationIndex flattens a Location to the batch wire shape: the heard
 // station's index, or NoStationHeard for a no-reception answer.
 func StationIndex(loc Location) int { return resolve.StationIndex(loc) }
+
+// DynamicNetwork is a versioned dynamic station set: Apply takes a
+// DynamicDelta and produces a fresh immutable epoch DynamicSnapshot,
+// patching the spatial structures copy-on-write below the churn
+// threshold and rebuilding them amortized above it. Apply calls are
+// serialized; snapshots are safe for concurrent use and queries
+// against an older epoch are never disturbed by later mutations.
+type DynamicNetwork = dynamic.Network
+
+// DynamicSnapshot is one immutable epoch of a dynamic network: the
+// station set after some prefix of the mutation log, answering
+// HeardBy/Locate point-for-point identically to a from-scratch build
+// on the same stations.
+type DynamicSnapshot = dynamic.Snapshot
+
+// DynamicDelta is one batch of mutations against a specific epoch:
+// SetPower first, then Remove, then Add, all addressing stations by
+// their index in the epoch the delta is applied to.
+type DynamicDelta = dynamic.Delta
+
+// DynamicStation is an arriving station of a DynamicDelta (zero Power
+// means the uniform default 1).
+type DynamicStation = dynamic.Station
+
+// DynamicPowerUpdate changes the transmission power of one existing
+// station.
+type DynamicPowerUpdate = dynamic.PowerUpdate
+
+// DynamicApplyStats describes how one epoch came to be: the
+// maintenance path taken, the mutation counts, and the churn fraction
+// against the amortized-rebuild threshold.
+type DynamicApplyStats = dynamic.ApplyStats
+
+// DynamicApplyPath says which maintenance path an Apply took
+// (incremental or rebuild).
+type DynamicApplyPath = dynamic.ApplyPath
+
+// The two maintenance paths of a dynamic Apply.
+const (
+	DynamicPathIncremental = dynamic.PathIncremental
+	DynamicPathRebuild     = dynamic.PathRebuild
+)
+
+// DefaultRebuildFraction is the churn threshold of the amortized
+// rebuild: once mutations since the last full build exceed this
+// fraction of the station count at that build, the next Apply
+// rebuilds every derived structure from scratch.
+const DefaultRebuildFraction = dynamic.DefaultRebuildFraction
+
+// DynamicOption customizes dynamic-engine construction.
+type DynamicOption = dynamic.Option
+
+// WithRebuildFraction sets the churn threshold of the amortized
+// rebuild (default DefaultRebuildFraction). Zero rebuilds on every
+// Apply; +Inf never amortizes.
+func WithRebuildFraction(f float64) DynamicOption { return dynamic.WithRebuildFraction(f) }
+
+// NewDynamicNetwork wraps net in a dynamic engine at epoch 1.
+func NewDynamicNetwork(net *Network, opts ...DynamicOption) (*DynamicNetwork, error) {
+	return dynamic.New(net, opts...)
+}
+
+// DynamicResolver is the epoch-aware Resolver over a live dynamic
+// network: every Resolve, ResolveBatch and ResolveStream call pins
+// the epoch current when the call starts and answers entirely from
+// it. Use Pin to hold one epoch across several calls.
+type DynamicResolver = resolve.DynamicResolver
+
+// SnapshotResolver answers every query from one pinned epoch snapshot
+// of a dynamic network; construction is O(1).
+type SnapshotResolver = resolve.SnapshotResolver
+
+// ResolverDynamic identifies the dynamic epoch-snapshot backend.
+// Unlike the static four it cannot be built from a bare *Network —
+// use NewDynamicResolver or NewSnapshotResolver.
+const ResolverDynamic = resolve.KindDynamic
+
+// NewDynamicResolver wraps a dynamic engine in the epoch-aware
+// Resolver (WithWorkers applies).
+func NewDynamicResolver(dyn *DynamicNetwork, opts ...ResolverOption) (*DynamicResolver, error) {
+	return resolve.NewDynamic(dyn, opts...)
+}
+
+// NewSnapshotResolver wraps one epoch snapshot (WithWorkers applies).
+func NewSnapshotResolver(snap *DynamicSnapshot, opts ...ResolverOption) (*SnapshotResolver, error) {
+	return resolve.NewDynamicSnapshot(snap, opts...)
+}
 
 // Diagram is a measured SINR diagram: per-zone polygonal geometry and
 // the communication graph induced by concurrent transmission.
