@@ -43,12 +43,29 @@
 // mismatch, so the command doubles as an end-to-end correctness check
 // in CI (the serve-smoke matrix runs it once per backend, plus a
 // churn leg).
+//
+// Any non-2xx locate response is a hard failure: the run reports how
+// many batches failed by class (429 shed, 5xx, other) and exits
+// non-zero. Failed batches are excluded from verification — they have
+// no answers to check — so a shedding server cannot silently pass a
+// -verify run.
+//
+// -scrape-metrics (default true) snapshots the server's /metrics
+// before and after the run and reports the server-side view next to
+// the client percentiles: request counts by status class, shed count,
+// resolver-cache hit/miss deltas, and latency percentiles estimated
+// from the histogram delta — the numbers an operator's dashboard
+// would show for the same window. -metrics-every additionally samples
+// /metrics during the run to report peak in-flight and queued gauges.
+// If the first scrape fails (older server, exposition disabled) the
+// client warns once and carries on without it.
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -62,6 +79,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynamic"
 	"repro/internal/geom"
+	"repro/internal/metrics"
 	"repro/internal/resolve"
 	"repro/internal/serve"
 	"repro/internal/workload"
@@ -80,7 +98,19 @@ type config struct {
 	swapEvery, churnEvery int
 	churnKind             string
 	verify                bool
+	scrapeMetrics         bool
+	metricsEvery          time.Duration
 }
+
+// statusError is a non-2xx HTTP response surfaced as an error, keeping
+// the status code so the caller can tally shed (429) and server-error
+// (5xx) batches separately from transport failures.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
 
 func main() {
 	var cfg config
@@ -101,6 +131,8 @@ func main() {
 	flag.IntVar(&cfg.churnEvery, "churn-every", 0, "PATCH one churn delta after every K batches (0 = never)")
 	flag.StringVar(&cfg.churnKind, "churn-kind", "mix", "churn process: arrive, depart, power or mix")
 	flag.BoolVar(&cfg.verify, "verify", false, "verify every served answer against a locally built backend of the same kind")
+	flag.BoolVar(&cfg.scrapeMetrics, "scrape-metrics", true, "scrape /metrics before and after the run and report server-side deltas")
+	flag.DurationVar(&cfg.metricsEvery, "metrics-every", 0, "also sample /metrics at this interval during the run for peak gauges (0 = off)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -214,11 +246,27 @@ func run(cfg config) error {
 	fmt.Printf("registered %q: %d stations, workload=%s, resolver=%s, %d queries in batches of %d over %d clients\n",
 		cfg.name, cfg.n, cfg.workload, kind, len(points), cfg.batch, cfg.concurrency)
 
+	// Server-side view: snapshot /metrics before traffic so the report
+	// can show this run's deltas; a scrape failure (exposition absent)
+	// downgrades to client-only reporting with one warning.
+	var before []metrics.Sample
+	if cfg.scrapeMetrics {
+		if before, err = scrape(client, cfg.addr); err != nil {
+			fmt.Fprintf(os.Stderr, "sinrload: disabling metrics scraping: %v\n", err)
+			cfg.scrapeMetrics = false
+		}
+	}
+	var peak peakSampler
+	if cfg.scrapeMetrics && cfg.metricsEvery > 0 {
+		peak.start(client, cfg.addr, cfg.metricsEvery)
+	}
+
 	served := make([]int, len(points))      // station index or -1 per query
 	servedVer := make([]uint64, numBatches) // generation that answered each batch
 	latencies := make([]time.Duration, numBatches)
 	var next atomic.Int64
 	var failed atomic.Int64
+	var fail429, fail5xx, failOther atomic.Int64
 	var swaps, churns atomic.Int64
 
 	// mutMu serializes mutations (swaps and churn deltas) and the
@@ -238,12 +286,14 @@ func run(cfg config) error {
 		resp, err := patch(client, cfg.addr, cfg.name, deltaFor(ev))
 		if err != nil {
 			failed.Add(1)
+			failOther.Add(1)
 			fmt.Fprintf(os.Stderr, "sinrload: churn after batch %d: %v\n", b, err)
 			return
 		}
 		snap, err := mirror.Apply(localDelta(ev))
 		if err != nil {
 			failed.Add(1)
+			failOther.Add(1)
 			fmt.Fprintf(os.Stderr, "sinrload: mirroring churn delta: %v\n", err)
 			return
 		}
@@ -254,6 +304,7 @@ func run(cfg config) error {
 		// not that version and epoch coincide.
 		if resp.Version != lastVer+1 || resp.Epoch != snap.Epoch() {
 			failed.Add(1)
+			failOther.Add(1)
 			fmt.Fprintf(os.Stderr, "sinrload: server at version %d epoch %d after delta, expected version %d, local mirror epoch %d\n",
 				resp.Version, resp.Epoch, lastVer+1, snap.Epoch())
 			return
@@ -283,8 +334,24 @@ func run(cfg config) error {
 				results, version, err := locate(client, cfg.addr, cfg.name, kind.String(), cfg.eps, cfg.radius, points[lo:hi])
 				latencies[b] = time.Since(t0)
 				if err != nil {
+					// Any non-2xx is a hard failure, tallied by class so
+					// the report separates shedding (429) from server
+					// errors (5xx); only the first few per class are
+					// printed — an overloaded server sheds thousands.
 					failed.Add(1)
-					fmt.Fprintf(os.Stderr, "sinrload: batch %d: %v\n", b, err)
+					var printed int64
+					var se *statusError
+					switch {
+					case errors.As(err, &se) && se.code == http.StatusTooManyRequests:
+						printed = fail429.Add(1)
+					case errors.As(err, &se) && se.code >= 500:
+						printed = fail5xx.Add(1)
+					default:
+						printed = failOther.Add(1)
+					}
+					if printed <= 3 {
+						fmt.Fprintf(os.Stderr, "sinrload: batch %d: %v\n", b, err)
+					}
 					continue
 				}
 				servedVer[b] = version
@@ -299,6 +366,7 @@ func run(cfg config) error {
 					resp, err := register(client, cfg.addr, reg)
 					if err != nil {
 						failed.Add(1)
+						failOther.Add(1)
 						fmt.Fprintf(os.Stderr, "sinrload: hot swap after batch %d: %v\n", b, err)
 					} else {
 						// Stations unchanged: the new generation serves the
@@ -317,6 +385,7 @@ func run(cfg config) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	peak.finish()
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	qps := float64(len(points)) / elapsed.Seconds()
@@ -325,8 +394,17 @@ func run(cfg config) error {
 	fmt.Printf("batch latency: p50=%v p90=%v p99=%v max=%v\n",
 		pct(latencies, 0.50), pct(latencies, 0.90), pct(latencies, 0.99), latencies[len(latencies)-1].Round(time.Microsecond))
 
+	if cfg.scrapeMetrics {
+		if after, err := scrape(client, cfg.addr); err != nil {
+			fmt.Fprintf(os.Stderr, "sinrload: final metrics scrape: %v\n", err)
+		} else {
+			reportServerMetrics(before, after, &peak, cfg.metricsEvery)
+		}
+	}
+
 	if failed.Load() > 0 {
-		return fmt.Errorf("%d requests failed", failed.Load())
+		return fmt.Errorf("%d requests failed hard (429=%d, 5xx=%d, other=%d)",
+			failed.Load(), fail429.Load(), fail5xx.Load(), failOther.Load())
 	}
 
 	if cfg.verify {
@@ -354,6 +432,13 @@ func verifyServed(cfg config, kind resolve.Kind, epochs map[uint64]*dynamic.Snap
 	points []geom.Point, served []int, servedVer []uint64, numBatches int) (int, error) {
 	byVer := make(map[uint64][]int)
 	for b := 0; b < numBatches; b++ {
+		// A failed batch never recorded its answering generation (the
+		// sentinel 0 predates every real version). It was already
+		// counted as a hard error; there are no answers to verify, and
+		// checking its zeroed slots would fabricate mismatches.
+		if servedVer[b] == 0 {
+			continue
+		}
 		byVer[servedVer[b]] = append(byVer[servedVer[b]], b)
 	}
 	versions := make([]uint64, 0, len(byVer))
@@ -430,7 +515,8 @@ func register(client *http.Client, addr string, req serve.NetworkRequest) (serve
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return out, fmt.Errorf("register: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return out, &statusError{code: resp.StatusCode,
+			msg: fmt.Sprintf("register: %s: %s", resp.Status, bytes.TrimSpace(msg))}
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return out, err
@@ -457,7 +543,8 @@ func patch(client *http.Client, addr, name string, delta serve.NetworkDeltaReque
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return out, fmt.Errorf("patch: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return out, &statusError{code: resp.StatusCode,
+			msg: fmt.Sprintf("patch: %s: %s", resp.Status, bytes.TrimSpace(msg))}
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return out, err
@@ -482,7 +569,8 @@ func locate(client *http.Client, addr, name, resolver string, eps, radius float6
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, 0, fmt.Errorf("locate: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return nil, 0, &statusError{code: resp.StatusCode,
+			msg: fmt.Sprintf("locate: %s: %s", resp.Status, bytes.TrimSpace(msg))}
 	}
 	var out serve.LocateResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
@@ -501,4 +589,123 @@ func pct(sorted []time.Duration, p float64) time.Duration {
 	}
 	i := int(p * float64(len(sorted)-1))
 	return sorted[i].Round(time.Microsecond)
+}
+
+// scrape fetches and parses the server's /metrics exposition.
+func scrape(client *http.Client, addr string) ([]metrics.Sample, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &statusError{code: resp.StatusCode, msg: fmt.Sprintf("metrics: %s", resp.Status)}
+	}
+	return metrics.Parse(resp.Body)
+}
+
+// peakSampler polls /metrics at an interval while the run is live,
+// tracking gauge peaks the before/after snapshots cannot see: the
+// in-flight and queued gauges spike mid-run and are back near zero by
+// the final scrape.
+type peakSampler struct {
+	mu          sync.Mutex
+	maxInflight float64
+	maxQueued   float64
+	samples     int
+	stop, done  chan struct{}
+}
+
+func (p *peakSampler) start(client *http.Client, addr string, every time.Duration) {
+	p.stop, p.done = make(chan struct{}), make(chan struct{})
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				samples, err := scrape(client, addr)
+				if err != nil {
+					continue // transient; the run keeps the server busy
+				}
+				p.mu.Lock()
+				p.samples++
+				if v, ok := metrics.Value(samples, "sinr_http_inflight"); ok && v > p.maxInflight {
+					p.maxInflight = v
+				}
+				if v, ok := metrics.Value(samples, "sinr_admission_queued"); ok && v > p.maxQueued {
+					p.maxQueued = v
+				}
+				p.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// finish stops the sampler and waits it out; safe when never started.
+func (p *peakSampler) finish() {
+	if p.stop != nil {
+		close(p.stop)
+		<-p.done
+	}
+}
+
+// deltaValue returns after-before for the named series (0 when either
+// scrape lacks it — e.g. a gauge the server version doesn't export).
+func deltaValue(before, after []metrics.Sample, name string, labels ...metrics.Label) float64 {
+	b, _ := metrics.Value(before, name, labels...)
+	a, _ := metrics.Value(after, name, labels...)
+	return a - b
+}
+
+// deltaBuckets subtracts the before-scrape's cumulative histogram
+// buckets from the after-scrape's, yielding the histogram of exactly
+// this run's observations.
+func deltaBuckets(before, after []metrics.Sample, name string, labels ...metrics.Label) []metrics.Bucket {
+	prev := map[float64]float64{}
+	for _, b := range metrics.Buckets(before, name, labels...) {
+		prev[b.LE] = b.Count
+	}
+	cur := metrics.Buckets(after, name, labels...)
+	out := make([]metrics.Bucket, 0, len(cur))
+	for _, b := range cur {
+		out = append(out, metrics.Bucket{LE: b.LE, Count: b.Count - prev[b.LE]})
+	}
+	return out
+}
+
+// quantileDur renders a BucketQuantile estimate as a duration ("n/a"
+// for an empty histogram).
+func quantileDur(q float64, buckets []metrics.Bucket) string {
+	sec := metrics.BucketQuantile(q, buckets)
+	if sec != sec { // NaN: nothing observed
+		return "n/a"
+	}
+	return time.Duration(sec * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// reportServerMetrics prints the server's own view of the run — the
+// deltas between the two /metrics scrapes bracketing the traffic — so
+// client percentiles land next to the numbers an operator's dashboard
+// would show for the same window: shed counts explain client 429s,
+// and the server-side histogram separates queueing from compute.
+func reportServerMetrics(before, after []metrics.Sample, peak *peakSampler, every time.Duration) {
+	locateRoute := metrics.L("route", "locate")
+	fmt.Printf("server: locate 2xx=%.0f 429=%.0f 5xx=%.0f shed=%.0f, cache hits +%.0f misses +%.0f\n",
+		deltaValue(before, after, "sinr_http_requests_total", locateRoute, metrics.L("code", "2xx")),
+		deltaValue(before, after, "sinr_http_requests_total", locateRoute, metrics.L("code", "429")),
+		deltaValue(before, after, "sinr_http_requests_total", locateRoute, metrics.L("code", "5xx")),
+		deltaValue(before, after, "sinr_admission_shed_total", locateRoute),
+		deltaValue(before, after, "sinr_resolver_cache_hits_total"),
+		deltaValue(before, after, "sinr_resolver_cache_misses_total"))
+	buckets := deltaBuckets(before, after, "sinr_http_request_seconds", locateRoute)
+	fmt.Printf("server: locate latency p50=%s p90=%s p99=%s (from /metrics histogram delta)\n",
+		quantileDur(0.50, buckets), quantileDur(0.90, buckets), quantileDur(0.99, buckets))
+	if peak.samples > 0 {
+		fmt.Printf("server: peak inflight=%.0f queued=%.0f (%d samples, every %v)\n",
+			peak.maxInflight, peak.maxQueued, peak.samples, every)
+	}
 }

@@ -5,7 +5,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/serve"
 )
@@ -151,5 +153,80 @@ func TestChurnSwapMutuallyExclusive(t *testing.T) {
 	cfg.churnEvery = 2
 	if err := run(cfg); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
 		t.Fatalf("combined swap+churn run: %v", err)
+	}
+}
+
+// sheddingServer wraps a real serve.Server but answers every odd
+// /v1/locate request with a bare 429, simulating an overloaded server
+// from the client's point of view.
+func sheddingServer(srv *serve.Server) http.Handler {
+	var n atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/locate" && n.Add(1)%2 == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+			return
+		}
+		srv.ServeHTTP(w, r)
+	})
+}
+
+// TestShedResponsesFailRun is the non-2xx regression test: a server
+// shedding 429s must fail the run with a hard error naming the class —
+// and with -verify on, the shed batches are excluded from verification
+// instead of being checked as zero-filled answers (which would report
+// thousands of fabricated mismatches, drowning the real signal).
+func TestShedResponsesFailRun(t *testing.T) {
+	ts := httptest.NewServer(sheddingServer(serve.NewServer(serve.Options{Workers: 2})))
+	defer ts.Close()
+
+	cfg := testCfg(ts.URL, "shed")
+	cfg.verify = true
+	err := run(cfg)
+	if err == nil {
+		t.Fatal("run succeeded against a shedding server")
+	}
+	if !strings.Contains(err.Error(), "failed hard") || !strings.Contains(err.Error(), "429=8") {
+		t.Fatalf("error %q does not report the 429 class (want 8 of 16 batches shed)", err)
+	}
+	if strings.Contains(err.Error(), "differ") {
+		t.Fatalf("error %q reports mismatches for batches that never answered", err)
+	}
+}
+
+// TestScrapeMetricsRun: against a real server the before/after scrape
+// and the mid-run sampler ride along without disturbing a verified run.
+func TestScrapeMetricsRun(t *testing.T) {
+	ts := httptest.NewServer(serve.NewServer(serve.Options{Workers: 2, MaxConcurrent: 2}))
+	defer ts.Close()
+
+	cfg := testCfg(ts.URL, "scraped")
+	cfg.verify = true
+	cfg.scrapeMetrics = true
+	cfg.metricsEvery = time.Millisecond
+	if err := run(cfg); err != nil {
+		t.Fatalf("scraping run failed: %v", err)
+	}
+}
+
+// TestScrapeMetricsUnavailable: a server without an exposition (the
+// first scrape 404s) downgrades the run to client-only reporting
+// instead of failing it.
+func TestScrapeMetricsUnavailable(t *testing.T) {
+	inner := serve.NewServer(serve.Options{Workers: 2})
+	mux := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cfg := testCfg(ts.URL, "nometrics")
+	cfg.scrapeMetrics = true
+	if err := run(cfg); err != nil {
+		t.Fatalf("run failed without a metrics endpoint: %v", err)
 	}
 }

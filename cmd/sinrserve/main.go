@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	sinrserve [-addr :8080] [-max-locators 8] [-workers 0] [-default-eps 0.05] [-min-eps 0.01]
+//	sinrserve [-addr :8080] [-max-locators 8] [-workers 0]
+//	          [-default-eps 0.05] [-min-eps 0.01]
+//	          [-max-concurrent 0] [-max-queue 128] [-retry-after 1s]
+//	          [-drain-timeout 15s] [-stream-drain 5s]
+//	          [-log-requests] [-pprof]
 //
 // The listener is bound before the startup line is printed, and the
 // line reports the actual bound address — so -addr 127.0.0.1:0 picks
@@ -18,12 +22,25 @@
 //
 //	POST /v1/networks       register or hot-swap a named network
 //	GET  /v1/networks       list registered networks
+//	PATCH /v1/networks/{name}  apply a station delta to a dynamic network
 //	POST /v1/locate         JSON batch of points -> exact answers
 //	POST /v1/locate/stream  NDJSON in/out streaming queries
 //	GET  /healthz           liveness probe
+//	GET  /readyz            readiness probe (503 once draining)
+//	GET  /metrics           Prometheus text exposition
+//	GET  /debug/pprof/      runtime profiles (only with -pprof)
 //
-// The process shuts down gracefully on SIGINT/SIGTERM, letting
-// in-flight requests finish.
+// With -max-concurrent N each network runs at most N queries at once;
+// excess queries wait in a global queue of -max-queue, and beyond that
+// are shed with 429 and a Retry-After of -retry-after. -log-requests
+// emits one structured JSON log line per request on stderr and tags
+// responses with X-Request-Id.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: readiness
+// flips to 503 immediately, the listener stops accepting, in-flight
+// batch requests run to completion, and NDJSON streams get a
+// -stream-drain grace period before being cancelled; the whole drain
+// is bounded by -drain-timeout.
 package main
 
 import (
@@ -31,6 +48,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -41,27 +59,42 @@ import (
 	"repro/internal/serve"
 )
 
+// config carries the flag values into run.
+type config struct {
+	addr         string
+	drainTimeout time.Duration
+	streamDrain  time.Duration
+	logRequests  bool
+	opt          serve.Options
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	maxLocators := flag.Int("max-locators", 8, "locator cache capacity (LRU)")
-	workers := flag.Int("workers", 0, "worker pool size for builds and batch queries (0 = NumCPU)")
-	defaultEps := flag.Float64("default-eps", serve.DefaultEps, "locator eps for requests that omit it")
-	minEps := flag.Float64("min-eps", 0.01, "smallest client-supplied eps accepted (builds cost O(n^3/eps))")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.opt.MaxLocators, "max-locators", 8, "locator cache capacity (LRU)")
+	flag.IntVar(&cfg.opt.Workers, "workers", 0, "worker pool size for builds and batch queries (0 = NumCPU)")
+	flag.Float64Var(&cfg.opt.DefaultEps, "default-eps", serve.DefaultEps, "locator eps for requests that omit it")
+	flag.Float64Var(&cfg.opt.MinEps, "min-eps", 0.01, "smallest client-supplied eps accepted (builds cost O(n^3/eps))")
+	flag.IntVar(&cfg.opt.MaxConcurrent, "max-concurrent", 0, "max concurrently executing queries per network (0 = unlimited)")
+	flag.IntVar(&cfg.opt.MaxQueue, "max-queue", 128, "max queries queued across networks before shedding 429s")
+	flag.DurationVar(&cfg.opt.RetryAfter, "retry-after", time.Second, "Retry-After hint on shed responses")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "total graceful-shutdown budget after SIGTERM")
+	flag.DurationVar(&cfg.streamDrain, "stream-drain", 5*time.Second, "grace period before in-flight streams are cancelled")
+	flag.BoolVar(&cfg.logRequests, "log-requests", false, "log one structured JSON line per request to stderr")
+	flag.BoolVar(&cfg.opt.EnablePprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	if err := run(*addr, *maxLocators, *workers, *defaultEps, *minEps); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sinrserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxLocators, workers int, defaultEps, minEps float64) error {
-	handler := serve.NewServer(serve.Options{
-		MaxLocators: maxLocators,
-		Workers:     workers,
-		DefaultEps:  defaultEps,
-		MinEps:      minEps,
-	})
+func run(cfg config) error {
+	if cfg.logRequests {
+		cfg.opt.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	handler := serve.NewServer(cfg.opt)
 	srv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -71,12 +104,13 @@ func run(addr string, maxLocators, workers int, defaultEps, minEps float64) erro
 	// listening (with -addr host:0 the kernel-assigned port), so a
 	// supervisor polling it can never race the bind or pick a port
 	// that was taken.
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("sinrserve: listening on %s (max-locators=%d workers=%d default-eps=%g min-eps=%g)\n",
-		ln.Addr(), maxLocators, workers, defaultEps, minEps)
+	fmt.Printf("sinrserve: listening on %s (max-locators=%d workers=%d default-eps=%g min-eps=%g max-concurrent=%d max-queue=%d)\n",
+		ln.Addr(), cfg.opt.MaxLocators, cfg.opt.Workers, cfg.opt.DefaultEps, cfg.opt.MinEps,
+		cfg.opt.MaxConcurrent, cfg.opt.MaxQueue)
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -90,14 +124,26 @@ func run(addr string, maxLocators, workers int, defaultEps, minEps float64) erro
 		return err
 	case sig := <-stop:
 		fmt.Printf("sinrserve: %v, draining\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		// Drain sequence: readiness flips first so load balancers stop
+		// routing; Shutdown closes the listener and waits for in-flight
+		// batches; streams get streamDrain to finish naturally before
+		// Drain cancels them (they would otherwise block Shutdown
+		// forever); drainTimeout bounds the whole affair.
+		handler.SetReady(false)
+		streamTimer := time.AfterFunc(cfg.streamDrain, handler.Drain)
+		defer streamTimer.Stop()
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			return err
+			// Out of budget: cut whatever is left and report it.
+			handler.Drain()
+			return fmt.Errorf("drain exceeded %v: %w", cfg.drainTimeout, err)
 		}
+		handler.Drain()
 		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
+		fmt.Println("sinrserve: drained")
 		return nil
 	}
 }

@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkMetricsHot is the metrics-path entry on the CI bench-gate
+// 0-alloc list: one op is the full per-request instrumentation
+// sequence of the serve layer — inflight gauge up, route counter,
+// latency histogram observe, inflight gauge down. It must stay
+// allocation-free or the gate fails the PR.
+func BenchmarkMetricsHot(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("bench_requests_total", "help", L("route", "locate"), L("code", "2xx"))
+	g := reg.Gauge("bench_inflight", "help")
+	h := reg.Histogram("bench_seconds", "help", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Inc()
+		c.Inc()
+		h.Observe(float64(i%1000) / 1e5)
+		g.Dec()
+	}
+}
+
+// BenchmarkWritePrometheus sizes the scrape cost (off the hot path,
+// but worth knowing): a registry shaped like the serve layer's.
+func BenchmarkWritePrometheus(b *testing.B) {
+	reg := NewRegistry()
+	routes := []string{"networks", "patch", "locate", "stream", "healthz", "readyz", "metrics"}
+	codes := []string{"2xx", "3xx", "4xx", "429", "5xx"}
+	for _, rt := range routes {
+		for _, code := range codes {
+			reg.Counter("bench_requests_total", "help", L("route", rt), L("code", code)).Inc()
+		}
+		reg.Histogram("bench_seconds", "help", nil, L("route", rt)).Observe(0.001)
+	}
+	RegisterGoRuntime(reg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

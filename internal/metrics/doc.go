@@ -1,0 +1,23 @@
+// Package metrics is the dependency-free instrumentation kit behind
+// the serving layer's /metrics endpoint: atomic counters, gauges and
+// fixed-bucket histograms grouped by a Registry that writes the
+// Prometheus text exposition format.
+//
+// The design constraint is the serve hot path: recording a sample —
+// Counter.Inc, Gauge.Add, Histogram.Observe — is a handful of atomic
+// operations and never allocates, locks or looks anything up. All
+// naming and labelling happens at registration time: a caller asks the
+// Registry once for the metric bound to a fixed label combination and
+// holds the returned pointer, so the per-request cost is independent
+// of how many series exist. The Registry itself is mutex-guarded and
+// meant for registration and scraping, both off the hot path;
+// registering the same name and label set twice returns the existing
+// metric, so runtime registration (say, per-network gauges as networks
+// appear) is idempotent.
+//
+// The package also carries the client side of its own format: Parse
+// reads an exposition document back into samples and BucketQuantile
+// estimates quantiles from cumulative histogram buckets, which is what
+// lets the load generator correlate client-observed latencies with the
+// server's own histograms without a metrics dependency either.
+package metrics

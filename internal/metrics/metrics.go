@@ -1,0 +1,462 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value pair of a metric series. Construct with L.
+type Label struct {
+	Key, Value string
+}
+
+// L is the Label constructor: L("route", "locate").
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing counter. The zero value is
+// usable, but counters obtained from a Registry are what a scrape can
+// see. All methods are safe for concurrent use and never allocate.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an integer gauge (inflight requests, queue depths). All
+// methods are safe for concurrent use and never allocate.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d and returns the new value — the return value is what
+// lets an admission gate use the gauge itself as its depth counter
+// instead of tracking a shadow atomic.
+func (g *Gauge) Add(d int64) int64 { return g.v.Add(d) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets is the default latency histogram layout: 100µs to 10s,
+// roughly logarithmic — wide enough for an in-process locate (tens of
+// µs) and a cold locator build (seconds) to land in distinct buckets.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram. Buckets are set at
+// registration and never change, so Observe is a linear scan over a
+// small bounds slice plus three atomic updates — no locks, no
+// allocation. Bucket counts are exposed cumulatively (Prometheus
+// convention) at scrape time only; internally each slot counts its own
+// interval.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; implicit +Inf last
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// BucketCount returns the non-cumulative count of bucket i, where
+// i indexes the registered bounds and i == len(bounds) is the +Inf
+// overflow bucket. It is a test hook; scrapes read the cumulative
+// exposition instead.
+func (h *Histogram) BucketCount(i int) uint64 { return h.counts[i].Load() }
+
+// metricKind discriminates what one series holds.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) expoType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// series is one labelled instance under a family.
+type series struct {
+	labels    []Label // sorted by key
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+	counterFn func() uint64
+	gaugeFn   func() float64
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name, help string
+	kind       metricKind
+	bounds     []float64 // histogram families only
+	order      []string  // series signatures, registration order
+	series     map[string]*series
+}
+
+// Registry holds metric families and writes the exposition document.
+// Registration methods are idempotent per (name, labels): asking twice
+// returns the same metric, so late registration (a per-network gauge
+// when the network appears) needs no caller-side dedup. Registering a
+// name twice with a different type or, for histograms, different
+// buckets panics — that is a programming error, not runtime input.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	onScrape []func()
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// signature is the map key of one label combination.
+func signature(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte(0x1f)
+		b.WriteString(l.Value)
+		b.WriteByte(0x1e)
+	}
+	return b.String()
+}
+
+// sortedLabels copies and key-sorts labels so signatures and output
+// order are independent of call-site argument order.
+func sortedLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// lookup returns (creating if needed) the series of name+labels,
+// panicking on a type mismatch with an earlier registration.
+func (r *Registry) lookup(name, help string, kind metricKind, bounds []float64, labels []Label) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)", name, kind.expoType(), f.kind.expoType()))
+	}
+	ls := sortedLabels(labels)
+	sig := signature(ls)
+	s := f.series[sig]
+	if s == nil {
+		s = &series{labels: ls}
+		switch kind {
+		case kindCounter:
+			s.counter = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindHistogram:
+			s.hist = newHistogram(bounds)
+		}
+		f.series[sig] = s
+		f.order = append(f.order, sig)
+	}
+	return s
+}
+
+// Counter returns the counter named name with the given labels,
+// creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.lookup(name, help, kindCounter, nil, labels).counter
+}
+
+// Gauge returns the gauge named name with the given labels, creating
+// it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.lookup(name, help, kindGauge, nil, labels).gauge
+}
+
+// Histogram returns the histogram named name with the given bucket
+// upper bounds and labels, creating it on first use. Nil bounds mean
+// DefBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return r.lookup(name, help, kindHistogram, bounds, labels).hist
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time — the bridge for counters owned elsewhere (a cache's
+// hit count) without double bookkeeping. The first fn registered for
+// a given name+labels wins; later registrations are no-ops.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	s := r.lookup(name, help, kindCounterFunc, nil, labels)
+	r.mu.Lock()
+	if s.counterFn == nil {
+		s.counterFn = fn
+	}
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time. The first fn registered for a given name+labels wins.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.lookup(name, help, kindGaugeFunc, nil, labels)
+	r.mu.Lock()
+	if s.gaugeFn == nil {
+		s.gaugeFn = fn
+	}
+	r.mu.Unlock()
+}
+
+// OnScrape registers a hook run at the start of every WritePrometheus
+// call — the place for batch collectors (one runtime.ReadMemStats
+// updating several gauges) that would be wasteful per-gauge.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.onScrape = append(r.onScrape, fn)
+	r.mu.Unlock()
+}
+
+// escapeLabel applies the exposition format's label value escaping.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// appendLabels writes {k="v",...} with extra appended after the
+// series' own labels (used for histogram le); empty sets write
+// nothing.
+func appendLabels(b []byte, labels []Label, extra ...Label) []byte {
+	if len(labels)+len(extra) == 0 {
+		return b
+	}
+	b = append(b, '{')
+	first := true
+	for _, set := range [][]Label{labels, extra} {
+		for _, l := range set {
+			if !first {
+				b = append(b, ',')
+			}
+			first = false
+			b = append(b, l.Key...)
+			b = append(b, '=', '"')
+			b = append(b, escapeLabel(l.Value)...)
+			b = append(b, '"')
+		}
+	}
+	return append(b, '}')
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every family in the text exposition format,
+// families sorted by name, series in registration order — a
+// deterministic document the golden tests can pin byte-for-byte.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.onScrape...)
+	r.mu.Unlock()
+	// Hooks run unlocked: they may Set gauges through the registry's
+	// own metrics without deadlocking.
+	for _, fn := range hooks {
+		fn()
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var buf []byte
+	for _, name := range names {
+		f := r.families[name]
+		buf = buf[:0]
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.help...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.kind.expoType()...)
+		buf = append(buf, '\n')
+		for _, sig := range f.order {
+			s := f.series[sig]
+			switch f.kind {
+			case kindCounter:
+				buf = appendSample(buf, f.name, s.labels, strconv.FormatUint(s.counter.Value(), 10))
+			case kindCounterFunc:
+				v := uint64(0)
+				if s.counterFn != nil {
+					v = s.counterFn()
+				}
+				buf = appendSample(buf, f.name, s.labels, strconv.FormatUint(v, 10))
+			case kindGauge:
+				buf = appendSample(buf, f.name, s.labels, strconv.FormatInt(s.gauge.Value(), 10))
+			case kindGaugeFunc:
+				v := 0.0
+				if s.gaugeFn != nil {
+					v = s.gaugeFn()
+				}
+				buf = appendSample(buf, f.name, s.labels, formatFloat(v))
+			case kindHistogram:
+				buf = appendHistogram(buf, f.name, s.labels, s.hist)
+			}
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendSample(b []byte, name string, labels []Label, value string) []byte {
+	b = append(b, name...)
+	b = appendLabels(b, labels)
+	b = append(b, ' ')
+	b = append(b, value...)
+	return append(b, '\n')
+}
+
+func appendHistogram(b []byte, name string, labels []Label, h *Histogram) []byte {
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		b = append(b, name...)
+		b = append(b, "_bucket"...)
+		b = appendLabels(b, labels, L("le", formatFloat(bound)))
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, '\n')
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	b = append(b, name...)
+	b = append(b, "_bucket"...)
+	b = appendLabels(b, labels, L("le", "+Inf"))
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, cum, 10)
+	b = append(b, '\n')
+
+	b = append(b, name...)
+	b = append(b, "_sum"...)
+	b = appendLabels(b, labels)
+	b = append(b, ' ')
+	b = append(b, formatFloat(h.Sum())...)
+	b = append(b, '\n')
+
+	b = append(b, name...)
+	b = append(b, "_count"...)
+	b = appendLabels(b, labels)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, h.Count(), 10)
+	return append(b, '\n')
+}
+
+// Handler returns an http.Handler serving the exposition document —
+// the /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// RegisterGoRuntime registers the Go runtime gauges (goroutines, heap
+// bytes and objects, GC cycles and total pause) on r, collected by one
+// ReadMemStats per scrape.
+func RegisterGoRuntime(r *Registry) {
+	goroutines := r.Gauge("go_goroutines", "Number of live goroutines.")
+	heapAlloc := r.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	heapSys := r.Gauge("go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.")
+	heapObjects := r.Gauge("go_heap_objects", "Number of allocated heap objects.")
+	gcCycles := r.Gauge("go_gc_cycles_total", "Completed GC cycles.")
+	gcPause := r.Gauge("go_gc_pause_ns_total", "Cumulative GC stop-the-world pause, nanoseconds.")
+	r.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		heapSys.Set(int64(ms.HeapSys))
+		heapObjects.Set(int64(ms.HeapObjects))
+		gcCycles.Set(int64(ms.NumGC))
+		gcPause.Set(int64(ms.PauseTotalNs))
+	})
+}

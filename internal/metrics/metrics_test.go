@@ -1,0 +1,232 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeSemantics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "help", L("k", "v"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name+labels returns the same instance.
+	if c2 := reg.Counter("c_total", "help", L("k", "v")); c2 != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	// Different labels is a different series.
+	if c3 := reg.Counter("c_total", "help", L("k", "w")); c3 == c {
+		t.Fatal("distinct labels shared one counter")
+	}
+	// Label argument order must not matter.
+	a := reg.Gauge("g", "help", L("a", "1"), L("b", "2"))
+	b := reg.Gauge("g", "help", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+	a.Set(7)
+	a.Inc()
+	a.Dec()
+	if got := a.Add(-2); got != 5 {
+		t.Fatalf("gauge Add returned %d, want 5", got)
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("x", "help")
+}
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h_seconds", "help", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.001, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+	// Non-cumulative per-interval counts: (<=0.001)=2 — bounds are
+	// inclusive — (0.001,0.01]=1, (0.01,0.1]=1, +Inf=1.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.BucketCount(i); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.0005+0.001+0.005+0.05+5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+}
+
+// TestGoldenExposition pins the exposition document byte-for-byte:
+// HELP/TYPE headers, sorted families, sorted label keys, escaping,
+// cumulative histogram buckets with +Inf, _sum and _count.
+func TestGoldenExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("app_requests_total", "Total requests.", L("route", "locate"), L("code", "2xx"))
+	c.Add(3)
+	reg.Counter("app_requests_total", "Total requests.", L("route", "locate"), L("code", "4xx")).Inc()
+	g := reg.Gauge("app_inflight", "In-flight requests.")
+	g.Set(2)
+	h := reg.Histogram("app_seconds", "Latency.", []float64{0.01, 0.1}, L("route", "locate"))
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(7)
+	reg.GaugeFunc("app_info", "Fixed value.", func() float64 { return 1.5 }, L("version", `a"b\c`))
+	reg.CounterFunc("app_hits_total", "Hits.", func() uint64 { return 42 })
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_hits_total Hits.
+# TYPE app_hits_total counter
+app_hits_total 42
+# HELP app_inflight In-flight requests.
+# TYPE app_inflight gauge
+app_inflight 2
+# HELP app_info Fixed value.
+# TYPE app_info gauge
+app_info{version="a\"b\\c"} 1.5
+# HELP app_requests_total Total requests.
+# TYPE app_requests_total counter
+app_requests_total{code="2xx",route="locate"} 3
+app_requests_total{code="4xx",route="locate"} 1
+# HELP app_seconds Latency.
+# TYPE app_seconds histogram
+app_seconds_bucket{route="locate",le="0.01"} 1
+app_seconds_bucket{route="locate",le="0.1"} 3
+app_seconds_bucket{route="locate",le="+Inf"} 4
+app_seconds_sum{route="locate"} 7.105
+app_seconds_count{route="locate"} 4
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestParseRoundTrip: a written document parses back into the same
+// values, including escaped labels and histogram expansions.
+func TestParseRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rt_total", "help", L("k", "line\nbreak"), L("q", `"quoted"`)).Add(9)
+	h := reg.Histogram("rt_seconds", "help", []float64{0.5})
+	h.Observe(0.25)
+	h.Observe(2)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := Value(samples, "rt_total", L("k", "line\nbreak"), L("q", `"quoted"`)); !ok || v != 9 {
+		t.Fatalf("rt_total = %g, %v", v, ok)
+	}
+	if v, ok := Value(samples, "rt_seconds_count"); !ok || v != 2 {
+		t.Fatalf("rt_seconds_count = %g, %v", v, ok)
+	}
+	bs := Buckets(samples, "rt_seconds")
+	if len(bs) != 2 || bs[0].Count != 1 || bs[1].Count != 2 || !math.IsInf(bs[1].LE, 1) {
+		t.Fatalf("buckets = %+v", bs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"noval",
+		`x{k="v} 1`,
+		`x{k=v} 1`,
+		"x notanumber",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Fatalf("Parse(%q) succeeded", bad)
+		}
+	}
+	// Comments and blanks are fine.
+	samples, err := Parse(strings.NewReader("# HELP x y\n\nx 1\n"))
+	if err != nil || len(samples) != 1 {
+		t.Fatalf("samples %v, err %v", samples, err)
+	}
+}
+
+func TestBucketQuantile(t *testing.T) {
+	// 100 samples: 50 in (0, 0.1], 40 in (0.1, 1], 10 in (1, +Inf).
+	bs := []Bucket{{LE: 0.1, Count: 50}, {LE: 1, Count: 90}, {LE: math.Inf(1), Count: 100}}
+	if got := BucketQuantile(0.5, bs); got != 0.1 {
+		t.Fatalf("p50 = %g, want 0.1", got)
+	}
+	// p90 = rank 90 -> upper edge of the second bucket.
+	if got := BucketQuantile(0.9, bs); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("p90 = %g, want 1", got)
+	}
+	// p75 = rank 75 -> 25/40 into (0.1, 1].
+	if got, want := BucketQuantile(0.75, bs), 0.1+0.9*25/40; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("p75 = %g, want %g", got, want)
+	}
+	// Rank inside +Inf: clamp to the highest finite bound.
+	if got := BucketQuantile(0.99, bs); got != 1 {
+		t.Fatalf("p99 = %g, want 1", got)
+	}
+	if got := BucketQuantile(0.5, nil); !math.IsNaN(got) {
+		t.Fatalf("empty histogram quantile = %g, want NaN", got)
+	}
+}
+
+// TestHotPathDoesNotAllocate is the unit-level form of the bench-gate
+// rule: recording through a counter, gauge and histogram — the exact
+// per-request instrumentation of the serve layer — performs zero
+// allocations.
+func TestHotPathDoesNotAllocate(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("alloc_total", "help", L("route", "locate"))
+	g := reg.Gauge("alloc_inflight", "help")
+	h := reg.Histogram("alloc_seconds", "help", nil)
+	avg := testing.AllocsPerRun(1000, func() {
+		g.Inc()
+		c.Inc()
+		h.Observe(0.0042)
+		g.Dec()
+	})
+	if avg != 0 {
+		t.Fatalf("metrics record path allocates %g allocs/op, want 0", avg)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("conc_seconds", "help", []float64{1})
+	c := reg.Counter("conc_total", "help")
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.5)
+				c.Inc()
+			}
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if h.Count() != 8000 || c.Value() != 8000 {
+		t.Fatalf("count = %d, counter = %d, want 8000", h.Count(), c.Value())
+	}
+	if math.Abs(h.Sum()-4000) > 1e-6 {
+		t.Fatalf("sum = %g, want 4000", h.Sum())
+	}
+}

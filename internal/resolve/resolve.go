@@ -28,6 +28,11 @@ const (
 	KindDynamic             // dynamic-network epoch snapshot
 )
 
+// NumKinds is the number of defined backends. Kind values are dense
+// (0..NumKinds-1), so per-kind tables — the serve layer's per-resolver
+// metric arrays — can be plain arrays indexed by Kind.
+const NumKinds = int(KindDynamic) + 1
+
 // String implements fmt.Stringer; the names double as the wire and
 // flag vocabulary ("exact", "locator", "voronoi", "udg").
 func (k Kind) String() string {

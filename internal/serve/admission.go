@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"net/http"
+)
+
+// Admission control bounds what one network's query traffic can do to
+// the process: each network gets a fixed number of concurrent
+// execution slots (Options.MaxConcurrent, a buffered-channel
+// semaphore per registry entry), and queries that find every slot
+// taken wait in a single global queue bounded by Options.MaxQueue.
+// A query that would push the queue past its bound is shed
+// immediately with 429 and a Retry-After hint instead of queueing
+// unboundedly — under overload the server degrades to a bounded
+// amount of buffered work plus fast rejections, never to an unbounded
+// pile of goroutines all holding request state.
+//
+// The two knobs compose into the isolation property the tests pin:
+// a hot network can exhaust its own slots and fill the shared queue,
+// but it can never occupy another network's slots — a query for a
+// cold network admits immediately whenever its own semaphore has
+// room, regardless of who is queueing.
+
+// admit reserves an execution slot for one query against entry,
+// reporting whether the caller may proceed (it must release the entry
+// after serving). On false the response — 429 shed, 503 draining —
+// has been written unless the client itself vanished. With admission
+// disabled (no semaphore) admit is a nil check.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, rt route, entry *netEntry) bool {
+	if entry.sem == nil {
+		return true
+	}
+	select {
+	case entry.sem <- struct{}{}:
+		return true
+	default:
+	}
+	// Every slot is busy: join the global queue if it has room. The
+	// queued gauge doubles as the depth counter, so the metric can
+	// never drift from the limiter's own arithmetic.
+	if depth := s.m.queued.Add(1); depth > int64(s.opt.MaxQueue) {
+		s.m.queued.Add(-1)
+		s.m.shed[rt].Inc()
+		w.Header().Set("Retry-After", s.retryAfterSecs)
+		writeError(w, http.StatusTooManyRequests,
+			"overloaded: %d queries already queued; retry after %ss", s.opt.MaxQueue, s.retryAfterSecs)
+		return false
+	}
+	defer s.m.queued.Add(-1)
+	select {
+	case entry.sem <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		// The client gave up while queued; nothing to write.
+		return false
+	case <-s.drainCh:
+		s.m.shed[rt].Inc()
+		w.Header().Set("Retry-After", s.retryAfterSecs)
+		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new queries")
+		return false
+	}
+}
+
+// release returns the slot taken by a successful admit. Safe to call
+// with admission disabled.
+func (e *netEntry) release() {
+	if e.sem != nil {
+		<-e.sem
+	}
+}

@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// admissionServer boots a test server with the given options and one
+// registered 8-station network per name.
+func admissionServer(t *testing.T, opt Options, names ...string) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(opt)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	stations := testStations(t, 8, 11)
+	for _, name := range names {
+		resp := postJSON(t, ts, "/v1/networks", registerReq(name, stations, 0.01, 3))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("register %s: %s", name, resp.Status)
+		}
+		resp.Body.Close()
+	}
+	return srv, ts
+}
+
+// holdSlot occupies one of network's concurrency slots by opening an
+// NDJSON stream and reading its first answer (which proves the handler
+// is past admission and mid-stream). The returned release ends the
+// stream and waits for the response to finish, freeing the slot.
+func holdSlot(t *testing.T, ts *httptest.Server, network string) (release func()) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost,
+		ts.URL+"/v1/locate/stream?network="+network+"&resolver=exact", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respCh := make(chan *http.Response, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		respCh <- resp
+	}()
+	if _, err := io.WriteString(pw, "{\"x\":0,\"y\":0}\n"); err != nil {
+		t.Fatal(err)
+	}
+	var resp *http.Response
+	select {
+	case resp = <-respCh:
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream never produced response headers")
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %s", resp.Status)
+	}
+	return func() {
+		pw.Close()
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// locateAsync fires a single-point locate without blocking the test
+// goroutine, delivering the response (or transport error) on channels.
+func locateAsync(t *testing.T, ts *httptest.Server, network string) (<-chan *http.Response, <-chan error) {
+	t.Helper()
+	body, err := json.Marshal(LocateRequest{
+		Network: network, Resolver: "exact", Points: []PointJSON{{X: 1, Y: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	respCh := make(chan *http.Response, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := ts.Client().Post(ts.URL+"/v1/locate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			errCh <- err
+			return
+		}
+		respCh <- resp
+	}()
+	return respCh, errCh
+}
+
+// waitUntil polls cond to true within deadline or fails the test.
+func waitUntil(t *testing.T, deadline time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	for end := time.Now().Add(deadline); time.Now().Before(end); {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// scrapeMetrics fetches and parses the server's /metrics exposition.
+func scrapeMetrics(t *testing.T, ts *httptest.Server) []metrics.Sample {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	samples, err := metrics.Parse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+// mustValue asserts a sample exists and returns its value.
+func mustValue(t *testing.T, samples []metrics.Sample, name string, labels ...metrics.Label) float64 {
+	t.Helper()
+	v, ok := metrics.Value(samples, name, labels...)
+	if !ok {
+		t.Fatalf("metric %s%v not exposed", name, labels)
+	}
+	return v
+}
+
+// TestAdmissionQueueAndShed drives the limiter through its three
+// regimes: a query that finds a free slot runs, a query that finds the
+// slots full queues (visible on the queued gauge), and a query that
+// finds the queue full too is shed with 429 + Retry-After, counted by
+// the shed counter and the 429 status class. Releasing the slot lets
+// the queued query complete normally.
+func TestAdmissionQueueAndShed(t *testing.T) {
+	srv, ts := admissionServer(t, Options{
+		MaxConcurrent: 1, MaxQueue: 1, RetryAfter: 2 * time.Second,
+	}, "hot")
+
+	release := holdSlot(t, ts, "hot")
+	defer release()
+
+	// Second query: every slot busy, joins the queue.
+	queuedResp, queuedErr := locateAsync(t, ts, "hot")
+	waitUntil(t, 5*time.Second, func() bool { return srv.m.queued.Value() == 1 },
+		"queued gauge never reached 1")
+
+	// Third query: queue full, shed immediately.
+	resp, err := ts.Client().Post(ts.URL+"/v1/locate", "application/json",
+		strings.NewReader(`{"network":"hot","resolver":"exact","points":[{"x":1,"y":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit query: %s, want 429", resp.Status)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After %q, want \"2\"", ra)
+	}
+	shed := decodeJSON[errorResponse](t, resp)
+	if !strings.Contains(shed.Error, "overloaded") {
+		t.Fatalf("shed body %q", shed.Error)
+	}
+
+	samples := scrapeMetrics(t, ts)
+	if v := mustValue(t, samples, "sinr_admission_shed_total", metrics.L("route", "locate")); v != 1 {
+		t.Fatalf("shed counter = %g, want 1", v)
+	}
+	if v := mustValue(t, samples, "sinr_http_requests_total",
+		metrics.L("route", "locate"), metrics.L("code", "429")); v != 1 {
+		t.Fatalf("429 request counter = %g, want 1", v)
+	}
+	if v := mustValue(t, samples, "sinr_admission_queued"); v != 1 {
+		t.Fatalf("queued gauge = %g, want 1", v)
+	}
+
+	// Free the slot: the queued query must run to a normal 200.
+	release()
+	select {
+	case resp := <-queuedResp:
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("queued query: %s, want 200", resp.Status)
+		}
+		out := decodeJSON[LocateResponse](t, resp)
+		if len(out.Results) != 1 {
+			t.Fatalf("queued query answered %d results", len(out.Results))
+		}
+	case err := <-queuedErr:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued query never completed after release")
+	}
+	waitUntil(t, 5*time.Second, func() bool { return srv.m.queued.Value() == 0 },
+		"queued gauge never drained to 0")
+}
+
+// TestAdmissionPerNetworkIsolation pins the isolation property: a
+// network with every slot busy cannot delay another network's queries,
+// because slots are per-network and only the overflow queue is shared.
+func TestAdmissionPerNetworkIsolation(t *testing.T) {
+	srv, ts := admissionServer(t, Options{MaxConcurrent: 1, MaxQueue: 4}, "hot", "cold")
+
+	release := holdSlot(t, ts, "hot")
+	defer release()
+
+	respCh, errCh := locateAsync(t, ts, "cold")
+	select {
+	case resp := <-respCh:
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cold query behind hot network: %s, want 200", resp.Status)
+		}
+		resp.Body.Close()
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("cold network query stalled behind hot network's slots")
+	}
+	if q := srv.m.queued.Value(); q != 0 {
+		t.Fatalf("cold query queued (gauge %d), want direct admission", q)
+	}
+}
+
+// TestAdmissionDisabled: with no MaxConcurrent the limiter is inert —
+// no queueing, no shedding, streams and batches admit unconditionally.
+func TestAdmissionDisabled(t *testing.T) {
+	srv, ts := admissionServer(t, Options{}, "open")
+	r1 := holdSlot(t, ts, "open")
+	defer r1()
+	r2 := holdSlot(t, ts, "open")
+	defer r2()
+	respCh, errCh := locateAsync(t, ts, "open")
+	select {
+	case resp := <-respCh:
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("locate: %s", resp.Status)
+		}
+		resp.Body.Close()
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("locate stalled with admission disabled")
+	}
+	if q := srv.m.queued.Value(); q != 0 {
+		t.Fatalf("queued gauge = %d with admission disabled", q)
+	}
+	samples := scrapeMetrics(t, ts)
+	if v := mustValue(t, samples, "sinr_admission_shed_total", metrics.L("route", "locate")); v != 0 {
+		t.Fatalf("shed counter = %g with admission disabled", v)
+	}
+}

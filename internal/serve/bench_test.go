@@ -83,6 +83,82 @@ func BenchmarkServeLocateBatch(b *testing.B) {
 	b.ReportMetric(float64(b.N)*1024/b.Elapsed().Seconds(), "queries/s")
 }
 
+// nopWriter discards the response body: BenchmarkServeBatch measures
+// the server, not a client socket.
+type nopWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *nopWriter) Header() http.Header         { return w.h }
+func (w *nopWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nopWriter) WriteHeader(code int)        { w.status = code }
+
+// replayBody replays one fixed payload as a request body across
+// iterations without reallocating.
+type replayBody struct{ bytes.Reader }
+
+func (b *replayBody) Close() error { return nil }
+
+// BenchmarkServeBatch is the CI 0-alloc gate for the instrumented
+// request path: one op is one query point served through the full
+// handler stack — mux dispatch, observability middleware, admission,
+// JSON decode, sharded resolve, JSON encode — with metrics and
+// admission enabled. The bounded per-request overhead (decoder state,
+// response headers, batch fan-out) is amortized over the 1024-point
+// batch; anything that allocates per point — the batch loop, a metric
+// record, an admission slot — surfaces as a nonzero allocs/op.
+func BenchmarkServeBatch(b *testing.B) {
+	gen := workload.NewGenerator(1)
+	box := geom.NewBox(geom.Pt(-5, -5), geom.Pt(5, 5))
+	stations, err := gen.UniformSeparated(64, box, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(Options{MaxConcurrent: 4})
+	reg := NetworkRequest{Name: "bench", Noise: 0.01, Beta: 3}
+	reg.Stations = make([]PointJSON, len(stations))
+	for i, s := range stations {
+		reg.Stations[i] = PointJSON{X: s.X, Y: s.Y}
+	}
+	regBody, _ := json.Marshal(reg)
+	rw := httptest.NewRecorder()
+	srv.ServeHTTP(rw, httptest.NewRequest(http.MethodPost, "/v1/networks", bytes.NewReader(regBody)))
+	if rw.Code != http.StatusOK {
+		b.Fatalf("register: %d %s", rw.Code, rw.Body)
+	}
+
+	const batch = 1024
+	pts := gen.QueryPoints(batch, box)
+	req := LocateRequest{Network: "bench", Resolver: "exact"}
+	req.Points = make([]PointJSON, batch)
+	for i, p := range pts {
+		req.Points[i] = PointJSON{X: p.X, Y: p.Y}
+	}
+	payload, _ := json.Marshal(req)
+
+	body := new(replayBody)
+	hreq := httptest.NewRequest(http.MethodPost, "/v1/locate", nil)
+	w := &nopWriter{h: make(http.Header)}
+	serveOnce := func() {
+		body.Reset(payload)
+		hreq.Body = body
+		w.status = 0
+		srv.ServeHTTP(w, hreq)
+		if w.status != http.StatusOK {
+			b.Fatalf("status %d", w.status)
+		}
+	}
+	serveOnce() // warm the resolver cache and the scratch pools
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += batch {
+		serveOnce()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
 // BenchmarkServeLocateStream measures NDJSON streaming throughput; one
 // iteration streams 1024 points through /v1/locate/stream.
 func BenchmarkServeLocateStream(b *testing.B) {

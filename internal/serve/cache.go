@@ -52,6 +52,9 @@ type resolverCache struct {
 	entries map[cacheKey]*list.Element
 	lru     *list.List // of *cacheEntry, front = most recently used
 	builds  atomic.Int64
+	hits    atomic.Int64
+	evicted atomic.Int64 // LRU evictions (capacity pressure)
+	invalid atomic.Int64 // invalidations (superseded generations)
 }
 
 func newResolverCache(capacity int) *resolverCache {
@@ -74,6 +77,9 @@ func (c *resolverCache) get(key cacheKey, build func() (resolve.Resolver, error)
 		c.lru.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
 		c.mu.Unlock()
+		// Joining an in-flight build counts as a hit too: the caller
+		// paid a wait, not a build.
+		c.hits.Add(1)
 		<-e.ready
 		return e.res, e.err
 	}
@@ -106,6 +112,7 @@ func (c *resolverCache) evictLocked() {
 		if e := el.Value.(*cacheEntry); e.done {
 			c.lru.Remove(el)
 			delete(c.entries, e.key)
+			c.evicted.Add(1)
 		}
 		el = prev
 	}
@@ -123,6 +130,7 @@ func (c *resolverCache) invalidate(name string, beforeVersion uint64) {
 		if e.done && e.key.name == name && e.key.version < beforeVersion {
 			c.lru.Remove(el)
 			delete(c.entries, e.key)
+			c.invalid.Add(1)
 		}
 		el = next
 	}
@@ -131,6 +139,17 @@ func (c *resolverCache) invalidate(name string, beforeVersion uint64) {
 // Builds returns the number of resolver builds started (cache
 // misses); the handler tests use it to assert single-flight dedup.
 func (c *resolverCache) Builds() int64 { return c.builds.Load() }
+
+// Hits returns the number of get calls answered without a build
+// (including waits on an in-flight build).
+func (c *resolverCache) Hits() int64 { return c.hits.Load() }
+
+// Evicted returns the number of LRU capacity evictions.
+func (c *resolverCache) Evicted() int64 { return c.evicted.Load() }
+
+// Invalidated returns the number of entries dropped because their
+// generation was superseded by a hot swap or PATCH delta.
+func (c *resolverCache) Invalidated() int64 { return c.invalid.Load() }
 
 // Len returns the number of cached (or building) resolvers.
 func (c *resolverCache) Len() int {

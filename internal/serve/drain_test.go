@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestDrainCancelsStream: Drain must sever an in-flight NDJSON stream
+// promptly (its context cancels, the pipeline closes, the handler
+// returns), and the stream's goroutines must not leak. Readiness flips
+// to 503 so load balancers stop routing before the cut.
+func TestDrainCancelsStream(t *testing.T) {
+	srv, ts := admissionServer(t, Options{}, "d")
+
+	if resp, err := ts.Client().Get(ts.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	} else {
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("readyz before drain: %s, want 200", resp.Status)
+		}
+		resp.Body.Close()
+	}
+
+	ts.Client().CloseIdleConnections()
+	before := runtime.NumGoroutine()
+
+	release := holdSlot(t, ts, "d")
+
+	srv.Drain()
+
+	// The held stream must end without the client closing anything:
+	// release blocks until the response body drains, which only happens
+	// because drain cancelled the stream context server-side.
+	done := make(chan struct{})
+	go func() {
+		release()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream still alive 5s after Drain")
+	}
+
+	if resp, err := ts.Client().Get(ts.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	} else {
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("readyz after drain: %s, want 503", resp.Status)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" {
+			t.Fatal("readyz 503 missing Retry-After")
+		}
+		resp.Body.Close()
+	}
+
+	// Liveness is unaffected: the process is healthy, just not ready.
+	if resp, err := ts.Client().Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz after drain: %s, want 200", resp.Status)
+		}
+		resp.Body.Close()
+	}
+
+	ts.Client().CloseIdleConnections()
+	if after := waitForServeGoroutines(before, 5*time.Second); after > before+3 {
+		t.Fatalf("goroutines: %d before stream, %d after drain — stream teardown leaks", before, after)
+	}
+}
+
+// TestDrainRejectsQueued: a query waiting in the admission queue when
+// Drain fires is rejected with 503 + Retry-After (it never got a slot,
+// so there is nothing to finish) and counted as shed.
+func TestDrainRejectsQueued(t *testing.T) {
+	srv, ts := admissionServer(t, Options{MaxConcurrent: 1, MaxQueue: 4}, "d")
+
+	release := holdSlot(t, ts, "d")
+	defer release()
+
+	respCh, errCh := locateAsync(t, ts, "d")
+	waitUntil(t, 5*time.Second, func() bool { return srv.m.queued.Value() == 1 },
+		"queued gauge never reached 1")
+
+	srv.Drain()
+
+	select {
+	case resp := <-respCh:
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("queued query at drain: %s, want 503", resp.Status)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" {
+			t.Fatal("drain 503 missing Retry-After")
+		}
+		out := decodeJSON[errorResponse](t, resp)
+		if !strings.Contains(out.Error, "draining") {
+			t.Fatalf("drain body %q", out.Error)
+		}
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued query never rejected after Drain")
+	}
+
+	samples := scrapeMetrics(t, ts)
+	if v := mustValue(t, samples, "sinr_admission_shed_total", metrics.L("route", "locate")); v != 1 {
+		t.Fatalf("shed counter = %g, want 1", v)
+	}
+}
+
+// TestDrainKeepsBatches: Drain is deliberately gentle to batch
+// requests — one racing Drain still answers 200, because only
+// http.Server.Shutdown (closing the listener) stops new work, and
+// in-flight batches run to completion.
+func TestDrainKeepsBatches(t *testing.T) {
+	srv, ts := admissionServer(t, Options{MaxConcurrent: 2}, "d")
+
+	respCh, errCh := locateAsync(t, ts, "d")
+	srv.Drain()
+	select {
+	case resp := <-respCh:
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch racing drain: %s, want 200", resp.Status)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch racing drain never completed")
+	}
+
+	// Drain is idempotent.
+	srv.Drain()
+	srv.Drain()
+}

@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/resolve"
+)
+
+// route indexes the server's instrumented endpoints — the fixed label
+// vocabulary of the per-route metrics, resolved at registration so
+// the per-request cost is an array index, not a map lookup.
+type route int
+
+const (
+	routeNetworks route = iota // POST/GET /v1/networks
+	routePatch                 // PATCH /v1/networks/{name}
+	routeLocate                // POST /v1/locate
+	routeStream                // POST /v1/locate/stream
+	routeHealth                // GET /healthz
+	routeReady                 // GET /readyz
+	routeMetrics               // GET /metrics
+	numRoutes
+)
+
+var routeNames = [numRoutes]string{
+	"networks", "patch", "locate", "stream", "healthz", "readyz", "metrics",
+}
+
+// codeClass buckets response statuses for the request counters. 429
+// gets its own class: it is the admission-control shed signal, and
+// folding it into 4xx would hide exactly the number operators watch.
+type codeClass int
+
+const (
+	class2xx codeClass = iota
+	class3xx
+	class4xx
+	class429
+	class5xx
+	numClasses
+)
+
+var classNames = [numClasses]string{"2xx", "3xx", "4xx", "429", "5xx"}
+
+func classOf(status int) codeClass {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return class429
+	case status >= 500:
+		return class5xx
+	case status >= 400:
+		return class4xx
+	case status >= 300:
+		return class3xx
+	default:
+		return class2xx
+	}
+}
+
+// epochLagBounds buckets how many generations behind the latest a
+// request's pinned snapshot was by the time it answered — 0 for the
+// steady state, small integers while a swap or PATCH races traffic.
+var epochLagBounds = []float64{0, 1, 2, 4, 8, 16}
+
+// serveMetrics is the server's metric surface: every instrument the
+// handlers record into, resolved to direct pointers at construction
+// so the hot path touches only atomics.
+type serveMetrics struct {
+	reg *metrics.Registry
+
+	requests [numRoutes][numClasses]*metrics.Counter // sinr_http_requests_total
+	latency  [numRoutes]*metrics.Histogram           // sinr_http_request_seconds
+	inflight *metrics.Gauge                          // sinr_http_inflight
+	queued   *metrics.Gauge                          // sinr_admission_queued
+	shed     [numRoutes]*metrics.Counter             // sinr_admission_shed_total
+
+	queries        [resolve.NumKinds]*metrics.Counter   // sinr_locate_queries_total
+	resolveSeconds [resolve.NumKinds]*metrics.Histogram // sinr_resolve_seconds
+	epochLag       *metrics.Histogram                   // sinr_locate_epoch_lag
+}
+
+func newServeMetrics(cache *resolverCache) *serveMetrics {
+	reg := metrics.NewRegistry()
+	m := &serveMetrics{reg: reg}
+	for rt := route(0); rt < numRoutes; rt++ {
+		for cl := codeClass(0); cl < numClasses; cl++ {
+			m.requests[rt][cl] = reg.Counter("sinr_http_requests_total",
+				"HTTP requests by route and status class.",
+				metrics.L("route", routeNames[rt]), metrics.L("code", classNames[cl]))
+		}
+		m.latency[rt] = reg.Histogram("sinr_http_request_seconds",
+			"HTTP request latency by route.", nil, metrics.L("route", routeNames[rt]))
+		m.shed[rt] = reg.Counter("sinr_admission_shed_total",
+			"Requests rejected by admission control (429 shed or drain 503) by route.",
+			metrics.L("route", routeNames[rt]))
+	}
+	m.inflight = reg.Gauge("sinr_http_inflight", "Requests currently being served.")
+	m.queued = reg.Gauge("sinr_admission_queued",
+		"Queries queued for a per-network concurrency slot (global, all networks).")
+	for k := 0; k < resolve.NumKinds; k++ {
+		name := resolve.Kind(k).String()
+		m.queries[k] = reg.Counter("sinr_locate_queries_total",
+			"Individual point queries answered, by resolver backend.",
+			metrics.L("resolver", name))
+		m.resolveSeconds[k] = reg.Histogram("sinr_resolve_seconds",
+			"Server-side batch resolve wall time, by resolver backend.", nil,
+			metrics.L("resolver", name))
+	}
+	m.epochLag = reg.Histogram("sinr_locate_epoch_lag",
+		"Generations the answering snapshot was behind the newest at response time.",
+		epochLagBounds)
+
+	reg.CounterFunc("sinr_resolver_cache_hits_total",
+		"Resolver cache hits (including waits on an in-flight single-flight build).",
+		func() uint64 { return uint64(cache.Hits()) })
+	reg.CounterFunc("sinr_resolver_cache_misses_total",
+		"Resolver cache misses, i.e. resolver builds started.",
+		func() uint64 { return uint64(cache.Builds()) })
+	reg.CounterFunc("sinr_resolver_cache_evicted_total",
+		"Resolver cache LRU capacity evictions.",
+		func() uint64 { return uint64(cache.Evicted()) })
+	reg.CounterFunc("sinr_resolver_cache_invalidated_total",
+		"Resolver cache entries dropped for superseded network generations.",
+		func() uint64 { return uint64(cache.Invalidated()) })
+	reg.GaugeFunc("sinr_resolver_cache_entries",
+		"Resolvers currently cached or building.",
+		func() float64 { return float64(cache.Len()) })
+
+	metrics.RegisterGoRuntime(reg)
+	return m
+}
+
+// registerNetworkGauges publishes the per-network generation gauges.
+// Idempotent: re-registering a name keeps the first closures, which
+// read through the long-lived entry and so always see the newest
+// snapshot.
+func (m *serveMetrics) registerNetworkGauges(name string, entry *netEntry) {
+	label := metrics.L("network", name)
+	m.reg.GaugeFunc("sinr_network_epoch",
+		"Current dynamic-engine epoch of the network's served snapshot.",
+		func() float64 {
+			if snap := entry.snap.Load(); snap != nil && snap.epoch != nil {
+				return float64(snap.epoch.Epoch())
+			}
+			return 0
+		}, label)
+	m.reg.GaugeFunc("sinr_network_version",
+		"Current registry generation (registrations + deltas) of the network.",
+		func() float64 {
+			if snap := entry.snap.Load(); snap != nil {
+				return float64(snap.version)
+			}
+			return 0
+		}, label)
+	m.reg.GaugeFunc("sinr_network_stations",
+		"Stations in the network's served snapshot.",
+		func() float64 {
+			if snap := entry.snap.Load(); snap != nil {
+				return float64(snap.net.NumStations())
+			}
+			return 0
+		}, label)
+}
+
+// kindIdx maps a Kind to its metric-array slot, clamping unknown
+// values to 0 (exact) rather than indexing out of bounds.
+func kindIdx(k resolve.Kind) int {
+	if i := int(k); i >= 0 && i < resolve.NumKinds {
+		return i
+	}
+	return 0
+}
+
+// statusWriter wraps the real ResponseWriter to capture the status
+// code and byte count for the middleware; Unwrap keeps
+// http.ResponseController (the stream handler's full-duplex and flush
+// path) working through the wrapper. Instances are pooled so the
+// steady-state request path allocates nothing.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
+
+func (w *statusWriter) reset(inner http.ResponseWriter) {
+	w.ResponseWriter = inner
+	w.status = 0
+	w.bytes = 0
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// requestIDs issues process-unique request IDs: a random per-process
+// prefix (so IDs from restarts never collide in aggregated logs) and
+// a sequence number. IDs are only materialized when access logging is
+// on — the 0-alloc path never formats one.
+type requestIDs struct {
+	prefix uint64
+	seq    atomic.Uint64
+}
+
+func newRequestIDs() *requestIDs {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		return &requestIDs{prefix: binary.LittleEndian.Uint64(b[:])}
+	}
+	return &requestIDs{prefix: uint64(time.Now().UnixNano())}
+}
+
+func (r *requestIDs) next() string {
+	return fmt.Sprintf("%08x-%06d", uint32(r.prefix), r.seq.Add(1))
+}
+
+// instrument wraps h with the observability middleware: the inflight
+// gauge, the per-route request counter and latency histogram, and —
+// when an access logger is configured — a per-request ID (echoed as
+// X-Request-Id) and one structured JSON log line per request. With
+// logging off the added work is a pool round-trip, two time reads and
+// four atomic updates: nothing allocates, which is what keeps
+// BenchmarkServeBatch on the CI 0-alloc list with metrics enabled.
+func (s *Server) instrument(rt route, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.m.inflight.Inc()
+		sw := swPool.Get().(*statusWriter)
+		sw.reset(w)
+
+		var id string
+		if s.opt.AccessLog != nil {
+			id = s.ids.next()
+			sw.Header().Set("X-Request-Id", id)
+		}
+
+		h(sw, r)
+
+		elapsed := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			// The handler wrote nothing (e.g. the client vanished
+			// mid-batch); account it as the 200 the empty response
+			// implies.
+			status = http.StatusOK
+		}
+		bytes := sw.bytes
+		swPool.Put(sw)
+		s.m.inflight.Dec()
+		s.m.requests[rt][classOf(status)].Inc()
+		s.m.latency[rt].Observe(elapsed.Seconds())
+
+		if lg := s.opt.AccessLog; lg != nil {
+			lvl := slog.LevelInfo
+			switch {
+			case status >= 500:
+				lvl = slog.LevelError
+			case status >= 400:
+				lvl = slog.LevelWarn
+			}
+			lg.LogAttrs(r.Context(), lvl, "request",
+				slog.String("id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", routeNames[rt]),
+				slog.Int("status", status),
+				slog.Int64("bytes", bytes),
+				slog.Duration("elapsed", elapsed),
+			)
+		}
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	s.m.reg.Handler().ServeHTTP(w, r)
+}
+
+// handleReady answers the readiness probe: 200 while accepting work,
+// 503 once draining — the signal that tells a load balancer to stop
+// routing here before shutdown starts severing streams.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.ready.Load() {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	w.Header().Set("Retry-After", s.retryAfterSecs)
+	writeError(w, http.StatusServiceUnavailable, "draining")
+}

@@ -2,15 +2,19 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dynamic"
@@ -50,6 +54,29 @@ type Options struct {
 	// so an unbounded floor would let one request monopolize the
 	// server.
 	MinEps float64
+
+	// MaxConcurrent bounds concurrently executing queries (batch and
+	// stream) per network; 0 disables admission control. Each network
+	// gets its own slots, so one hot network can never starve
+	// another's queries.
+	MaxConcurrent int
+	// MaxQueue caps queries queued globally (across networks) waiting
+	// for a per-network slot; a query beyond it is shed with 429 and
+	// a Retry-After hint instead of queueing unboundedly. Default 128
+	// when admission is enabled.
+	MaxQueue int
+	// RetryAfter is the Retry-After hint written on shed responses
+	// (default 1s; sub-second values round up to 1s on the wire).
+	RetryAfter time.Duration
+	// AccessLog, when set, enables structured per-request logging:
+	// one record per request with a process-unique request ID (echoed
+	// as X-Request-Id), method, route, status, bytes and latency.
+	// Leave nil to keep the request path allocation-free.
+	AccessLog *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in
+	// because profiling endpoints on a production port are a choice
+	// the operator should make explicitly.
+	EnablePprof bool
 }
 
 // snapshot is one immutable registered generation of a network.
@@ -73,11 +100,14 @@ type snapshot struct {
 // writers — full re-registrations and PATCH deltas — so version
 // numbers are strictly increasing per name; readers never take it.
 // dyn is the mutation engine PATCH deltas flow through; a full POST
-// replaces it wholesale.
+// replaces it wholesale. sem is the network's admission semaphore
+// (nil when admission is disabled); it belongs to the name, not the
+// generation, so hot swaps don't reset in-flight accounting.
 type netEntry struct {
 	snap atomic.Pointer[snapshot]
 	mu   sync.Mutex
 	dyn  *dynamic.Network
+	sem  chan struct{}
 }
 
 // Server owns the network registry and locator cache and implements
@@ -87,9 +117,18 @@ type Server struct {
 	opt   Options
 	mux   *http.ServeMux
 	cache *resolverCache
+	m     *serveMetrics
+	ids   *requestIDs
 
 	mu   sync.RWMutex // guards nets map shape and version bumps
 	nets map[string]*netEntry
+
+	// Drain state: ready answers /readyz; drainCh closes once Drain
+	// is called, cancelling in-flight streams and queued admissions.
+	ready          atomic.Bool
+	drainCh        chan struct{}
+	drainOnce      sync.Once
+	retryAfterSecs string
 }
 
 // NewServer returns a Server with the given options.
@@ -109,21 +148,63 @@ func NewServer(opt Options) *Server {
 	if opt.MinEps <= 0 {
 		opt.MinEps = 0.01
 	}
-	s := &Server{
-		opt:   opt,
-		mux:   http.NewServeMux(),
-		cache: newResolverCache(opt.MaxLocators),
-		nets:  make(map[string]*netEntry),
+	if opt.MaxConcurrent > 0 && opt.MaxQueue <= 0 {
+		opt.MaxQueue = 128
 	}
-	s.mux.HandleFunc("/v1/networks", s.handleNetworks)
-	s.mux.HandleFunc("PATCH /v1/networks/{name}", s.handlePatchNetwork)
-	s.mux.HandleFunc("/v1/locate", s.handleLocate)
-	s.mux.HandleFunc("/v1/locate/stream", s.handleLocateStream)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	if opt.RetryAfter <= 0 {
+		opt.RetryAfter = time.Second
+	}
+	s := &Server{
+		opt:     opt,
+		mux:     http.NewServeMux(),
+		cache:   newResolverCache(opt.MaxLocators),
+		nets:    make(map[string]*netEntry),
+		ids:     newRequestIDs(),
+		drainCh: make(chan struct{}),
+	}
+	s.m = newServeMetrics(s.cache)
+	s.ready.Store(true)
+	// Retry-After is whole seconds on the wire; round sub-second
+	// hints up so a shed client never retries inside the same window.
+	s.retryAfterSecs = strconv.FormatInt(int64((opt.RetryAfter+time.Second-1)/time.Second), 10)
+
+	s.mux.HandleFunc("/v1/networks", s.instrument(routeNetworks, s.handleNetworks))
+	s.mux.HandleFunc("PATCH /v1/networks/{name}", s.instrument(routePatch, s.handlePatchNetwork))
+	s.mux.HandleFunc("/v1/locate", s.instrument(routeLocate, s.handleLocate))
+	s.mux.HandleFunc("/v1/locate/stream", s.instrument(routeStream, s.handleLocateStream))
+	s.mux.HandleFunc("/healthz", s.instrument(routeHealth, func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
-	})
+	}))
+	s.mux.HandleFunc("/readyz", s.instrument(routeReady, s.handleReady))
+	s.mux.HandleFunc("/metrics", s.instrument(routeMetrics, s.handleMetrics))
+	if opt.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// SetReady flips the /readyz answer — the hook a supervisor uses to
+// pull the replica out of rotation (readiness 503) before starting
+// the drain proper, while /healthz keeps reporting liveness.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Drain begins shutdown of long-lived work: /readyz turns 503,
+// queries queued in admission are rejected, and in-flight NDJSON
+// streams are cancelled so their connections can close. In-flight
+// batch requests are NOT cancelled — they run to completion and are
+// waited out by http.Server.Shutdown. Idempotent; the caller decides
+// the deadline by choosing when to call it (typically a timer after
+// SIGTERM, giving streams a grace period to finish naturally).
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() {
+		s.ready.Store(false)
+		close(s.drainCh)
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -322,9 +403,18 @@ func (s *Server) registerNetwork(w http.ResponseWriter, r *http.Request) {
 	entry, ok := s.nets[req.Name]
 	if !ok {
 		entry = &netEntry{}
+		if s.opt.MaxConcurrent > 0 {
+			entry.sem = make(chan struct{}, s.opt.MaxConcurrent)
+		}
 		s.nets[req.Name] = entry
 	}
 	s.mu.Unlock()
+	if !ok {
+		// First sighting of this name: publish its generation gauges
+		// (idempotent in the registry, but the closures capture the
+		// entry, which is created exactly once per name).
+		s.m.registerNetworkGauges(req.Name, entry)
+	}
 
 	// entry.mu serializes this store against concurrent PATCHes (and
 	// other re-registrations) of the same name, so versions are
@@ -446,20 +536,27 @@ type resolverSpec struct {
 	radius float64
 }
 
-// resolverFor captures the current snapshot of name and returns the
+// entryFor returns the registry entry of name, treating a name whose
+// first registration has not yet stored its snapshot as unknown (the
+// entry is published to s.nets before registerNetwork fills it).
+func (s *Server) entryFor(name string) (*netEntry, bool) {
+	s.mu.RLock()
+	entry, ok := s.nets[name]
+	s.mu.RUnlock()
+	if !ok || entry.snap.Load() == nil {
+		return nil, false
+	}
+	return entry, true
+}
+
+// resolverFor captures the current snapshot of entry and returns the
 // resolver answering spec against it, building (or joining an
 // in-flight single-flight build) on a cache miss. Parameters
 // irrelevant to the chosen backend are normalized to zero before the
 // cache lookup, so requests differing only in an ignored knob share
 // one resolver. The returned kind and eps are the effective ones
 // (after defaulting), for echoing in responses.
-func (s *Server) resolverFor(name string, spec resolverSpec) (*snapshot, resolve.Resolver, resolve.Kind, float64, error) {
-	s.mu.RLock()
-	entry, ok := s.nets[name]
-	s.mu.RUnlock()
-	if !ok {
-		return nil, nil, 0, 0, errUnknownNetwork
-	}
+func (s *Server) resolverFor(name string, entry *netEntry, spec resolverSpec) (*snapshot, resolve.Resolver, resolve.Kind, float64, error) {
 	snap := entry.snap.Load()
 	if snap == nil {
 		return nil, nil, 0, 0, errUnknownNetwork
@@ -580,7 +677,18 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d points exceeds limit %d", len(req.Points), s.opt.MaxBatch)
 		return
 	}
-	snap, res, kind, eps, err := s.resolverFor(req.Network, resolverSpec{
+	entry, ok := s.entryFor(req.Network)
+	if !ok {
+		writeError(w, http.StatusNotFound, "%v", fmt.Errorf("%w %q", errUnknownNetwork, req.Network))
+		return
+	}
+	// Admission gates everything expensive — the resolver build as
+	// much as the batch itself.
+	if !s.admit(w, r, routeLocate, entry) {
+		return
+	}
+	defer entry.release()
+	snap, res, kind, eps, err := s.resolverFor(req.Network, entry, resolverSpec{
 		kind: req.Resolver, eps: req.Eps, radius: req.Radius,
 	})
 	if err != nil {
@@ -592,8 +700,17 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		sc.pts[i] = geom.Pt(p.X, p.Y)
 	}
 	sc.answers = grow(sc.answers, len(sc.pts))
+	ki := kindIdx(kind)
+	t0 := time.Now()
 	if err := res.ResolveBatch(r.Context(), sc.pts, sc.answers); err != nil {
 		return // client went away mid-batch; nothing left to tell it
+	}
+	s.m.resolveSeconds[ki].Observe(time.Since(t0).Seconds())
+	s.m.queries[ki].Add(uint64(len(sc.pts)))
+	// Epoch lag: how many generations moved under this request while
+	// it served from its pinned snapshot (0 in the steady state).
+	if latest := entry.snap.Load(); latest != nil {
+		s.m.epochLag.Observe(float64(latest.version - snap.version))
 	}
 	sc.results = grow(sc.results, len(sc.answers))
 	for i, a := range sc.answers {
@@ -633,7 +750,16 @@ func (s *Server) handleLocateStream(w http.ResponseWriter, r *http.Request) {
 		}
 		spec.radius = parsed
 	}
-	snap, res, kind, _, err := s.resolverFor(name, spec)
+	entry, ok := s.entryFor(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "%v", fmt.Errorf("%w %q", errUnknownNetwork, name))
+		return
+	}
+	if !s.admit(w, r, routeStream, entry) {
+		return
+	}
+	defer entry.release()
+	snap, res, kind, _, err := s.resolverFor(name, entry, spec)
 	if err != nil {
 		writeError(w, locateStatus(err), "%v", err)
 		return
@@ -646,7 +772,19 @@ func (s *Server) handleLocateStream(w http.ResponseWriter, r *http.Request) {
 	rc := http.NewResponseController(w)
 	_ = rc.EnableFullDuplex()
 
-	ctx := r.Context()
+	// The stream's context cancels on client disconnect (the request
+	// context) or on server drain — an NDJSON stream can otherwise
+	// outlive a shutdown indefinitely, and Drain's contract is that
+	// streams die so http.Server.Shutdown can finish.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	go func() {
+		select {
+		case <-s.drainCh:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
 	in := make(chan geom.Point)
 	// Every served backend resolves uncertainty rings itself (exact
 	// fallback is on), so the stream needs no point echo to settle H?
@@ -707,6 +845,7 @@ func (s *Server) handleLocateStream(w http.ResponseWriter, r *http.Request) {
 			_ = rc.Flush()
 		}
 	}
+	s.m.queries[kindIdx(kind)].Add(uint64(n))
 	select {
 	case err := <-readErr:
 		_ = enc.Encode(errorResponse{Error: err.Error()})
