@@ -12,6 +12,7 @@
 //	          [-hotpath-out BENCH_hotpath.json]
 //	          [-churn-sizes 16,64,256,1024] [-churn-events 64]
 //	          [-churn-queries 512] [-churn-out BENCH_dynamic.json]
+//	          [-sched-sizes 1000,10000,100000] [-sched-out BENCH_sched.json]
 //
 // -trials scales the randomized validations (default 5); -only runs a
 // single experiment by id; -parallel sets the worker count for the
@@ -42,6 +43,18 @@
 //
 //	sinrbench -only E19 -churn-sizes 16,64,256,1024 \
 //	          -churn-out BENCH_dynamic.json
+//
+// The -sched-* flags steer E20, the scheduling-at-scale comparison
+// (the three schedulers over the incremental slot engines, SINR vs
+// protocol model, with an incremental-vs-scan feasibility race): the
+// link-count axis and the path of its BENCH_sched.json artifact. The
+// committed BENCH_sched.json is regenerated explicitly with
+//
+//	sinrbench -only E20 -sched-sizes 1000,10000,100000 \
+//	          -sched-out BENCH_sched.json
+//
+// — the n=100000 legs build and validate 10^5-link schedules; expect
+// minutes on one core.
 package main
 
 import (
@@ -67,6 +80,8 @@ func main() {
 	churnEvents := flag.Int("churn-events", exp.DefaultDynamicEvents, "churn-trace length per (size, process) cell in E19")
 	churnQueries := flag.Int("churn-queries", exp.DefaultDynamicQueries, "correctness probes per checkpoint in E19")
 	churnOut := flag.String("churn-out", "", "path E19 writes its JSON artifact to (empty = no file; the committed trajectory is regenerated explicitly, see CONTRIBUTING.md)")
+	schedSizes := flag.String("sched-sizes", "256,1024", "comma-separated link counts of the E20 scheduling comparison (the committed artifact uses 1000,10000,100000; the n=100000 legs take minutes)")
+	schedOut := flag.String("sched-out", "", "path E20 writes its JSON artifact to (empty = no file; the committed trajectory is regenerated explicitly, see CONTRIBUTING.md)")
 	flag.Parse()
 
 	sizes, err := parseSizes("-hotpath-sizes", *hotpathSizes, exp.DefaultHotPathSizes)
@@ -79,8 +94,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sinrbench:", err)
 		os.Exit(1)
 	}
+	schSizes, err := parseSizes("-sched-sizes", *schedSizes, exp.DefaultSchedSizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sinrbench:", err)
+		os.Exit(1)
+	}
 	if err := run(*trials, *only, *parallel, *resolver, *resolversOut, sizes, *hotpathQueries, *hotpathOut,
-		dynSizes, *churnEvents, *churnQueries, *churnOut); err != nil {
+		dynSizes, *churnEvents, *churnQueries, *churnOut, schSizes, *schedOut); err != nil {
 		fmt.Fprintln(os.Stderr, "sinrbench:", err)
 		os.Exit(1)
 	}
@@ -104,10 +124,10 @@ func parseSizes(flagName, s string, def []int) ([]int, error) {
 }
 
 func run(trials int, only string, workers int, resolver, resolversOut string, hotSizes []int, hotQueries int, hotPathOut string,
-	dynSizes []int, dynEvents, dynQueries int, dynOut string) error {
+	dynSizes []int, dynEvents, dynQueries int, dynOut string, schedSizes []int, schedOut string) error {
 	failed, ran := 0, 0
-	for _, e := range exp.RegistryDynamic(trials, workers, resolver, resolversOut, hotSizes, hotQueries, hotPathOut,
-		dynSizes, dynEvents, dynQueries, dynOut) {
+	for _, e := range exp.RegistrySched(trials, workers, resolver, resolversOut, hotSizes, hotQueries, hotPathOut,
+		dynSizes, dynEvents, dynQueries, dynOut, schedSizes, schedOut) {
 		if only != "" && !strings.EqualFold(e.ID, only) {
 			continue
 		}

@@ -11,7 +11,7 @@ import (
 // defaults for every axis knob.
 func runOnly(only string, workers int, resolver, resolversOut string, hotSizes []int, hotQueries int, hotPathOut string) error {
 	return run(1, only, workers, resolver, resolversOut, hotSizes, hotQueries, hotPathOut,
-		[]int{8}, 4, 32, "")
+		[]int{8}, 4, 32, "", []int{16}, "")
 }
 
 // TestRunSingleExperiment smoke-tests the CLI path on the cheapest
@@ -77,11 +77,23 @@ func TestRunHotPath(t *testing.T) {
 // artifact.
 func TestRunDynamicChurn(t *testing.T) {
 	out := t.TempDir() + "/BENCH_dynamic.json"
-	if err := run(1, "E19", 1, "all", "", nil, 64, "", []int{8}, 6, 32, out); err != nil {
+	if err := run(1, "E19", 1, "all", "", nil, 64, "", []int{8}, 6, 32, out, []int{16}, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if _, err := os.Stat(out); err != nil {
 		t.Fatalf("BENCH_dynamic.json not written: %v", err)
+	}
+}
+
+// TestRunSched smoke-tests the E20 scheduling comparison through the
+// -sched-* plumbing: a tiny link-count axis plus the JSON artifact.
+func TestRunSched(t *testing.T) {
+	out := t.TempDir() + "/BENCH_sched.json"
+	if err := run(1, "E20", 1, "all", "", nil, 64, "", []int{8}, 4, 32, "", []int{32, 64}, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("BENCH_sched.json not written: %v", err)
 	}
 }
 

@@ -17,6 +17,7 @@
 //	         [-radius 0] [-noise 0.01] [-beta 3] [-seed 1]
 //	         [-swap-every 0] [-churn-every 0]
 //	         [-churn-kind arrive|depart|power|mix] [-verify]
+//	         [-sched greedy|lenclass|repair]
 //
 // -resolver selects the serving backend per request, turning every
 // workload into a cross-backend comparison scenario; -radius sets the
@@ -36,6 +37,17 @@
 // race deltas. Note that power churn makes the network non-uniform,
 // which the locator backend rejects — pair -churn-kind power/mix with
 // the exact, voronoi or dynamic backend.
+//
+// -sched additionally exercises the schedule endpoint: one POST
+// /v1/networks/{name}/schedule with the named scheduler right after
+// registration and one after the run. Each answer is validated
+// locally — the client re-derives the generation's link set with
+// sched.DeriveLinks from its mirrored station set and re-checks every
+// slot through its own feasibility engine — and when the run PATCHed
+// churn deltas the post-run answer must have been repaired from the
+// pre-churn schedule (path "repaired"), proving the cache invalidated
+// and healed instead of recomputing. Any invalid slot or wrong path
+// is a non-zero exit.
 //
 // -verify recomputes all answers locally through the same backend
 // kind (the ground-truth exact backend for "dynamic", whose served
@@ -81,6 +93,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/resolve"
+	"repro/internal/sched"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
@@ -97,6 +110,7 @@ type config struct {
 	seed                  int64
 	swapEvery, churnEvery int
 	churnKind             string
+	sched                 string
 	verify                bool
 	scrapeMetrics         bool
 	metricsEvery          time.Duration
@@ -130,6 +144,7 @@ func main() {
 	flag.IntVar(&cfg.swapEvery, "swap-every", 0, "hot-swap the network after every K batches (0 = never)")
 	flag.IntVar(&cfg.churnEvery, "churn-every", 0, "PATCH one churn delta after every K batches (0 = never)")
 	flag.StringVar(&cfg.churnKind, "churn-kind", "mix", "churn process: arrive, depart, power or mix")
+	flag.StringVar(&cfg.sched, "sched", "", "also exercise the schedule endpoint with this scheduler (greedy, lenclass or repair; empty = off)")
 	flag.BoolVar(&cfg.verify, "verify", false, "verify every served answer against a locally built backend of the same kind")
 	flag.BoolVar(&cfg.scrapeMetrics, "scrape-metrics", true, "scrape /metrics before and after the run and report server-side deltas")
 	flag.DurationVar(&cfg.metricsEvery, "metrics-every", 0, "also sample /metrics at this interval during the run for peak gauges (0 = off)")
@@ -207,6 +222,11 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	if cfg.sched != "" {
+		if _, err := sched.ParseKind(cfg.sched); err != nil {
+			return err
+		}
+	}
 
 	var points []geom.Point
 	switch cfg.workload {
@@ -245,6 +265,22 @@ func run(cfg config) error {
 	epochs := map[uint64]*dynamic.Snapshot{regResp.Version: mirror.Snapshot()}
 	fmt.Printf("registered %q: %d stations, workload=%s, resolver=%s, %d queries in batches of %d over %d clients\n",
 		cfg.name, cfg.n, cfg.workload, kind, len(points), cfg.batch, cfg.concurrency)
+
+	// Pre-traffic schedule: computed fresh for this generation and
+	// re-validated against a locally rebuilt feasibility engine. The
+	// post-run request (below) must then repair — not recompute — it
+	// if the run churned the station set.
+	if cfg.sched != "" {
+		out, err := schedule(client, cfg.addr, cfg.name, serve.ScheduleRequest{Scheduler: cfg.sched})
+		if err != nil {
+			return fmt.Errorf("initial schedule: %w", err)
+		}
+		if err := verifySchedule(out, epochs); err != nil {
+			return fmt.Errorf("initial schedule: %w", err)
+		}
+		fmt.Printf("schedule[%s]: %d links in %d slots at version %d (path=%s), valid against the local engine\n",
+			out.Scheduler, out.NumLinks, out.NumSlots, out.Version, out.Path)
+	}
 
 	// Server-side view: snapshot /metrics before traffic so the report
 	// can show this run's deltas; a scrape failure (exposition absent)
@@ -417,6 +453,92 @@ func run(cfg config) error {
 		}
 		fmt.Printf("verified: all %d served answers identical to the local %s backend across %d generation(s)\n",
 			len(points), kind, len(epochs))
+	}
+
+	if cfg.sched != "" {
+		out, err := schedule(client, cfg.addr, cfg.name, serve.ScheduleRequest{Scheduler: cfg.sched})
+		if err != nil {
+			return fmt.Errorf("post-run schedule: %w", err)
+		}
+		if err := verifySchedule(out, epochs); err != nil {
+			return fmt.Errorf("post-run schedule: %w", err)
+		}
+		if churns.Load() > 0 {
+			if out.Path != "repaired" {
+				return fmt.Errorf("post-churn schedule path = %q at version %d, want repaired", out.Path, out.Version)
+			}
+			if out.Repair == nil {
+				return fmt.Errorf("post-churn schedule carries no repair stats")
+			}
+		}
+		fmt.Printf("schedule[%s]: %d links in %d slots at version %d (path=%s), valid against the local engine\n",
+			out.Scheduler, out.NumLinks, out.NumSlots, out.Version, out.Path)
+	}
+	return nil
+}
+
+// schedule POSTs one scheduling request for the named network.
+func schedule(client *http.Client, addr, name string, req serve.ScheduleRequest) (serve.ScheduleResponse, error) {
+	var out serve.ScheduleResponse
+	body, err := json.Marshal(req)
+	if err != nil {
+		return out, err
+	}
+	resp, err := client.Post(addr+"/v1/networks/"+name+"/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return out, &statusError{code: resp.StatusCode,
+			msg: fmt.Sprintf("schedule: %s: %s", resp.Status, bytes.TrimSpace(msg))}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// verifySchedule re-derives the answering generation's link set from
+// the local mirror and re-checks every served slot through a locally
+// built feasibility engine: the served schedule must validate without
+// the links themselves ever crossing the wire.
+func verifySchedule(out serve.ScheduleResponse, epochs map[uint64]*dynamic.Snapshot) error {
+	snap, ok := epochs[out.Version]
+	if !ok {
+		return fmt.Errorf("schedule answered from version %d, which no local mutation produced", out.Version)
+	}
+	net := snap.Network()
+	powers := make([]float64, net.NumStations())
+	for i := range powers {
+		powers[i] = net.Power(i)
+	}
+	links := sched.DeriveLinks(net.Stations(), powers, out.LinkLen)
+	var f sched.Feasibility
+	switch out.Model {
+	case "sinr":
+		p, err := sched.NewSINRProblem(links, net.Noise(), net.Beta())
+		if err != nil {
+			return err
+		}
+		p.Alpha = net.Alpha()
+		f = p
+	case "protocol":
+		p, err := sched.NewProtocolProblem(links, 1.5*out.LinkLen, 3*out.LinkLen)
+		if err != nil {
+			return err
+		}
+		f = p
+	default:
+		return fmt.Errorf("served schedule names unknown model %q", out.Model)
+	}
+	if out.NumLinks != len(links) {
+		return fmt.Errorf("schedule covers %d links, generation %d has %d", out.NumLinks, out.Version, len(links))
+	}
+	s := &sched.Schedule{Slots: out.Slots}
+	if err := s.Validate(f); err != nil {
+		return fmt.Errorf("served schedule invalid against the local %s engine: %v", out.Model, err)
 	}
 	return nil
 }

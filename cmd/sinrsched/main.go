@@ -5,12 +5,21 @@
 //
 // Usage:
 //
-//	sinrsched [-links 40] [-side 18] [-beta 2] [-seed 1] [-order short|long|id]
+//	sinrsched [-links 40] [-side 18] [-beta 2] [-seed 1]
+//	          [-sched greedy|lenclass|repair] [-order short|long|id]
+//
+// -sched picks the scheduler: greedy first-fit (the default), the
+// length-class scheduler (links bucketed by log2 of their length,
+// classes scheduled into disjoint slots), or greedy followed by the
+// local-search improver (repair). Both models run on the same link
+// set and every schedule is re-validated before printing, so a
+// non-zero exit means a scheduler bug, not an unlucky instance.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/geom"
@@ -23,16 +32,21 @@ func main() {
 	side := flag.Float64("side", 18, "deployment square side")
 	beta := flag.Float64("beta", 2, "SINR threshold")
 	seed := flag.Int64("seed", 1, "random seed")
-	order := flag.String("order", "short", "greedy order: short|long|id")
+	kind := flag.String("sched", "greedy", "scheduler: greedy|lenclass|repair")
+	order := flag.String("order", "short", "link order for greedy and repair: short|long|id")
 	flag.Parse()
 
-	if err := run(*nLinks, *side, *beta, *seed, *order); err != nil {
+	if err := run(os.Stdout, *nLinks, *side, *beta, *seed, *kind, *order); err != nil {
 		fmt.Fprintln(os.Stderr, "sinrsched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nLinks int, side, beta float64, seed int64, orderName string) error {
+func run(w io.Writer, nLinks int, side, beta float64, seed int64, kindName, orderName string) error {
+	kind, err := sched.ParseKind(kindName)
+	if err != nil {
+		return err
+	}
 	gen := workload.NewGenerator(seed)
 	box := geom.NewBox(geom.Pt(0, 0), geom.Pt(side, side))
 	senders := gen.UniformInBox(nLinks, box)
@@ -65,14 +79,14 @@ func run(nLinks int, side, beta float64, seed int64, orderName string) error {
 		return fmt.Errorf("unknown order %q (want short|long|id)", orderName)
 	}
 
-	ss, err := sched.Greedy(sp, order)
+	ss, err := sched.BuildSchedule(kind, sp, order)
 	if err != nil {
 		return err
 	}
 	if err := ss.Validate(sp); err != nil {
 		return err
 	}
-	ps, err := sched.Greedy(pp, order)
+	ps, err := sched.BuildSchedule(kind, pp, order)
 	if err != nil {
 		return err
 	}
@@ -80,14 +94,15 @@ func run(nLinks int, side, beta float64, seed int64, orderName string) error {
 		return err
 	}
 
-	fmt.Printf("%d links, %gx%g field, beta=%g, order=%s\n", nLinks, side, side, beta, orderName)
-	fmt.Printf("SINR model    : %d slots\n", ss.NumSlots())
+	fmt.Fprintf(w, "%d links, %gx%g field, beta=%g, sched=%s, order=%s\n",
+		nLinks, side, side, beta, kind, orderName)
+	fmt.Fprintf(w, "SINR model    : %d slots\n", ss.NumSlots())
 	for i, slot := range ss.Slots {
-		fmt.Printf("  slot %2d: %d links\n", i, len(slot))
+		fmt.Fprintf(w, "  slot %2d: %d links\n", i, len(slot))
 	}
-	fmt.Printf("protocol model: %d slots\n", ps.NumSlots())
+	fmt.Fprintf(w, "protocol model: %d slots\n", ps.NumSlots())
 	for i, slot := range ps.Slots {
-		fmt.Printf("  slot %2d: %d links\n", i, len(slot))
+		fmt.Fprintf(w, "  slot %2d: %d links\n", i, len(slot))
 	}
 	return nil
 }

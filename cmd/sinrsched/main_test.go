@@ -1,17 +1,106 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
 
 func TestRunOrders(t *testing.T) {
 	for _, order := range []string{"short", "long", "id"} {
-		if err := run(12, 15, 2, 1, order); err != nil {
+		if err := run(io.Discard, 12, 15, 2, 1, "greedy", order); err != nil {
 			t.Fatalf("order %s: %v", order, err)
 		}
 	}
 }
 
-func TestRunUnknownOrder(t *testing.T) {
-	if err := run(5, 15, 2, 1, "bogus"); err == nil {
+func TestRunSchedulers(t *testing.T) {
+	for _, kind := range []string{"greedy", "lenclass", "repair", ""} {
+		if err := run(io.Discard, 16, 15, 2, 1, kind, "short"); err != nil {
+			t.Fatalf("sched %q: %v", kind, err)
+		}
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run(io.Discard, 5, 15, 2, 1, "greedy", "bogus"); err == nil {
 		t.Fatal("unknown order must fail")
+	}
+	if err := run(io.Discard, 5, 15, 2, 1, "magic", "short"); err == nil {
+		t.Fatal("unknown scheduler must fail")
+	}
+	if err := run(io.Discard, 0, 15, 2, 1, "greedy", "short"); err == nil {
+		t.Fatal("zero links must fail")
+	}
+	if err := run(io.Discard, 5, 15, -1, 1, "greedy", "short"); err == nil {
+		t.Fatal("negative beta must fail")
+	}
+}
+
+// TestRunOutputShape pins the report format: a header naming the
+// instance and scheduler, then one slot-count block per model with
+// slot sizes summing to the link count.
+func TestRunOutputShape(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 20, 15, 2, 7, "lenclass", "short"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if want := "20 links, 15x15 field, beta=2, sched=lenclass, order=short"; lines[0] != want {
+		t.Fatalf("header = %q, want %q", lines[0], want)
+	}
+	for _, model := range []string{"SINR model    : ", "protocol model: "} {
+		if !strings.Contains(out, model) {
+			t.Fatalf("output missing %q block:\n%s", model, out)
+		}
+	}
+	slotRe := regexp.MustCompile(`^  slot ..: (\d+) links$`)
+	headerRe := regexp.MustCompile(`: (\d+) slots$`)
+	total, slots, declared := 0, 0, 0
+	for _, line := range lines[1:] {
+		if m := headerRe.FindStringSubmatch(line); m != nil {
+			n, err := strconv.Atoi(m[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			declared += n
+			continue
+		}
+		m := slotRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unexpected line %q", line)
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatalf("empty slot in output:\n%s", out)
+		}
+		total += n
+		slots++
+	}
+	if total != 2*20 {
+		t.Fatalf("slot sizes sum to %d, want %d (20 links x 2 models)", total, 2*20)
+	}
+	if slots != declared {
+		t.Fatalf("%d slot lines, headers declare %d", slots, declared)
+	}
+}
+
+// TestRunDeterministic: same seed, same report.
+func TestRunDeterministic(t *testing.T) {
+	render := func() string {
+		var sb strings.Builder
+		if err := run(&sb, 24, 16, 2, 3, "repair", "long"); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("same seed produced different reports:\n%s\n---\n%s", a, b)
 	}
 }

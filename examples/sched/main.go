@@ -1,0 +1,105 @@
+// Sched: link scheduling against the physical model — the
+// application class the paper's introduction motivates. Derives one
+// link per station of a random deployment, schedules the links under
+// both the SINR rule and the UDG/protocol rule with all three
+// schedulers (greedy first-fit, length classes, greedy + local-search
+// repair), validates every schedule, and then heals a schedule
+// through RepairSchedule after stations churn — the same flow the
+// sinrserve schedule endpoint runs on a PATCH delta.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	sinrdiag "repro"
+)
+
+func main() {
+	const (
+		nStations = 48
+		side      = 20.0
+		beta      = 2
+		noise     = 0.0001
+	)
+	rng := rand.New(rand.NewSource(3))
+	stations := make([]sinrdiag.Point, nStations)
+	for i := range stations {
+		stations[i] = sinrdiag.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+
+	// One derived link per station — deterministic in the station set,
+	// so any party holding the same stations derives the same links.
+	links := sinrdiag.DeriveLinks(stations, nil, 1)
+
+	sinrProblem, err := sinrdiag.NewSINRScheduling(links, noise, beta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	protoProblem, err := sinrdiag.NewProtocolScheduling(links, 1.5, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d links derived from %d stations in a %.0fx%.0f field, beta=%v, protocol radii 1.5/3\n\n",
+		len(links), nStations, side, side, float64(beta))
+	fmt.Println("scheduler    SINR slots  protocol slots")
+	order := sinrdiag.ByLength(links, true)
+	for _, kind := range sinrdiag.SchedulerKinds() {
+		ss, err := sinrdiag.BuildSchedule(kind, sinrProblem, order)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ss.Validate(sinrProblem); err != nil {
+			log.Fatal(err)
+		}
+		ps, err := sinrdiag.BuildSchedule(kind, protoProblem, order)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ps.Validate(protoProblem); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %10d  %14d\n", kind, ss.NumSlots(), ps.NumSlots())
+	}
+
+	// Show one SINR slot in detail: concurrent links under the
+	// physical model, packed by the incremental slot engine.
+	best, err := sinrdiag.BuildSchedule(sinrdiag.SchedRepair, sinrProblem, order)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slot := best.Slots[0]
+	shown := len(slot)
+	if shown > 6 {
+		shown = 6
+	}
+	fmt.Printf("\nslot 0 under SINR packs %d concurrent links:\n", len(slot))
+	for _, li := range slot[:shown] {
+		l := links[li]
+		fmt.Printf("  link %2d: %v -> %v (length %.2f)\n", li, l.Sender, l.Receiver, l.Length())
+	}
+	if len(slot) > shown {
+		fmt.Printf("  ... and %d more\n", len(slot)-shown)
+	}
+
+	// Churn: six stations depart. Surviving stations keep bit-identical
+	// derived links, so the old schedule repairs instead of restarting.
+	survivors := sinrdiag.DeriveLinks(stations[:nStations-6], nil, 1)
+	shrunk, err := sinrdiag.NewSINRScheduling(survivors, noise, beta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	healed, stats, err := sinrdiag.RepairSchedule(shrunk, best, sinrdiag.DefaultSchedImprovePasses)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := healed.Validate(shrunk); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter 6 departures, repair kept %d links in place, displaced %d, dropped %d stale, moved %d:\n",
+		stats.Kept, stats.Displaced, stats.Dropped, stats.Moves)
+	fmt.Printf("  %d links in %d slots (was %d links in %d slots)\n",
+		healed.NumLinks(), healed.NumSlots(), best.NumLinks(), best.NumSlots())
+}

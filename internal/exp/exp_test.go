@@ -222,8 +222,8 @@ func TestCommunicationGraphExperiment(t *testing.T) {
 func TestRegistryIDsUnique(t *testing.T) {
 	seen := map[string]bool{}
 	reg := Registry(1)
-	if len(reg) != 20 {
-		t.Fatalf("registry has %d experiments, want 20 (E1-E19 plus E10b)", len(reg))
+	if len(reg) != 21 {
+		t.Fatalf("registry has %d experiments, want 21 (E1-E20 plus E10b)", len(reg))
 	}
 	for _, e := range reg {
 		if e.ID == "" || e.Run == nil {
@@ -344,6 +344,51 @@ func TestDynamicChurnShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	var back []DynamicBenchRow
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("artifact round-trip lost rows: %d != %d", len(back), len(rows))
+	}
+}
+
+// TestSchedComparisonShape checks the E20 measurement small: every
+// (size, scheduler) cell present, zero validation or incremental-vs-
+// scan mismatches, live build timing under both models, a feasibility
+// race on the greedy rows, and a sane artifact round-trip.
+func TestSchedComparisonShape(t *testing.T) {
+	rows, err := MeasureSched([]int{32, 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 2 sizes x 3 schedulers", len(rows))
+	}
+	for _, r := range rows {
+		if r.Mismatches != 0 {
+			t.Fatalf("%s/n=%d: %d mismatches between the incremental engine and the scan oracle",
+				r.Scheduler, r.Links, r.Mismatches)
+		}
+		if r.SINRSlots <= 0 || r.ProtocolSlots <= 0 || r.SINRBuildNanos <= 0 || r.ProtoBuildNanos <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.Scheduler == "greedy" {
+			if r.FeasIncNanos <= 0 || r.FeasScanNanos <= 0 || r.ProbeSlotSize <= 0 {
+				t.Fatalf("greedy row missing the feasibility race: %+v", r)
+			}
+		} else if r.FeasIncNanos != 0 {
+			t.Fatalf("%s row carries a feasibility race: %+v", r.Scheduler, r)
+		}
+	}
+	out := t.TempDir() + "/BENCH_sched.json"
+	if err := WriteSchedBenchJSON(out, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []SchedBenchRow
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}

@@ -264,9 +264,19 @@ func RegistryHotPath(trials, workers int, resolver, resolversOut string, hotSize
 // RegistryDynamic is RegistryHotPath with the E19 churn knobs: the
 // network-size axis, the churn-trace length and correctness-probe
 // count per cell, and the path the BENCH_dynamic.json artifact is
-// written to (empty = no file).
+// written to (empty = no file). E20 runs with its default size axis
+// and no artifact; use RegistrySched to control it.
 func RegistryDynamic(trials, workers int, resolver, resolversOut string, hotSizes []int, hotQueries int, hotPathOut string,
 	dynSizes []int, dynEvents, dynQueries int, dynOut string) []Experiment {
+	return RegistrySched(trials, workers, resolver, resolversOut, hotSizes, hotQueries, hotPathOut,
+		dynSizes, dynEvents, dynQueries, dynOut, DefaultSchedSizes, "")
+}
+
+// RegistrySched is RegistryDynamic with the E20 scheduling knobs: the
+// link-count axis and the path the BENCH_sched.json artifact is
+// written to (empty = no file).
+func RegistrySched(trials, workers int, resolver, resolversOut string, hotSizes []int, hotQueries int, hotPathOut string,
+	dynSizes []int, dynEvents, dynQueries int, dynOut string, schedSizes []int, schedOut string) []Experiment {
 	return []Experiment{
 		{"E1", Fig1Reception},
 		{"E2", Fig2Cumulative},
@@ -288,6 +298,7 @@ func RegistryDynamic(trials, workers int, resolver, resolversOut string, hotSize
 		{"E17", func() (*Table, error) { return ResolverComparison(workers, resolver, resolversOut) }},
 		{"E18", func() (*Table, error) { return HotPathComparison(workers, hotSizes, hotQueries, hotPathOut) }},
 		{"E19", func() (*Table, error) { return DynamicChurnComparison(dynSizes, dynEvents, dynQueries, dynOut) }},
+		{"E20", func() (*Table, error) { return SchedComparison(schedSizes, schedOut) }},
 	}
 }
 

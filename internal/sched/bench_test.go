@@ -1,0 +1,86 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// benchInstance builds a constant-density instance: n links with
+// senders in a sqrt(n)-scaled box, as the experiments do, so slot
+// populations grow with n the way real instances' do.
+func benchInstance(n int) []Link {
+	rng := rand.New(rand.NewSource(42))
+	side := 3 * float64(intSqrt(n))
+	links := make([]Link, n)
+	for i := range links {
+		s := geom.Pt(rng.Float64()*side, rng.Float64()*side)
+		links[i] = Link{
+			Sender:   s,
+			Receiver: geom.PolarPoint(s, 0.5+rng.Float64(), rng.Float64()*2*3.141592653589793),
+		}
+	}
+	return links
+}
+
+func intSqrt(n int) int {
+	i := 1
+	for i*i < n {
+		i++
+	}
+	return i
+}
+
+// BenchmarkSchedFeasible is the bench-gate hot path: one trial
+// placement against a populated slot. The incremental sub-benchmarks
+// must not allocate — they are on the CI 0-alloc list — while the scan
+// sub-benchmark is the O(k²) baseline E20 quantifies the speedup over.
+func BenchmarkSchedFeasible(b *testing.B) {
+	links := benchInstance(4096)
+	p, err := NewSINRProblem(links, 0.0001, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Alpha = 3
+	slot := p.NewSlot()
+	var members []int
+	for li := range links {
+		if slot.Add(li) {
+			members = append(members, li)
+		}
+	}
+	// Probe links: a mix that exercises both the fast-reject and the
+	// exact passes.
+	probes := make([]int, 0, 256)
+	for li := 0; li < len(links) && len(probes) < cap(probes); li++ {
+		inSlot := false
+		for _, m := range members {
+			if m == li {
+				inSlot = true
+				break
+			}
+		}
+		if !inSlot {
+			probes = append(probes, li)
+		}
+	}
+	scan := append(append([]int{}, members...), 0)
+
+	b.Run("inc", func(b *testing.B) {
+		slot.CanAdd(probes[0]) // warm scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			slot.CanAdd(probes[i%len(probes)])
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			scan[len(scan)-1] = probes[i%len(probes)]
+			p.SlotFeasibleScan(scan)
+		}
+	})
+}

@@ -1,0 +1,276 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// randomInstance builds n links with uniform senders in a side x side
+// box and receivers at distance [0.5, 1.5) in a random direction —
+// the same family the experiments use.
+func randomInstance(rng *rand.Rand, n int, side float64) []Link {
+	links := make([]Link, n)
+	for i := range links {
+		s := geom.Pt(rng.Float64()*side, rng.Float64()*side)
+		links[i] = Link{
+			Sender:   s,
+			Receiver: geom.PolarPoint(s, 0.5+rng.Float64(), rng.Float64()*2*3.141592653589793),
+			Power:    0.5 + rng.Float64(),
+		}
+	}
+	return links
+}
+
+// problems returns one SINR and one protocol instance over links, both
+// implementing Incremental + LinkSet.
+func problems(t *testing.T, links []Link) []Incremental {
+	t.Helper()
+	sp, err := NewSINRProblem(links, 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := NewProtocolProblem(links, 1.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Incremental{sp, pp}
+}
+
+// scanOracle exposes the naive all-pairs path of a problem.
+type scanOracle interface {
+	Feasibility
+	SlotFeasibleScan(active []int) bool
+}
+
+// TestSlotEquivalence pins the tentpole invariant: across randomized
+// add/remove sequences, the incremental slot engine, the one-shot
+// incremental SlotFeasible, the naive SlotFeasibleScan, and a
+// from-scratch rebuild of the same member set all agree on every
+// membership answer.
+func TestSlotEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		links := randomInstance(rng, 48, 25)
+		for _, p := range problems(t, links) {
+			sc := p.(scanOracle)
+			slot := p.NewSlot()
+			var members []int
+			inSlot := make([]bool, len(links))
+			for step := 0; step < 300; step++ {
+				li := rng.Intn(len(links))
+				if inSlot[li] && rng.Intn(3) == 0 {
+					if !slot.Remove(li) {
+						t.Fatalf("trial %d step %d: Remove(%d) of a member returned false", trial, step, li)
+					}
+					inSlot[li] = false
+					for k, m := range members {
+						if m == li {
+							members = append(members[:k], members[k+1:]...)
+							break
+						}
+					}
+				} else {
+					// Oracle answer: does members+li pass the naive scan?
+					trialSet := append(append([]int{}, members...), li)
+					want := !inSlot[li] && sc.SlotFeasibleScan(trialSet)
+					if got := slot.CanAdd(li); got != want {
+						t.Fatalf("trial %d step %d: CanAdd(%d) = %v, scan says %v (members %v)",
+							trial, step, li, got, want, members)
+					}
+					if got := slot.Add(li); got != want {
+						t.Fatalf("trial %d step %d: Add(%d) = %v, want %v", trial, step, li, got, want)
+					}
+					if want {
+						members = append(members, li)
+						inSlot[li] = true
+					}
+				}
+				if slot.Len() != len(members) {
+					t.Fatalf("trial %d step %d: Len = %d, want %d", trial, step, slot.Len(), len(members))
+				}
+				// The current member set must agree across all four paths.
+				got := slot.Links(nil)
+				if !p.SlotFeasible(got) || !sc.SlotFeasibleScan(got) {
+					t.Fatalf("trial %d step %d: member set %v reported infeasible", trial, step, got)
+				}
+				fresh := p.NewSlot()
+				for _, m := range got {
+					if !fresh.Add(m) {
+						t.Fatalf("trial %d step %d: from-scratch rebuild rejects member %d of %v",
+							trial, step, m, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSlotFeasibleMatchesScanOnRandomSets pins the one-shot paths on
+// arbitrary (not incrementally grown) sets, where feasible and
+// infeasible answers both occur.
+func TestSlotFeasibleMatchesScanOnRandomSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	links := randomInstance(rng, 64, 20)
+	for _, p := range problems(t, links) {
+		sc := p.(scanOracle)
+		for trial := 0; trial < 500; trial++ {
+			k := 1 + rng.Intn(12)
+			set := rng.Perm(len(links))[:k]
+			if got, want := p.SlotFeasible(set), sc.SlotFeasibleScan(set); got != want {
+				t.Fatalf("%T: SlotFeasible(%v) = %v, scan says %v", p, set, got, want)
+			}
+		}
+	}
+}
+
+// TestSlotMalformedSets: the incremental paths report infeasible on
+// out-of-range and duplicate entries instead of panicking.
+func TestSlotMalformedSets(t *testing.T) {
+	links := []Link{mkLink(0, 0, 1, 0), mkLink(50, 0, 51, 0)}
+	for _, p := range problems(t, links) {
+		if p.SlotFeasible([]int{0, 0}) {
+			t.Errorf("%T: duplicate entries should be infeasible", p)
+		}
+		if p.SlotFeasible([]int{-1}) || p.SlotFeasible([]int{7}) {
+			t.Errorf("%T: out-of-range entries should be infeasible", p)
+		}
+		slot := p.NewSlot()
+		if slot.Add(-1) || slot.Add(7) {
+			t.Errorf("%T: slot accepted an out-of-range link", p)
+		}
+		if slot.Remove(0) {
+			t.Errorf("%T: Remove of a non-member returned true", p)
+		}
+	}
+}
+
+// TestSchedulersValidateUnderBothModels: every scheduler's output is a
+// complete, feasible schedule under both SINR and protocol
+// feasibility, and validates against the scan oracle too (so the
+// schedulers cannot lean on an incremental-only artifact).
+func TestSchedulersValidateUnderBothModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 4; trial++ {
+		links := randomInstance(rng, 60, 22)
+		for _, p := range problems(t, links) {
+			for _, kind := range Kinds() {
+				s, err := BuildSchedule(kind, p, nil)
+				if err != nil {
+					t.Fatalf("%T/%v: %v", p, kind, err)
+				}
+				if err := s.Validate(p); err != nil {
+					t.Fatalf("%T/%v: %v", p, kind, err)
+				}
+				if s.NumLinks() != len(links) {
+					t.Fatalf("%T/%v: scheduled %d of %d links", p, kind, s.NumLinks(), len(links))
+				}
+				for si, slot := range s.Slots {
+					if !p.(scanOracle).SlotFeasibleScan(slot) {
+						t.Fatalf("%T/%v: slot %d fails the scan oracle", p, kind, si)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestImproveAndRepair: Improve never lengthens a schedule and keeps
+// it valid; Repair reconstructs a valid schedule from a corrupted one
+// and reports what it did.
+func TestImproveAndRepair(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	links := randomInstance(rng, 50, 20)
+	sp, err := NewSINRProblem(links, 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately bad starting point: longest links first.
+	s, err := Greedy(sp, ByLength(links, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.NumSlots()
+	moves, err := Improve(sp, s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSlots() > before {
+		t.Fatalf("Improve lengthened the schedule: %d -> %d", before, s.NumSlots())
+	}
+	if err := s.Validate(sp); err != nil {
+		t.Fatalf("after Improve (%d moves): %v", moves, err)
+	}
+
+	// Corrupt: drop one link, duplicate another, add an out-of-range id.
+	bad := &Schedule{Slots: make([][]int, len(s.Slots))}
+	for i, slot := range s.Slots {
+		bad.Slots[i] = append([]int{}, slot...)
+	}
+	bad.Slots[0] = bad.Slots[0][1:]
+	bad.Slots[len(bad.Slots)-1] = append(bad.Slots[len(bad.Slots)-1], bad.Slots[len(bad.Slots)-1][0], 9999)
+	repaired, stats, err := Repair(sp, bad, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repaired.Validate(sp); err != nil {
+		t.Fatalf("repaired schedule invalid: %v (stats %+v)", err, stats)
+	}
+	if stats.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2 (one duplicate, one out of range)", stats.Dropped)
+	}
+	if stats.Placed == 0 {
+		t.Error("Repair placed nothing despite a dropped link")
+	}
+
+	// Repair of an already-valid schedule keeps everything in place.
+	again, stats2, err := Repair(sp, repaired, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Kept != len(links) || stats2.Displaced != 0 || stats2.Dropped != 0 || stats2.Placed != 0 {
+		t.Errorf("no-op repair stats = %+v", stats2)
+	}
+	if err := again.Validate(sp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeriveLinksDeterminism: links are a pure function of station
+// geometry — permuting or subsetting stations leaves each surviving
+// station's link bit-identical, which is what lets the serve layer and
+// its clients agree on link sets across churn deltas.
+func TestDeriveLinksDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	stations := make([]geom.Point, 40)
+	powers := make([]float64, 40)
+	for i := range stations {
+		stations[i] = geom.Pt(rng.Float64()*30, rng.Float64()*30)
+		powers[i] = 1 + rng.Float64()
+	}
+	a := DeriveLinks(stations, powers, 1)
+	b := DeriveLinks(stations, powers, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("link %d not reproducible: %+v vs %+v", i, a[i], b[i])
+		}
+		if l := a[i].Length(); l < 0.5 || l >= 1.5 {
+			t.Fatalf("link %d length %v outside [0.5, 1.5)", i, l)
+		}
+	}
+	// Drop half the stations: survivors keep their exact links.
+	sub := DeriveLinks(stations[:20], powers[:20], 1)
+	for i := range sub {
+		if sub[i] != a[i] {
+			t.Fatalf("station %d link changed after subsetting: %+v vs %+v", i, sub[i], a[i])
+		}
+	}
+	// Scale stretches lengths proportionally.
+	scaled := DeriveLinks(stations, powers, 2)
+	for i := range scaled {
+		if l := scaled[i].Length(); l < 1 || l >= 3 {
+			t.Fatalf("scaled link %d length %v outside [1, 3)", i, l)
+		}
+	}
+}

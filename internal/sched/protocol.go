@@ -1,0 +1,253 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+)
+
+// ProtocolProblem checks slot feasibility under the UDG/protocol
+// model: link j succeeds iff its receiver is within ConnRadius of its
+// sender and no other active sender is within InterfRadius of the
+// receiver.
+//
+// Conflict here is purely pairwise, so the incremental slot engine's
+// trial placement is exactly two filtered nearest-neighbor queries —
+// O(log n), with no per-member pass at all.
+type ProtocolProblem struct {
+	Links        []Link
+	ConnRadius   float64
+	InterfRadius float64
+
+	mu    sync.Mutex
+	built *protoState
+	pool  sync.Pool // of *protoSlot, for one-shot SlotFeasible calls
+}
+
+// NewProtocolProblem validates and returns a protocol-model instance.
+// interfRadius defaults to connRadius when zero.
+func NewProtocolProblem(links []Link, connRadius, interfRadius float64) (*ProtocolProblem, error) {
+	if len(links) == 0 {
+		return nil, errors.New("sched: no links")
+	}
+	if connRadius <= 0 {
+		return nil, fmt.Errorf("sched: invalid connectivity radius %v", connRadius)
+	}
+	if interfRadius == 0 {
+		interfRadius = connRadius
+	}
+	if interfRadius < connRadius {
+		return nil, fmt.Errorf("sched: interference radius %v below connectivity radius %v",
+			interfRadius, connRadius)
+	}
+	for i, l := range links {
+		if l.Length() > connRadius {
+			return nil, fmt.Errorf("sched: link %d longer (%v) than connectivity radius %v",
+				i, l.Length(), connRadius)
+		}
+	}
+	return &ProtocolProblem{Links: links, ConnRadius: connRadius, InterfRadius: interfRadius}, nil
+}
+
+// NumLinks implements Feasibility.
+func (p *ProtocolProblem) NumLinks() int { return len(p.Links) }
+
+// Link implements LinkSet.
+func (p *ProtocolProblem) Link(i int) Link { return p.Links[i] }
+
+// protoState is the shared acceleration state: per-link geometry plus
+// kd-trees over senders and receivers for the conflict queries.
+type protoState struct {
+	conn      float64
+	interf    float64
+	sendPos   []geom.Point
+	recvPos   []geom.Point
+	lengths   []float64
+	senders   *kdtree.Tree
+	receivers *kdtree.Tree
+}
+
+func (p *ProtocolProblem) state() *protoState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.built
+	if st != nil && st.conn == p.ConnRadius && st.interf == p.InterfRadius &&
+		len(st.lengths) == len(p.Links) {
+		return st
+	}
+	n := len(p.Links)
+	st = &protoState{
+		conn:    p.ConnRadius,
+		interf:  p.InterfRadius,
+		sendPos: make([]geom.Point, n),
+		recvPos: make([]geom.Point, n),
+		lengths: make([]float64, n),
+	}
+	for i, l := range p.Links {
+		st.sendPos[i] = l.Sender
+		st.recvPos[i] = l.Receiver
+		st.lengths[i] = l.Length()
+	}
+	st.senders = kdtree.New(st.sendPos)
+	st.receivers = kdtree.New(st.recvPos)
+	p.built = st
+	return st
+}
+
+// NewSlot implements Incremental.
+func (p *ProtocolProblem) NewSlot() Slot { return p.newSlot() }
+
+func (p *ProtocolProblem) newSlot() *protoSlot {
+	s := &protoSlot{st: p.state(), inSlot: make([]bool, len(p.Links))}
+	s.remap = func(i int) (int, bool) { return i, s.inSlot[i] }
+	return s
+}
+
+// protoSlot is the incremental protocol-model slot engine. The
+// conflict rule is symmetric between a candidate and each member
+// (sender i within InterfRadius of receiver j, either direction), so
+// the nearest active sender to the candidate's receiver and the
+// nearest active receiver to the candidate's sender decide the trial
+// outright. The boundary comparison always re-evaluates geom.Dist on
+// the returned pair, keeping the accept/reject rule identical to the
+// scan's.
+type protoSlot struct {
+	st     *protoState
+	active []int
+	inSlot []bool
+	remap  func(int) (int, bool)
+}
+
+// CanAdd implements Slot.
+func (s *protoSlot) CanAdd(link int) bool { return s.check(link) }
+
+// Add implements Slot.
+func (s *protoSlot) Add(link int) bool {
+	if !s.check(link) {
+		return false
+	}
+	s.active = append(s.active, link)
+	s.inSlot[link] = true
+	return true
+}
+
+func (s *protoSlot) check(j int) bool {
+	st := s.st
+	if j < 0 || j >= len(s.inSlot) || s.inSlot[j] {
+		return false
+	}
+	if st.lengths[j] > st.conn {
+		return false
+	}
+	if len(s.active) == 0 {
+		return true
+	}
+	if i, _, ok := st.senders.NearestMapped(st.recvPos[j], s.remap); ok {
+		if geom.Dist(st.sendPos[i], st.recvPos[j]) <= st.interf {
+			return false
+		}
+	}
+	if i, _, ok := st.receivers.NearestMapped(st.sendPos[j], s.remap); ok {
+		if geom.Dist(st.sendPos[j], st.recvPos[i]) <= st.interf {
+			return false
+		}
+	}
+	return true
+}
+
+// Remove implements Slot.
+func (s *protoSlot) Remove(link int) bool {
+	if link < 0 || link >= len(s.inSlot) || !s.inSlot[link] {
+		return false
+	}
+	for k, li := range s.active {
+		if li == link {
+			s.active = append(s.active[:k], s.active[k+1:]...)
+			break
+		}
+	}
+	s.inSlot[link] = false
+	return true
+}
+
+// Len implements Slot.
+func (s *protoSlot) Len() int { return len(s.active) }
+
+// Links implements Slot.
+func (s *protoSlot) Links(dst []int) []int { return append(dst, s.active...) }
+
+func (s *protoSlot) reset() {
+	for _, i := range s.active {
+		s.inSlot[i] = false
+	}
+	s.active = s.active[:0]
+}
+
+// SlotFeasible implements Feasibility under the protocol rule through
+// the incremental engine; a failed prefix decides the set since the
+// conflict relation is pairwise and monotone in the member set. For
+// well-formed active sets the answer matches SlotFeasibleScan;
+// out-of-range or duplicated entries report infeasible instead of
+// panicking.
+func (p *ProtocolProblem) SlotFeasible(active []int) bool {
+	if len(active) == 0 {
+		return true
+	}
+	st := p.state()
+	s, _ := p.pool.Get().(*protoSlot)
+	if s == nil || s.st != st {
+		s = p.newSlot()
+	}
+	ok := true
+	for _, li := range active {
+		if !s.Add(li) {
+			ok = false
+			break
+		}
+	}
+	s.reset()
+	p.pool.Put(s)
+	return ok
+}
+
+// SlotFeasibleScan is the naive O(k²) all-pairs oracle — the reference
+// implementation for the property tests.
+func (p *ProtocolProblem) SlotFeasibleScan(active []int) bool {
+	for _, j := range active {
+		if !p.received(j, active) {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstInfeasible returns the first link in active (slice order) that
+// conflicts when all of active transmit, or -1 if the slot is
+// feasible. Validate uses it to name the offender.
+func (p *ProtocolProblem) FirstInfeasible(active []int) int {
+	for _, j := range active {
+		if !p.received(j, active) {
+			return j
+		}
+	}
+	return -1
+}
+
+func (p *ProtocolProblem) received(j int, active []int) bool {
+	lj := p.Links[j]
+	if lj.Length() > p.ConnRadius {
+		return false
+	}
+	for _, i := range active {
+		if i == j {
+			continue
+		}
+		if geom.Dist(p.Links[i].Sender, lj.Receiver) <= p.InterfRadius {
+			return false
+		}
+	}
+	return true
+}

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -32,137 +31,56 @@ type Feasibility interface {
 	NumLinks() int
 	// SlotFeasible reports whether every link in active (indices into
 	// the instance) is successfully received when all of them transmit
-	// concurrently.
+	// concurrently. The slice is treated as read-only. For well-formed
+	// sets (in-range, no duplicates) this package's implementations
+	// agree exactly with their naive SlotFeasibleScan oracles; a
+	// malformed set reports infeasible instead of panicking.
 	SlotFeasible(active []int) bool
 }
 
-// SINRProblem checks slot feasibility under the physical model: link
-// j succeeds iff its receiver's SINR from its own sender, against all
-// other active senders plus noise, reaches Beta.
-type SINRProblem struct {
-	Links []Link
-	Noise float64
-	Beta  float64
-	Alpha float64 // <= 0 means 2
+// Slot is a time slot under incremental construction. Implementations
+// maintain per-receiver feasibility state so that a trial placement
+// costs O(active) — often O(log n) after the nearest-interferer
+// candidate filter — instead of the O(active²) full recheck a plain
+// SlotFeasible call pays.
+type Slot interface {
+	// CanAdd reports whether link could join the slot without breaking
+	// itself or any member. Out-of-range and already-present links
+	// report false.
+	CanAdd(link int) bool
+	// Add is CanAdd plus commit, reporting whether the link joined.
+	Add(link int) bool
+	// Remove takes link out of the slot, reporting whether it was a
+	// member. The remaining members stay feasible: interference only
+	// shrinks when a transmitter leaves.
+	Remove(link int) bool
+	// Len returns the member count.
+	Len() int
+	// Links appends the members in insertion order to dst.
+	Links(dst []int) []int
 }
 
-// NewSINRProblem validates and returns a SINR scheduling instance.
-func NewSINRProblem(links []Link, noise, beta float64) (*SINRProblem, error) {
-	if len(links) == 0 {
-		return nil, errors.New("sched: no links")
-	}
-	if noise < 0 || beta <= 0 {
-		return nil, fmt.Errorf("sched: invalid noise %v or beta %v", noise, beta)
-	}
-	for i, l := range links {
-		if geom.Dist2(l.Sender, l.Receiver) == 0 {
-			return nil, fmt.Errorf("sched: link %d has coincident endpoints", i)
-		}
-	}
-	return &SINRProblem{Links: links, Noise: noise, Beta: beta, Alpha: 2}, nil
+// Incremental is a feasibility oracle that can mint incremental slot
+// engines. SINRProblem and ProtocolProblem both implement it; the
+// schedulers fall back to trial SlotFeasible calls (trialSlot) for
+// foreign Feasibility implementations.
+type Incremental interface {
+	Feasibility
+	NewSlot() Slot
 }
 
-// NumLinks implements Feasibility.
-func (p *SINRProblem) NumLinks() int { return len(p.Links) }
-
-func (p *SINRProblem) alpha() float64 {
-	if p.Alpha <= 0 {
-		return 2
-	}
-	return p.Alpha
+// LinkSet exposes the underlying links of a feasibility instance —
+// what the length-aware schedulers (LengthClasses, Repair's
+// shortest-first placement) need beyond the yes/no oracle.
+type LinkSet interface {
+	Feasibility
+	Link(i int) Link
 }
 
-// energy returns psi * dist(a, b)^-alpha (infinite at distance 0).
-func (p *SINRProblem) energy(psi float64, a, b geom.Point) float64 {
-	d2 := geom.Dist2(a, b)
-	if d2 == 0 {
-		return math.Inf(1)
-	}
-	if p.alpha() == 2 {
-		return psi / d2
-	}
-	return psi * math.Pow(d2, -p.alpha()/2)
-}
-
-// SlotFeasible implements Feasibility under the SINR rule.
-func (p *SINRProblem) SlotFeasible(active []int) bool {
-	for _, j := range active {
-		lj := p.Links[j]
-		signal := p.energy(lj.power(), lj.Sender, lj.Receiver)
-		interference := 0.0
-		for _, i := range active {
-			if i == j {
-				continue
-			}
-			li := p.Links[i]
-			e := p.energy(li.power(), li.Sender, lj.Receiver)
-			if math.IsInf(e, 1) {
-				return false
-			}
-			interference += e
-		}
-		if signal < p.Beta*(interference+p.Noise) {
-			return false
-		}
-	}
-	return true
-}
-
-// ProtocolProblem checks slot feasibility under the UDG/protocol
-// model: link j succeeds iff its receiver is within ConnRadius of its
-// sender and no other active sender is within InterfRadius of the
-// receiver.
-type ProtocolProblem struct {
-	Links        []Link
-	ConnRadius   float64
-	InterfRadius float64
-}
-
-// NewProtocolProblem validates and returns a protocol-model instance.
-// interfRadius defaults to connRadius when zero.
-func NewProtocolProblem(links []Link, connRadius, interfRadius float64) (*ProtocolProblem, error) {
-	if len(links) == 0 {
-		return nil, errors.New("sched: no links")
-	}
-	if connRadius <= 0 {
-		return nil, fmt.Errorf("sched: invalid connectivity radius %v", connRadius)
-	}
-	if interfRadius == 0 {
-		interfRadius = connRadius
-	}
-	if interfRadius < connRadius {
-		return nil, fmt.Errorf("sched: interference radius %v below connectivity radius %v",
-			interfRadius, connRadius)
-	}
-	for i, l := range links {
-		if l.Length() > connRadius {
-			return nil, fmt.Errorf("sched: link %d longer (%v) than connectivity radius %v",
-				i, l.Length(), connRadius)
-		}
-	}
-	return &ProtocolProblem{Links: links, ConnRadius: connRadius, InterfRadius: interfRadius}, nil
-}
-
-// NumLinks implements Feasibility.
-func (p *ProtocolProblem) NumLinks() int { return len(p.Links) }
-
-// SlotFeasible implements Feasibility under the protocol rule.
-func (p *ProtocolProblem) SlotFeasible(active []int) bool {
-	for _, j := range active {
-		lj := p.Links[j]
-		if lj.Length() > p.ConnRadius {
-			return false
-		}
-		for _, i := range active {
-			if i == j {
-				continue
-			}
-			if geom.Dist(p.Links[i].Sender, lj.Receiver) <= p.InterfRadius {
-				return false
-			}
-		}
-	}
-	return true
+// diagnoser is the optional hook Validate uses to name the offending
+// link inside an infeasible slot.
+type diagnoser interface {
+	FirstInfeasible(active []int) int
 }
 
 // Schedule assigns each link to one time slot.
@@ -184,63 +102,44 @@ func (s *Schedule) NumLinks() int {
 }
 
 // Validate re-checks every slot against the feasibility oracle and
-// confirms each link appears exactly once.
+// confirms each link appears exactly once. Errors name the offending
+// slot and link: debugging a bad schedule starts from "which slot,
+// which link", not from a bare boolean.
 func (s *Schedule) Validate(f Feasibility) error {
-	seen := make(map[int]bool, f.NumLinks())
+	n := f.NumLinks()
+	slotOf := make([]int, n)
+	for i := range slotOf {
+		slotOf[i] = -1
+	}
+	scheduled := 0
 	for si, slot := range s.Slots {
+		for _, li := range slot {
+			if li < 0 || li >= n {
+				return fmt.Errorf("sched: slot %d holds link %d, outside [0, %d)", si, li, n)
+			}
+			if prev := slotOf[li]; prev >= 0 {
+				return fmt.Errorf("sched: link %d scheduled twice (slots %d and %d)", li, prev, si)
+			}
+			slotOf[li] = si
+			scheduled++
+		}
 		if !f.SlotFeasible(slot) {
+			if d, ok := f.(diagnoser); ok {
+				if li := d.FirstInfeasible(slot); li >= 0 {
+					return fmt.Errorf("sched: slot %d infeasible: link %d is not received", si, li)
+				}
+			}
 			return fmt.Errorf("sched: slot %d infeasible", si)
 		}
-		for _, li := range slot {
-			if seen[li] {
-				return fmt.Errorf("sched: link %d scheduled twice", li)
-			}
-			seen[li] = true
-		}
 	}
-	if len(seen) != f.NumLinks() {
-		return fmt.Errorf("sched: %d of %d links scheduled", len(seen), f.NumLinks())
+	if scheduled != n {
+		for li, si := range slotOf {
+			if si < 0 {
+				return fmt.Errorf("sched: %d of %d links scheduled (link %d missing)", scheduled, n, li)
+			}
+		}
 	}
 	return nil
-}
-
-// Greedy builds a schedule by first-fit: links are processed in the
-// given order and placed into the first slot that stays feasible with
-// them added; a fresh slot is opened otherwise. A link that is
-// infeasible even alone yields an error. order == nil means identity.
-func Greedy(f Feasibility, order []int) (*Schedule, error) {
-	n := f.NumLinks()
-	if order == nil {
-		order = IdentityOrder(n)
-	}
-	if len(order) != n {
-		return nil, fmt.Errorf("sched: order has %d entries for %d links", len(order), n)
-	}
-	s := &Schedule{}
-	scratch := make([]int, 0, n)
-	for _, li := range order {
-		if li < 0 || li >= n {
-			return nil, fmt.Errorf("sched: order entry %d out of range", li)
-		}
-		placed := false
-		for si := range s.Slots {
-			scratch = append(scratch[:0], s.Slots[si]...)
-			scratch = append(scratch, li)
-			if f.SlotFeasible(scratch) {
-				s.Slots[si] = append(s.Slots[si], li)
-				placed = true
-				break
-			}
-		}
-		if placed {
-			continue
-		}
-		if !f.SlotFeasible([]int{li}) {
-			return nil, fmt.Errorf("sched: link %d infeasible even alone", li)
-		}
-		s.Slots = append(s.Slots, []int{li})
-	}
-	return s, nil
 }
 
 // IdentityOrder returns 0..n-1.
@@ -254,15 +153,116 @@ func IdentityOrder(n int) []int {
 
 // ByLength returns link indices sorted by link length; ascending
 // schedules short links first (they tolerate interference best),
-// descending the reverse.
+// descending the reverse. Exact length ties break toward the lowest
+// link index — the same convention kdtree.Nearest uses for distance
+// ties — so the order is a deterministic function of the links alone.
 func ByLength(links []Link, ascending bool) []int {
+	lengths := make([]float64, len(links))
+	for i, l := range links {
+		lengths[i] = l.Length()
+	}
 	order := IdentityOrder(len(links))
-	sort.SliceStable(order, func(a, b int) bool {
-		la, lb := links[order[a]].Length(), links[order[b]].Length()
-		if ascending {
-			return la < lb
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := lengths[order[a]], lengths[order[b]]
+		if la != lb {
+			if ascending {
+				return la < lb
+			}
+			return la > lb
 		}
-		return la > lb
+		return order[a] < order[b]
 	})
 	return order
 }
+
+// DeriveLinks derives one outgoing link per station, deterministically
+// from station geometry alone: station i sends to a receiver at
+// distance scale*[0.5, 1.5) in a direction both hashed from the
+// station's coordinates. Because a station's link depends only on its
+// own position and power, any two parties holding the same station set
+// derive bit-identical links — the serve layer schedules over derived
+// links and clients re-derive them to verify, and after a churn delta
+// every surviving station keeps exactly the link it had. scale <= 0
+// means 1.
+func DeriveLinks(stations []geom.Point, powers []float64, scale float64) []Link {
+	if scale <= 0 {
+		scale = 1
+	}
+	links := make([]Link, len(stations))
+	for i, s := range stations {
+		h := mix64(math.Float64bits(s.X) ^ mix64(math.Float64bits(s.Y)))
+		// Two independent 32-bit lanes: direction and length factor.
+		theta := 2 * math.Pi * float64(uint32(h)) / (1 << 32)
+		r := scale * (0.5 + float64(uint32(h>>32))/(1<<32))
+		var p float64
+		if i < len(powers) {
+			p = powers[i]
+		}
+		links[i] = Link{Sender: s, Receiver: geom.PolarPoint(s, r, theta), Power: p}
+	}
+	return links
+}
+
+// mix64 is the splitmix64 finalizer — a cheap, well-distributed bit
+// mixer so nearby coordinates still get independent link directions.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// trialSlot adapts a plain Feasibility to the Slot interface by
+// re-running the full oracle per trial — the compatibility path for
+// foreign implementations, and the reference engine the property
+// tests pit the incremental ones against.
+type trialSlot struct {
+	f      Feasibility
+	active []int
+}
+
+func newSlotFor(f Feasibility) Slot {
+	if inc, ok := f.(Incremental); ok {
+		return inc.NewSlot()
+	}
+	return &trialSlot{f: f}
+}
+
+func (t *trialSlot) CanAdd(link int) bool {
+	if link < 0 || link >= t.f.NumLinks() {
+		return false
+	}
+	for _, li := range t.active {
+		if li == link {
+			return false
+		}
+	}
+	t.active = append(t.active, link)
+	ok := t.f.SlotFeasible(t.active)
+	t.active = t.active[:len(t.active)-1]
+	return ok
+}
+
+func (t *trialSlot) Add(link int) bool {
+	if !t.CanAdd(link) {
+		return false
+	}
+	t.active = append(t.active, link)
+	return true
+}
+
+func (t *trialSlot) Remove(link int) bool {
+	for k, li := range t.active {
+		if li == link {
+			t.active = append(t.active[:k], t.active[k+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (t *trialSlot) Len() int { return len(t.active) }
+
+func (t *trialSlot) Links(dst []int) []int { return append(dst, t.active...) }

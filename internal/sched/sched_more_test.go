@@ -1,0 +1,218 @@
+package sched
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestByLengthTieBreak pins the determinism satellite: exact length
+// ties break toward the lowest link index (the kdtree.Nearest
+// convention). The instance is all ties, so any order-dependent or
+// comparison-unstable implementation — e.g. a non-stable sort without
+// an index tie-break, which is exactly what a naive reimplementation
+// reaches for — shuffles it and fails.
+func TestByLengthTieBreak(t *testing.T) {
+	const n = 64
+	links := make([]Link, n)
+	for i := range links {
+		// Same length 1 everywhere, distinct positions.
+		links[i] = mkLink(float64(i)*10, 0, float64(i)*10+1, 0)
+	}
+	for _, asc := range []bool{true, false} {
+		order := ByLength(links, asc)
+		if !sort.IntsAreSorted(order) {
+			t.Errorf("ByLength(asc=%v) on an all-ties instance = %v, want identity", asc, order)
+		}
+	}
+	// Mixed: two length groups, ties within each resolved by index.
+	mixed := []Link{
+		mkLink(0, 0, 2, 0),   // len 2
+		mkLink(10, 0, 11, 0), // len 1
+		mkLink(20, 0, 22, 0), // len 2
+		mkLink(30, 0, 31, 0), // len 1
+	}
+	if got := ByLength(mixed, true); got[0] != 1 || got[1] != 3 || got[2] != 0 || got[3] != 2 {
+		t.Errorf("ascending = %v, want [1 3 0 2]", got)
+	}
+	if got := ByLength(mixed, false); got[0] != 0 || got[1] != 2 || got[2] != 1 || got[3] != 3 {
+		t.Errorf("descending = %v, want [0 2 1 3]", got)
+	}
+}
+
+// TestValidateDiagnostics pins the error-message satellite: Validate
+// names the offending slot and link.
+func TestValidateDiagnostics(t *testing.T) {
+	links := []Link{
+		mkLink(0, 0, 1, 0),
+		mkLink(1, 0, 2, 0), // sender on receiver 0: jams it in any shared slot
+		mkLink(50, 0, 51, 0),
+	}
+	p, err := NewSINRProblem(links, 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		slots [][]int
+		want  []string
+	}{
+		{"infeasible slot names slot and link", [][]int{{2}, {0, 1}}, []string{"slot 1", "link 0"}},
+		{"duplicate names both slots", [][]int{{0}, {1}, {2}, {1}}, []string{"link 1", "slots 1 and 3"}},
+		{"missing link named", [][]int{{0}, {1}}, []string{"2 of 3", "link 2 missing"}},
+		{"out of range names slot", [][]int{{0}, {1}, {2, 9}}, []string{"slot 2", "link 9"}},
+	}
+	for _, tc := range cases {
+		s := &Schedule{Slots: tc.slots}
+		err := s.Validate(p)
+		if err == nil {
+			t.Errorf("%s: Validate accepted %v", tc.name, tc.slots)
+			continue
+		}
+		for _, frag := range tc.want {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("%s: error %q missing %q", tc.name, err, frag)
+			}
+		}
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	if NumKinds != len(Kinds()) {
+		t.Fatalf("NumKinds = %d but Kinds() has %d entries", NumKinds, len(Kinds()))
+	}
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if k, err := ParseKind(""); err != nil || k != KindGreedy {
+		t.Errorf("empty kind = %v, %v; want greedy", k, err)
+	}
+	if _, err := ParseKind("mystery"); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	if s := Kind(99).String(); s != "Kind(99)" {
+		t.Errorf("out-of-range String = %q", s)
+	}
+	if _, err := BuildSchedule(Kind(99), mustSINR(t), nil); err == nil {
+		t.Error("BuildSchedule with an unknown kind must fail")
+	}
+}
+
+func mustSINR(t *testing.T) *SINRProblem {
+	t.Helper()
+	p, err := NewSINRProblem([]Link{mkLink(0, 0, 1, 0)}, 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestLengthClassesStructure: classes are scheduled into disjoint slot
+// ranges, shortest class first — a short link never shares a slot with
+// a link from another octave.
+func TestLengthClassesStructure(t *testing.T) {
+	var links []Link
+	for i := 0; i < 8; i++ {
+		links = append(links, mkLink(float64(i)*100, 0, float64(i)*100+1, 0)) // class 0
+	}
+	for i := 0; i < 8; i++ {
+		links = append(links, mkLink(float64(i)*100, 500, float64(i)*100+3, 500)) // class 1
+	}
+	p, err := NewSINRProblem(links, 0.0001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := LengthClasses(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	for si, slot := range s.Slots {
+		short, long := false, false
+		for _, li := range slot {
+			if li < 8 {
+				short = true
+			} else {
+				long = true
+			}
+		}
+		if short && long {
+			t.Fatalf("slot %d mixes length classes: %v", si, slot)
+		}
+	}
+	// Shortest class first.
+	if len(s.Slots) == 0 || s.Slots[0][0] >= 8 {
+		t.Fatalf("first slot %v is not from the shortest class", s.Slots)
+	}
+	// A foreign Feasibility without LinkSet cannot be length-classed.
+	if _, err := LengthClasses(opaque{p}); err == nil {
+		t.Error("LengthClasses must reject a Feasibility without link access")
+	}
+}
+
+// opaque hides everything but the plain Feasibility interface — it is
+// how the tests exercise the trialSlot fallback path.
+type opaque struct{ f Feasibility }
+
+func (o opaque) NumLinks() int                  { return o.f.NumLinks() }
+func (o opaque) SlotFeasible(active []int) bool { return o.f.SlotFeasible(active) }
+
+// TestGreedyFallbackOnForeignFeasibility: schedulers still work (via
+// trial SlotFeasible calls) for oracles that are not Incremental.
+func TestGreedyFallbackOnForeignFeasibility(t *testing.T) {
+	links := []Link{mkLink(0, 0, 1, 0), mkLink(1.5, 0, 2.5, 0), mkLink(50, 0, 51, 0)}
+	p, err := NewSINRProblem(links, 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Greedy(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := Greedy(opaque{p}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.NumSlots() != wrapped.NumSlots() {
+		t.Fatalf("incremental and fallback greedy disagree: %d vs %d slots",
+			direct.NumSlots(), wrapped.NumSlots())
+	}
+	if err := wrapped.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	// Repair through the fallback path too.
+	if _, _, err := Repair(opaque{p}, wrapped, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlphaMutationRebuildsState: tests (and callers) set Alpha after
+// construction; the acceleration state must follow.
+func TestAlphaMutationRebuildsState(t *testing.T) {
+	links := []Link{
+		mkLink(0, 0, 1, 0),
+		{Sender: geom.Pt(5, 0), Receiver: geom.Pt(6, 0), Power: 60},
+	}
+	p, err := NewSINRProblem(links, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SlotFeasible([]int{0, 1}) {
+		t.Fatal("strong interferer should jam link 0 at alpha=2")
+	}
+	p.Alpha = 6
+	if !p.SlotFeasible([]int{0, 1}) {
+		t.Error("alpha=6 should suppress the interferer (state not rebuilt?)")
+	}
+	slot := p.NewSlot()
+	if !slot.Add(0) || !slot.Add(1) {
+		t.Error("incremental slot disagrees after alpha change")
+	}
+}

@@ -1,0 +1,341 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kind names a scheduler. The zero value is KindGreedy.
+type Kind int
+
+const (
+	// KindGreedy is first-fit in a caller-chosen order.
+	KindGreedy Kind = iota
+	// KindLenClass is length-class scheduling in the
+	// Moscibroda-Wattenhofer style.
+	KindLenClass
+	// KindRepair is greedy followed by local-search improvement.
+	KindRepair
+)
+
+// NumKinds is the number of scheduler kinds; Kind values are dense in
+// [0, NumKinds), so callers can size per-kind metric tables.
+const NumKinds = int(KindRepair) + 1
+
+// String returns the parseable name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindGreedy:
+		return "greedy"
+	case KindLenClass:
+		return "lenclass"
+	case KindRepair:
+		return "repair"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind maps a scheduler name to its Kind. The empty string means
+// greedy.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "", "greedy":
+		return KindGreedy, nil
+	case "lenclass":
+		return KindLenClass, nil
+	case "repair":
+		return KindRepair, nil
+	}
+	return 0, fmt.Errorf("sched: unknown scheduler %q (want greedy, lenclass or repair)", s)
+}
+
+// Kinds returns all scheduler kinds in declaration order.
+func Kinds() []Kind { return []Kind{KindGreedy, KindLenClass, KindRepair} }
+
+// DefaultImprovePasses is how many local-search sweeps Improve runs
+// when the caller does not say.
+const DefaultImprovePasses = 2
+
+// BuildSchedule runs the named scheduler. order is honored by greedy
+// and repair (nil means identity) and ignored by lenclass, which
+// derives its own order from the length classes.
+func BuildSchedule(kind Kind, f Feasibility, order []int) (*Schedule, error) {
+	switch kind {
+	case KindGreedy:
+		return Greedy(f, order)
+	case KindLenClass:
+		return LengthClasses(f)
+	case KindRepair:
+		slots, err := greedySlots(f, order)
+		if err != nil {
+			return nil, err
+		}
+		improveSlots(f, &slots, DefaultImprovePasses)
+		return scheduleOf(slots), nil
+	}
+	return nil, fmt.Errorf("sched: unknown scheduler kind %d", int(kind))
+}
+
+// Greedy builds a schedule by first-fit: links are processed in the
+// given order and placed into the first slot that stays feasible with
+// them added; a fresh slot is opened otherwise. A link that is
+// infeasible even alone yields an error. order == nil means identity.
+func Greedy(f Feasibility, order []int) (*Schedule, error) {
+	slots, err := greedySlots(f, order)
+	if err != nil {
+		return nil, err
+	}
+	return scheduleOf(slots), nil
+}
+
+func greedySlots(f Feasibility, order []int) ([]Slot, error) {
+	n := f.NumLinks()
+	if order == nil {
+		order = IdentityOrder(n)
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("sched: order has %d entries for %d links", len(order), n)
+	}
+	var slots []Slot
+	for _, li := range order {
+		if li < 0 || li >= n {
+			return nil, fmt.Errorf("sched: order entry %d out of range", li)
+		}
+		if err := firstFit(f, &slots, li); err != nil {
+			return nil, err
+		}
+	}
+	return slots, nil
+}
+
+// firstFit places li into the first slot that accepts it, opening a
+// fresh one if none does.
+func firstFit(f Feasibility, slots *[]Slot, li int) error {
+	for _, sl := range *slots {
+		if sl.Add(li) {
+			return nil
+		}
+	}
+	sl := newSlotFor(f)
+	if !sl.Add(li) {
+		return fmt.Errorf("sched: link %d infeasible even alone", li)
+	}
+	*slots = append(*slots, sl)
+	return nil
+}
+
+func scheduleOf(slots []Slot) *Schedule {
+	s := &Schedule{Slots: make([][]int, len(slots))}
+	for i, sl := range slots {
+		s.Slots[i] = sl.Links(nil)
+	}
+	return s
+}
+
+// LengthClasses schedules in the Moscibroda-Wattenhofer style: links
+// are partitioned into geometric length classes (class c holds lengths
+// in [Lmin·2^c, Lmin·2^(c+1))) and each class is first-fit scheduled
+// into its own private slots, shortest class first. Links of similar
+// length tolerate each other's interference far better than mixed
+// lengths do — the structural insight behind the scheduling bounds in
+// the Moscibroda et al. line of work the paper builds on — so on
+// mixed-length instances the classed schedule gives the local-search
+// improver a much better starting point than plain first-fit over an
+// arbitrary order.
+func LengthClasses(f Feasibility) (*Schedule, error) {
+	ls, ok := f.(LinkSet)
+	if !ok {
+		return nil, errors.New("sched: length-class scheduling needs link access (LinkSet)")
+	}
+	n := f.NumLinks()
+	if n == 0 {
+		return &Schedule{}, nil
+	}
+	lengths := make([]float64, n)
+	minLen := math.Inf(1)
+	for i := 0; i < n; i++ {
+		lengths[i] = ls.Link(i).Length()
+		if lengths[i] < minLen {
+			minLen = lengths[i]
+		}
+	}
+	if minLen <= 0 || math.IsInf(minLen, 1) {
+		return nil, fmt.Errorf("sched: degenerate minimum link length %v", minLen)
+	}
+	// Sort by (class, length, index): classes ascend, and within a
+	// class short links go first with ties toward the lowest index —
+	// fully deterministic, like ByLength.
+	class := make([]int, n)
+	for i := range class {
+		class[i] = int(math.Floor(math.Log2(lengths[i] / minLen)))
+	}
+	order := IdentityOrder(n)
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if class[ia] != class[ib] {
+			return class[ia] < class[ib]
+		}
+		if lengths[ia] != lengths[ib] {
+			return lengths[ia] < lengths[ib]
+		}
+		return ia < ib
+	})
+	// First-fit, but a class never reuses an earlier class's slots:
+	// classSlots resets at every class boundary while slots keeps the
+	// whole schedule.
+	var slots, classSlots []Slot
+	prevClass := class[order[0]]
+	for _, li := range order {
+		if class[li] != prevClass {
+			slots = append(slots, classSlots...)
+			classSlots = classSlots[:0]
+			prevClass = class[li]
+		}
+		if err := firstFit(f, &classSlots, li); err != nil {
+			return nil, err
+		}
+	}
+	slots = append(slots, classSlots...)
+	return scheduleOf(slots), nil
+}
+
+// Improve runs local-search descent on s in place: each pass sweeps
+// the slots from last to first, offering every link to every earlier
+// slot; a link that fits moves, and emptied slots are deleted. Passes
+// repeat until a pass moves nothing or maxPasses is hit (<= 0 means
+// DefaultImprovePasses). Returns the number of links moved. The same
+// routine powers the "repair" scheduler (as a post-pass on greedy
+// output) and the serve layer's incremental re-scheduling after
+// network deltas. Errors if s is not a feasible schedule for f.
+func Improve(f Feasibility, s *Schedule, maxPasses int) (int, error) {
+	slots, err := slotsOf(f, s)
+	if err != nil {
+		return 0, err
+	}
+	moves := improveSlots(f, &slots, maxPasses)
+	s.Slots = scheduleOf(slots).Slots
+	return moves, nil
+}
+
+// slotsOf rebuilds incremental engines for an existing schedule,
+// erroring with the offending slot and link if any slot is not
+// feasible under f.
+func slotsOf(f Feasibility, s *Schedule) ([]Slot, error) {
+	slots := make([]Slot, 0, len(s.Slots))
+	for si, slot := range s.Slots {
+		sl := newSlotFor(f)
+		for _, li := range slot {
+			if !sl.Add(li) {
+				return nil, fmt.Errorf("sched: slot %d rejects link %d", si, li)
+			}
+		}
+		slots = append(slots, sl)
+	}
+	return slots, nil
+}
+
+func improveSlots(f Feasibility, slots *[]Slot, maxPasses int) int {
+	if maxPasses <= 0 {
+		maxPasses = DefaultImprovePasses
+	}
+	moves := 0
+	var members []int
+	for pass := 0; pass < maxPasses; pass++ {
+		moved := 0
+		for si := len(*slots) - 1; si > 0; si-- {
+			members = (*slots)[si].Links(members[:0])
+			for _, li := range members {
+				for ti := 0; ti < si; ti++ {
+					if (*slots)[ti].Add(li) {
+						(*slots)[si].Remove(li)
+						moved++
+						break
+					}
+				}
+			}
+		}
+		kept := (*slots)[:0]
+		for _, sl := range *slots {
+			if sl.Len() > 0 {
+				kept = append(kept, sl)
+			}
+		}
+		*slots = kept
+		moves += moved
+		if moved == 0 {
+			break
+		}
+	}
+	return moves
+}
+
+// RepairStats reports what Repair did to reconcile a schedule.
+type RepairStats struct {
+	Kept      int `json:"kept"`      // links that stayed in their slot
+	Displaced int `json:"displaced"` // links evicted from a now-infeasible slot
+	Dropped   int `json:"dropped"`   // stale entries discarded (out of range or duplicate)
+	Placed    int `json:"placed"`    // links placed fresh (new plus displaced)
+	Moves     int `json:"moves"`     // links moved by the improver pass
+}
+
+// Repair reconciles a schedule with a (possibly changed) problem
+// instead of recomputing it: stale entries are dropped, every slot is
+// re-verified incrementally (links that no longer fit are displaced),
+// unscheduled links are placed first-fit shortest-first, and
+// improvePasses sweeps of the local-search improver compact the result
+// (improvePasses <= 0 skips the improver). This is the serve layer's
+// PATCH path: a delta touches few links, so repairing the cached
+// schedule costs proportional to the change, not to the network. The
+// input schedule is not modified.
+func Repair(f Feasibility, s *Schedule, improvePasses int) (*Schedule, RepairStats, error) {
+	n := f.NumLinks()
+	var stats RepairStats
+	seen := make([]bool, n)
+	var pending []int
+	slots := make([]Slot, 0, len(s.Slots))
+	for _, slot := range s.Slots {
+		sl := newSlotFor(f)
+		for _, li := range slot {
+			if li < 0 || li >= n || seen[li] {
+				stats.Dropped++
+				continue
+			}
+			seen[li] = true
+			if sl.Add(li) {
+				stats.Kept++
+			} else {
+				stats.Displaced++
+				pending = append(pending, li)
+			}
+		}
+		if sl.Len() > 0 {
+			slots = append(slots, sl)
+		}
+	}
+	for li := 0; li < n; li++ {
+		if !seen[li] {
+			pending = append(pending, li)
+		}
+	}
+	stats.Placed = len(pending)
+	if ls, ok := f.(LinkSet); ok {
+		sort.Slice(pending, func(a, b int) bool {
+			la, lb := ls.Link(pending[a]).Length(), ls.Link(pending[b]).Length()
+			if la != lb {
+				return la < lb
+			}
+			return pending[a] < pending[b]
+		})
+	}
+	for _, li := range pending {
+		if err := firstFit(f, &slots, li); err != nil {
+			return nil, stats, err
+		}
+	}
+	if improvePasses > 0 {
+		stats.Moves = improveSlots(f, &slots, improvePasses)
+	}
+	return scheduleOf(slots), stats, nil
+}

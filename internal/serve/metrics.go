@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/resolve"
+	"repro/internal/sched"
 )
 
 // route indexes the server's instrumented endpoints — the fixed label
@@ -22,6 +23,7 @@ type route int
 const (
 	routeNetworks route = iota // POST/GET /v1/networks
 	routePatch                 // PATCH /v1/networks/{name}
+	routeSchedule              // POST /v1/networks/{name}/schedule
 	routeLocate                // POST /v1/locate
 	routeStream                // POST /v1/locate/stream
 	routeHealth                // GET /healthz
@@ -31,7 +33,7 @@ const (
 )
 
 var routeNames = [numRoutes]string{
-	"networks", "patch", "locate", "stream", "healthz", "readyz", "metrics",
+	"networks", "patch", "schedule", "locate", "stream", "healthz", "readyz", "metrics",
 }
 
 // codeClass buckets response statuses for the request counters. 429
@@ -85,9 +87,37 @@ type serveMetrics struct {
 	queries        [resolve.NumKinds]*metrics.Counter   // sinr_locate_queries_total
 	resolveSeconds [resolve.NumKinds]*metrics.Histogram // sinr_resolve_seconds
 	epochLag       *metrics.Histogram                   // sinr_locate_epoch_lag
+
+	schedRequests [sched.NumKinds]*metrics.Counter   // sinr_schedule_requests_total
+	schedSeconds  [sched.NumKinds]*metrics.Histogram // sinr_schedule_seconds
+	schedResults  [numSchedPaths]*metrics.Counter    // sinr_schedule_results_total
 }
 
-func newServeMetrics(cache *resolverCache) *serveMetrics {
+// schedPathNames label how a schedule answer was produced; dense
+// indices for the per-path result counters.
+var schedPathNames = [...]string{"computed", "repaired", "cached"}
+
+const numSchedPaths = len(schedPathNames)
+
+func schedPathIdx(path string) int {
+	for i, p := range schedPathNames {
+		if p == path {
+			return i
+		}
+	}
+	return 0
+}
+
+// schedKindIdx maps a scheduler Kind to its metric-array slot,
+// clamping unknown values to 0 rather than indexing out of bounds.
+func schedKindIdx(k sched.Kind) int {
+	if i := int(k); i >= 0 && i < sched.NumKinds {
+		return i
+	}
+	return 0
+}
+
+func newServeMetrics(cache *resolverCache, schedules *schedCache) *serveMetrics {
 	reg := metrics.NewRegistry()
 	m := &serveMetrics{reg: reg}
 	for rt := route(0); rt < numRoutes; rt++ {
@@ -117,6 +147,32 @@ func newServeMetrics(cache *resolverCache) *serveMetrics {
 	m.epochLag = reg.Histogram("sinr_locate_epoch_lag",
 		"Generations the answering snapshot was behind the newest at response time.",
 		epochLagBounds)
+	for k := 0; k < sched.NumKinds; k++ {
+		name := sched.Kind(k).String()
+		m.schedRequests[k] = reg.Counter("sinr_schedule_requests_total",
+			"Schedule requests answered, by scheduler kind.",
+			metrics.L("scheduler", name))
+		m.schedSeconds[k] = reg.Histogram("sinr_schedule_seconds",
+			"Server-side schedule answer wall time (including cache hits), by scheduler kind.", nil,
+			metrics.L("scheduler", name))
+	}
+	for i, path := range schedPathNames {
+		m.schedResults[i] = reg.Counter("sinr_schedule_results_total",
+			"Schedule answers by production path: computed fresh, repaired from a superseded generation, or served from cache.",
+			metrics.L("path", path))
+	}
+	reg.CounterFunc("sinr_schedule_cache_hits_total",
+		"Schedule cache hits (current-generation answers without a build).",
+		func() uint64 { return uint64(schedules.Hits()) })
+	reg.CounterFunc("sinr_schedule_cache_builds_total",
+		"Schedule builds started (fresh computes plus repairs).",
+		func() uint64 { return uint64(schedules.Builds()) })
+	reg.CounterFunc("sinr_schedule_cache_repairs_total",
+		"Schedule builds that repaired a superseded schedule instead of recomputing.",
+		func() uint64 { return uint64(schedules.Repairs()) })
+	reg.GaugeFunc("sinr_schedule_cache_entries",
+		"Schedules currently cached or building.",
+		func() float64 { return float64(schedules.Len()) })
 
 	reg.CounterFunc("sinr_resolver_cache_hits_total",
 		"Resolver cache hits (including waits on an in-flight single-flight build).",

@@ -1,0 +1,428 @@
+package serve
+
+import (
+	"container/list"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// Link scheduling over the serving stack: POST
+// /v1/networks/{name}/schedule builds a schedule for the network's
+// derived link set (sched.DeriveLinks over the served snapshot's
+// stations, so server and clients agree on the links without shipping
+// them). Schedules are cached per parameter set; the cache key
+// deliberately omits the network generation, so after a PATCH delta
+// the next request finds the superseded schedule and REPAIRS it
+// through the improver — cost proportional to the delta — instead of
+// recomputing from scratch.
+
+// ScheduleRequest is the POST /v1/networks/{name}/schedule body.
+// Scheduler is "greedy", "lenclass" or "repair" (empty means greedy);
+// Model is "sinr" or "protocol" (empty means sinr); Order is "short",
+// "long" or "id" (empty means short). LinkLen scales the derived link
+// lengths (0 means 1). Beta and Noise override the network's
+// registered values for the SINR model; ConnRadius and InterfRadius
+// set the protocol model's radii (0 means 1.5x and 3x the link scale).
+type ScheduleRequest struct {
+	Scheduler    string  `json:"scheduler,omitempty"`
+	Model        string  `json:"model,omitempty"`
+	Order        string  `json:"order,omitempty"`
+	LinkLen      float64 `json:"link_len,omitempty"`
+	Beta         float64 `json:"beta,omitempty"`
+	Noise        float64 `json:"noise,omitempty"`
+	ConnRadius   float64 `json:"conn_radius,omitempty"`
+	InterfRadius float64 `json:"interf_radius,omitempty"`
+}
+
+// ScheduleResponse is the schedule reply. Path says how the answer was
+// produced: "computed" (fresh build), "repaired" (a superseded cached
+// schedule reconciled with the new generation via sched.Repair) or
+// "cached" (served verbatim from cache); Repair carries the repair
+// stats on the repaired path. Version is the network generation the
+// slots are valid for.
+type ScheduleResponse struct {
+	Network   string             `json:"network"`
+	Version   uint64             `json:"version"`
+	Scheduler string             `json:"scheduler"`
+	Model     string             `json:"model"`
+	Order     string             `json:"order"`
+	LinkLen   float64            `json:"link_len"`
+	NumLinks  int                `json:"num_links"`
+	NumSlots  int                `json:"num_slots"`
+	Path      string             `json:"path"`
+	Repair    *sched.RepairStats `json:"repair,omitempty"`
+	Slots     [][]int            `json:"slots"`
+}
+
+// schedKey identifies one schedule computation up to the network
+// generation. All parameters are normalized (defaults resolved,
+// model-irrelevant knobs zeroed) before the lookup, so requests
+// differing only in an ignored knob share a slot.
+type schedKey struct {
+	name    string
+	kind    sched.Kind
+	model   string
+	order   string
+	linkLen float64
+	beta    float64
+	noise   float64
+	conn    float64
+	interf  float64
+}
+
+// schedResult is one computed schedule plus what produced it. links is
+// kept so a later repair can carry surviving assignments over to the
+// next generation's link set.
+type schedResult struct {
+	version  uint64
+	links    []sched.Link
+	schedule *sched.Schedule
+	path     string // "computed" or "repaired"
+	repair   *sched.RepairStats
+}
+
+// schedEntry is one cached (possibly still building) schedule.
+type schedEntry struct {
+	ready chan struct{}
+	res   *schedResult
+	err   error
+}
+
+type schedKV struct {
+	key schedKey
+	e   *schedEntry
+}
+
+// schedCache is a single-flight LRU cache of schedules. Unlike
+// resolverCache its keys are generation-free: a superseded entry is
+// not dropped but handed to the rebuild as the repair baseline.
+type schedCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[schedKey]*list.Element
+	lru     *list.List // of *schedKV, front = most recently used
+	hits    atomic.Int64
+	builds  atomic.Int64
+	repairs atomic.Int64
+}
+
+func newSchedCache(capacity int) *schedCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &schedCache{
+		cap:     capacity,
+		entries: make(map[schedKey]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// get returns the schedule for key at network generation >= version,
+// building (or repairing a superseded cached result) with build on a
+// miss. build receives the previous generation's result, or nil, and
+// must itself load the network's current snapshot — so a winner's
+// result can only be newer than a waiter asked for, never older, and
+// the loop below terminates because versions are monotone. The bool
+// reports whether the answer came straight from cache.
+func (c *schedCache) get(key schedKey, version uint64, build func(prev *schedResult) (*schedResult, error)) (*schedResult, bool, error) {
+	for {
+		c.mu.Lock()
+		el, ok := c.entries[key]
+		if !ok {
+			e := &schedEntry{ready: make(chan struct{})}
+			c.entries[key] = c.lru.PushFront(&schedKV{key: key, e: e})
+			c.evictLocked()
+			c.mu.Unlock()
+			return c.run(key, e, nil, build)
+		}
+		kv := el.Value.(*schedKV)
+		e := kv.e
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		<-e.ready
+		if e.err == nil && e.res.version >= version {
+			c.hits.Add(1)
+			return e.res, true, nil
+		}
+		// Superseded (or failed): swap in a fresh in-flight entry if no
+		// one else has yet, otherwise loop and wait on the winner's.
+		c.mu.Lock()
+		el2, ok2 := c.entries[key]
+		if ok2 && el2.Value.(*schedKV).e == e {
+			ne := &schedEntry{ready: make(chan struct{})}
+			el2.Value.(*schedKV).e = ne
+			c.mu.Unlock()
+			var prev *schedResult
+			if e.err == nil {
+				prev = e.res
+			}
+			return c.run(key, ne, prev, build)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// run executes build outside the lock and publishes the outcome;
+// failed builds are dropped so a later request retries.
+func (c *schedCache) run(key schedKey, e *schedEntry, prev *schedResult, build func(prev *schedResult) (*schedResult, error)) (*schedResult, bool, error) {
+	c.builds.Add(1)
+	res, err := build(prev)
+	if err == nil && res.path == "repaired" {
+		c.repairs.Add(1)
+	}
+	c.mu.Lock()
+	e.res, e.err = res, err
+	if err != nil {
+		if el, ok := c.entries[key]; ok && el.Value.(*schedKV).e == e {
+			c.lru.Remove(el)
+			delete(c.entries, key)
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return res, false, err
+}
+
+// evictLocked trims least-recently-used entries beyond capacity.
+// Waiters on an evicted in-flight entry still hold its pointer and
+// complete normally; the entry simply stops being findable.
+func (c *schedCache) evictLocked() {
+	for el := c.lru.Back(); el != nil && len(c.entries) > c.cap; {
+		prev := el.Prev()
+		kv := el.Value.(*schedKV)
+		c.lru.Remove(el)
+		delete(c.entries, kv.key)
+		el = prev
+	}
+}
+
+// Hits returns cache hits (current-generation answers served without
+// a build).
+func (c *schedCache) Hits() int64 { return c.hits.Load() }
+
+// Builds returns schedule builds started (fresh computes and repairs).
+func (c *schedCache) Builds() int64 { return c.builds.Load() }
+
+// Repairs returns how many builds took the repair path instead of
+// recomputing.
+func (c *schedCache) Repairs() int64 { return c.repairs.Load() }
+
+// Len returns the number of cached (or building) schedules.
+func (c *schedCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// finiteNonNeg rejects NaN/Inf/negative knobs before they can reach a
+// cache key (a NaN map key never matches on lookup, leaking entries).
+func finiteNonNeg(v float64) bool {
+	return v >= 0 && !math.IsInf(v, 1)
+}
+
+// handleSchedule serves POST /v1/networks/{name}/schedule.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req ScheduleRequest
+	if !decodeBody(w, r, s.opt.MaxBodyBytes, &req) {
+		return
+	}
+	kind, err := sched.ParseKind(req.Scheduler)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	model := req.Model
+	switch model {
+	case "":
+		model = "sinr"
+	case "sinr", "protocol":
+	default:
+		writeError(w, http.StatusBadRequest, "unknown model %q (want sinr or protocol)", model)
+		return
+	}
+	order := req.Order
+	switch order {
+	case "":
+		order = "short"
+	case "short", "long", "id":
+	default:
+		writeError(w, http.StatusBadRequest, "unknown order %q (want short, long or id)", order)
+		return
+	}
+	linkLen := req.LinkLen
+	if linkLen == 0 {
+		linkLen = 1
+	}
+	if !(linkLen > 0) || math.IsInf(linkLen, 1) {
+		writeError(w, http.StatusBadRequest, "link_len must be a positive finite number, got %g", req.LinkLen)
+		return
+	}
+	if !finiteNonNeg(req.Beta) || !finiteNonNeg(req.Noise) ||
+		!finiteNonNeg(req.ConnRadius) || !finiteNonNeg(req.InterfRadius) {
+		writeError(w, http.StatusBadRequest, "beta, noise and radii must be non-negative finite numbers")
+		return
+	}
+	key := schedKey{name: name, kind: kind, model: model, order: order, linkLen: linkLen}
+	switch model {
+	case "sinr":
+		key.beta, key.noise = req.Beta, req.Noise
+	case "protocol":
+		key.conn, key.interf = req.ConnRadius, req.InterfRadius
+		if key.conn == 0 {
+			key.conn = 1.5 * linkLen
+		}
+		if key.interf == 0 {
+			key.interf = 2 * key.conn
+		}
+		if key.interf < key.conn {
+			writeError(w, http.StatusBadRequest,
+				"interf_radius %g below conn_radius %g", key.interf, key.conn)
+			return
+		}
+	}
+
+	entry, ok := s.entryFor(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown network %q", name)
+		return
+	}
+	// Admission gates the build: scheduling is the most expensive
+	// request the server takes, so it shares the network's concurrency
+	// slots with locate traffic.
+	if !s.admit(w, r, routeSchedule, entry) {
+		return
+	}
+	defer entry.release()
+	snap := entry.snap.Load()
+	if n := snap.net.NumStations(); n > s.opt.MaxSchedLinks {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"network has %d stations, scheduling is capped at %d links", n, s.opt.MaxSchedLinks)
+		return
+	}
+
+	t0 := time.Now()
+	res, cached, err := s.schedules.get(key, snap.version, func(prev *schedResult) (*schedResult, error) {
+		// Load the snapshot inside the build so a winner never caches a
+		// generation older than any waiter's.
+		return buildSchedule(key, entry.snap.Load(), prev)
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "cannot schedule: %v", err)
+		return
+	}
+	ki := schedKindIdx(kind)
+	s.m.schedSeconds[ki].Observe(time.Since(t0).Seconds())
+	s.m.schedRequests[ki].Inc()
+	path := res.path
+	if cached {
+		path = "cached"
+	}
+	s.m.schedResults[schedPathIdx(path)].Inc()
+	writeJSON(w, http.StatusOK, ScheduleResponse{
+		Network:   name,
+		Version:   res.version,
+		Scheduler: kind.String(),
+		Model:     model,
+		Order:     order,
+		LinkLen:   linkLen,
+		NumLinks:  len(res.links),
+		NumSlots:  res.schedule.NumSlots(),
+		Path:      path,
+		Repair:    res.repair,
+		Slots:     res.schedule.Slots,
+	})
+}
+
+// buildSchedule computes (or repairs) the schedule for key against
+// snap. prev, when non-nil and older than snap, seeds a repair: its
+// surviving slot assignments are carried over by sender identity and
+// reconciled with sched.Repair, so the work scales with the delta.
+func buildSchedule(key schedKey, snap *snapshot, prev *schedResult) (*schedResult, error) {
+	net := snap.net
+	powers := make([]float64, net.NumStations())
+	for i := range powers {
+		powers[i] = net.Power(i)
+	}
+	links := sched.DeriveLinks(net.Stations(), powers, key.linkLen)
+
+	var f sched.Feasibility
+	switch key.model {
+	case "protocol":
+		p, err := sched.NewProtocolProblem(links, key.conn, key.interf)
+		if err != nil {
+			return nil, err
+		}
+		f = p
+	default:
+		beta, noise := key.beta, key.noise
+		if beta == 0 {
+			beta = net.Beta()
+		}
+		if noise == 0 {
+			noise = net.Noise()
+		}
+		p, err := sched.NewSINRProblem(links, noise, beta)
+		if err != nil {
+			return nil, err
+		}
+		p.Alpha = net.Alpha()
+		f = p
+	}
+
+	var order []int
+	switch key.order {
+	case "short":
+		order = sched.ByLength(links, true)
+	case "long":
+		order = sched.ByLength(links, false)
+	}
+
+	res := &schedResult{version: snap.version, links: links}
+	if prev != nil && prev.version < snap.version {
+		if tentative, ok := carryOver(prev, links); ok {
+			if repaired, stats, err := sched.Repair(f, tentative, 1); err == nil {
+				res.schedule, res.path, res.repair = repaired, "repaired", &stats
+				return res, nil
+			}
+			// A failed repair (e.g. a link infeasible even alone under
+			// new parameters) falls through to a fresh compute.
+		}
+	}
+	schedule, err := sched.BuildSchedule(key.kind, f, order)
+	if err != nil {
+		return nil, err
+	}
+	res.schedule, res.path = schedule, "computed"
+	return res, nil
+}
+
+// carryOver maps a previous generation's slot assignments onto the new
+// link set by sender identity (position and power). Deltas never move
+// stations, so a surviving station keeps its exact derived link; the
+// tentative schedule starts from every surviving assignment, and
+// Repair places only what changed.
+func carryOver(prev *schedResult, links []sched.Link) (*sched.Schedule, bool) {
+	type ident struct{ x, y, p float64 }
+	slotOf := make(map[ident]int, len(prev.links))
+	for si, slot := range prev.schedule.Slots {
+		for _, li := range slot {
+			l := prev.links[li]
+			slotOf[ident{l.Sender.X, l.Sender.Y, l.Power}] = si
+		}
+	}
+	tentative := &sched.Schedule{Slots: make([][]int, prev.schedule.NumSlots())}
+	matched := 0
+	for j, l := range links {
+		if si, ok := slotOf[ident{l.Sender.X, l.Sender.Y, l.Power}]; ok {
+			tentative.Slots[si] = append(tentative.Slots[si], j)
+			matched++
+		}
+	}
+	return tentative, matched > 0
+}

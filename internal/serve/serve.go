@@ -55,6 +55,14 @@ type Options struct {
 	// server.
 	MinEps float64
 
+	// MaxSchedLinks caps the network size accepted by the schedule
+	// endpoint (default 1<<17 links). Schedule builds are the most
+	// expensive request the server takes; beyond the cap they get 413
+	// instead of a slot.
+	MaxSchedLinks int
+	// MaxSchedules caps the schedule cache (default 32 entries).
+	MaxSchedules int
+
 	// MaxConcurrent bounds concurrently executing queries (batch and
 	// stream) per network; 0 disables admission control. Each network
 	// gets its own slots, so one hot network can never starve
@@ -114,11 +122,12 @@ type netEntry struct {
 // http.Handler. Create one with NewServer; it is safe for concurrent
 // use.
 type Server struct {
-	opt   Options
-	mux   *http.ServeMux
-	cache *resolverCache
-	m     *serveMetrics
-	ids   *requestIDs
+	opt       Options
+	mux       *http.ServeMux
+	cache     *resolverCache
+	schedules *schedCache
+	m         *serveMetrics
+	ids       *requestIDs
 
 	mu   sync.RWMutex // guards nets map shape and version bumps
 	nets map[string]*netEntry
@@ -148,6 +157,12 @@ func NewServer(opt Options) *Server {
 	if opt.MinEps <= 0 {
 		opt.MinEps = 0.01
 	}
+	if opt.MaxSchedLinks <= 0 {
+		opt.MaxSchedLinks = 1 << 17
+	}
+	if opt.MaxSchedules <= 0 {
+		opt.MaxSchedules = 32
+	}
 	if opt.MaxConcurrent > 0 && opt.MaxQueue <= 0 {
 		opt.MaxQueue = 128
 	}
@@ -155,14 +170,15 @@ func NewServer(opt Options) *Server {
 		opt.RetryAfter = time.Second
 	}
 	s := &Server{
-		opt:     opt,
-		mux:     http.NewServeMux(),
-		cache:   newResolverCache(opt.MaxLocators),
-		nets:    make(map[string]*netEntry),
-		ids:     newRequestIDs(),
-		drainCh: make(chan struct{}),
+		opt:       opt,
+		mux:       http.NewServeMux(),
+		cache:     newResolverCache(opt.MaxLocators),
+		schedules: newSchedCache(opt.MaxSchedules),
+		nets:      make(map[string]*netEntry),
+		ids:       newRequestIDs(),
+		drainCh:   make(chan struct{}),
 	}
-	s.m = newServeMetrics(s.cache)
+	s.m = newServeMetrics(s.cache, s.schedules)
 	s.ready.Store(true)
 	// Retry-After is whole seconds on the wire; round sub-second
 	// hints up so a shed client never retries inside the same window.
@@ -170,6 +186,7 @@ func NewServer(opt Options) *Server {
 
 	s.mux.HandleFunc("/v1/networks", s.instrument(routeNetworks, s.handleNetworks))
 	s.mux.HandleFunc("PATCH /v1/networks/{name}", s.instrument(routePatch, s.handlePatchNetwork))
+	s.mux.HandleFunc("POST /v1/networks/{name}/schedule", s.instrument(routeSchedule, s.handleSchedule))
 	s.mux.HandleFunc("/v1/locate", s.instrument(routeLocate, s.handleLocate))
 	s.mux.HandleFunc("/v1/locate/stream", s.instrument(routeStream, s.handleLocateStream))
 	s.mux.HandleFunc("/healthz", s.instrument(routeHealth, func(w http.ResponseWriter, r *http.Request) {

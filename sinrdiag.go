@@ -118,6 +118,32 @@
 // engine over HTTP as PATCH /v1/networks/{name}; see the README's
 // "Dynamic networks" section for the delta wire format.
 //
+// # Link scheduling
+//
+// The application the paper's introduction motivates — scheduling
+// transmission links against the physical model — is exposed as a
+// scheduling surface over both reception models:
+//
+//	links := sinrdiag.DeriveLinks(stations, nil, 1)
+//	prob, err := sinrdiag.NewSINRScheduling(links, 0.01, 3)
+//	s, err := sinrdiag.BuildSchedule(sinrdiag.SchedGreedy, prob, sinrdiag.ByLength(links, true))
+//	err = s.Validate(prob) // re-check every slot independently
+//
+// A SchedulingProblem answers slot-feasibility questions; the SINR
+// problem (NewSINRScheduling) and the protocol problem
+// (NewProtocolScheduling) both maintain incremental per-slot state —
+// adding a link to a slot costs O(members) with a spatial fast-reject
+// rather than O(members²) — and both keep a naive scan path
+// (SlotFeasibleScan) as the cross-checking oracle. Three schedulers
+// build on that surface: greedy first-fit (SchedGreedy), the
+// length-class scheduler (SchedLenClass), and greedy plus a
+// local-search improver (SchedRepair); RepairSchedule heals an
+// existing schedule after the link set changes instead of starting
+// over. The sinrserve binary serves the same engines as POST
+// /v1/networks/{name}/schedule with repair-on-churn caching, and
+// experiment E20 (sinrbench -sched-*) tracks the incremental engine's
+// speedup over the scan in BENCH_sched.json.
+//
 // The facade re-exports the library's core types; the full API
 // (geometry kit, polynomial/Sturm machinery, Voronoi diagrams, UDG
 // baselines, rasterization, experiment harness) lives in the internal
@@ -131,6 +157,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/geom"
 	"repro/internal/resolve"
+	"repro/internal/sched"
 )
 
 // Point is a point in the Euclidean plane.
@@ -471,6 +498,112 @@ func NewDynamicResolver(dyn *DynamicNetwork, opts ...ResolverOption) (*DynamicRe
 func NewSnapshotResolver(snap *DynamicSnapshot, opts ...ResolverOption) (*SnapshotResolver, error) {
 	return resolve.NewDynamicSnapshot(snap, opts...)
 }
+
+// Link is one sender-to-receiver transmission request of a scheduling
+// instance (zero Power means the uniform default 1).
+type Link = sched.Link
+
+// Schedule partitions a scheduling instance's links into slots; every
+// slot is feasible under the instance's reception model. Validate
+// re-checks a schedule independently of however it was built.
+type Schedule = sched.Schedule
+
+// SchedulingProblem is the feasibility surface every scheduler builds
+// on: a link count plus the slot-feasibility predicate. Both concrete
+// problems additionally maintain incremental slot state (adding a
+// link costs O(slot members) with a spatial fast-reject, not
+// O(members²)) and keep the naive scan as a cross-checking oracle.
+type SchedulingProblem = sched.Feasibility
+
+// SchedulingSlot is live incremental slot state: CanAdd/Add/Remove
+// maintain per-member interference so trial placements avoid the full
+// quadratic recheck.
+type SchedulingSlot = sched.Slot
+
+// SINRScheduling schedules links under the physical SINR model.
+type SINRScheduling = sched.SINRProblem
+
+// ProtocolScheduling schedules links under the graph-based
+// UDG/protocol model — the baseline the paper argues against.
+type ProtocolScheduling = sched.ProtocolProblem
+
+// SchedulerKind identifies a scheduling algorithm (greedy, lenclass,
+// repair).
+type SchedulerKind = sched.Kind
+
+// The three schedulers.
+const (
+	SchedGreedy   = sched.KindGreedy
+	SchedLenClass = sched.KindLenClass
+	SchedRepair   = sched.KindRepair
+)
+
+// RepairStats reports what RepairSchedule did: links kept in place,
+// displaced, dropped as stale, placed fresh, and improver moves.
+type RepairStats = sched.RepairStats
+
+// DefaultSchedImprovePasses is the improver pass budget used by the
+// repair scheduler.
+const DefaultSchedImprovePasses = sched.DefaultImprovePasses
+
+// NewSINRScheduling builds a SINR scheduling problem over links
+// (alpha defaults to 2; set the Alpha field for other exponents).
+func NewSINRScheduling(links []Link, noise, beta float64) (*SINRScheduling, error) {
+	return sched.NewSINRProblem(links, noise, beta)
+}
+
+// NewProtocolScheduling builds a protocol-model scheduling problem:
+// a link is feasible in a slot iff it is no longer than connRadius
+// and no other sender or receiver is within interfRadius.
+func NewProtocolScheduling(links []Link, connRadius, interfRadius float64) (*ProtocolScheduling, error) {
+	return sched.NewProtocolProblem(links, connRadius, interfRadius)
+}
+
+// BuildSchedule runs the named scheduler: greedy first-fit in the
+// given order, the length-class scheduler (order ignored), or greedy
+// plus the local-search improver. A nil order means identity.
+func BuildSchedule(kind SchedulerKind, f SchedulingProblem, order []int) (*Schedule, error) {
+	return sched.BuildSchedule(kind, f, order)
+}
+
+// ImproveSchedule runs the local-search improver in place: links are
+// moved into earlier slots and emptied slots deleted until a full
+// pass moves nothing or maxPasses is exhausted. It returns the number
+// of moves made.
+func ImproveSchedule(f SchedulingProblem, s *Schedule, maxPasses int) (int, error) {
+	return sched.Improve(f, s, maxPasses)
+}
+
+// RepairSchedule heals a schedule after the link set changed instead
+// of scheduling from scratch: surviving assignments are kept where
+// still feasible, stale links dropped, and displaced plus new links
+// re-placed (then improved for improvePasses > 0). The input schedule
+// is not modified.
+func RepairSchedule(f SchedulingProblem, s *Schedule, improvePasses int) (*Schedule, RepairStats, error) {
+	return sched.Repair(f, s, improvePasses)
+}
+
+// ByLength orders link indices by link length (ascending or
+// descending), ties toward the lower index — shortest-first is the
+// classic greedy order.
+func ByLength(links []Link, ascending bool) []int { return sched.ByLength(links, ascending) }
+
+// DeriveLinks derives one deterministic link per station: receivers
+// are placed pseudo-randomly (a pure function of the station's
+// coordinates) at distance [0.5, 1.5)·scale. It is how the serving
+// layer turns a registered network into a scheduling instance, and
+// how a client re-derives the same instance to validate served
+// schedules; a nil powers slice means uniform power 1.
+func DeriveLinks(stations []Point, powers []float64, scale float64) []Link {
+	return sched.DeriveLinks(stations, powers, scale)
+}
+
+// ParseSchedulerKind maps a wire/flag name ("greedy", "lenclass",
+// "repair"; "" means greedy) to its SchedulerKind.
+func ParseSchedulerKind(s string) (SchedulerKind, error) { return sched.ParseKind(s) }
+
+// SchedulerKinds lists every scheduler, in kind order.
+func SchedulerKinds() []SchedulerKind { return sched.Kinds() }
 
 // Diagram is a measured SINR diagram: per-zone polygonal geometry and
 // the communication graph induced by concurrent transmission.

@@ -181,3 +181,80 @@ func TestFacadeResolverDelegation(t *testing.T) {
 		t.Fatal("DefaultUDGRadius must be positive")
 	}
 }
+
+// TestFacadeScheduling walks the scheduling surface through the
+// facade: derive links from a station set, schedule them under both
+// reception models with every scheduler, validate, then repair after
+// the link set changes.
+func TestFacadeScheduling(t *testing.T) {
+	stations := []Point{
+		{X: 0, Y: 0}, {X: 6, Y: 1}, {X: -4, Y: 5}, {X: 3, Y: -6},
+		{X: -5, Y: -3}, {X: 8, Y: 7}, {X: -8, Y: 2}, {X: 1, Y: 9},
+	}
+	links := DeriveLinks(stations, nil, 1)
+	if len(links) != len(stations) {
+		t.Fatalf("DeriveLinks: %d links for %d stations", len(links), len(stations))
+	}
+
+	sp, err := NewSINRScheduling(links, 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := NewProtocolScheduling(links, 1.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []SchedulingProblem{sp, pp} {
+		for _, kind := range SchedulerKinds() {
+			s, err := BuildSchedule(kind, f, ByLength(links, true))
+			if err != nil {
+				t.Fatalf("%v: %v", kind, err)
+			}
+			if err := s.Validate(f); err != nil {
+				t.Fatalf("%v: %v", kind, err)
+			}
+			if s.NumLinks() != len(links) {
+				t.Fatalf("%v: %d of %d links scheduled", kind, s.NumLinks(), len(links))
+			}
+		}
+	}
+
+	// A slot answers trial placements incrementally.
+	slot := sp.NewSlot()
+	if !slot.Add(0) {
+		t.Fatal("link 0 must fit an empty slot")
+	}
+	if slot.CanAdd(0) {
+		t.Fatal("a slot member cannot be added twice")
+	}
+
+	// Shrink the instance: repair keeps survivors, drops the stale tail.
+	s, err := BuildSchedule(SchedGreedy, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, err := NewSINRScheduling(links[:6], 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healed, stats, err := RepairSchedule(shrunk, s, DefaultSchedImprovePasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := healed.Validate(shrunk); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dropped != 2 || healed.NumLinks() != 6 {
+		t.Fatalf("repair stats %+v, links %d", stats, healed.NumLinks())
+	}
+
+	for _, kind := range SchedulerKinds() {
+		parsed, err := ParseSchedulerKind(kind.String())
+		if err != nil || parsed != kind {
+			t.Fatalf("ParseSchedulerKind(%q) = %v, %v", kind.String(), parsed, err)
+		}
+	}
+	if _, err := ParseSchedulerKind("magic"); err == nil {
+		t.Fatal("unknown scheduler kind must fail")
+	}
+}
