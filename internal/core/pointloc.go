@@ -128,6 +128,8 @@ func (l *Locator) NumUncertainCells() int {
 // Without the index it is the kd-tree plus classification alone.
 // Answers are identical either way, and identical to LocateScan's
 // full scan over every station. The hot path performs no allocations.
+//
+//sinr:hotpath
 func (l *Locator) Locate(p geom.Point) Location {
 	if l.sx != nil {
 		if !l.sx.Covers(p.X, p.Y) {
@@ -172,6 +174,8 @@ func (l *Locator) classify(idx int, p geom.Point) Location {
 // QDS classification. It is the O(n) pre-index baseline kept for
 // benchmarking (experiment E18) and for the property tests that pin
 // Locate's answers to it point-for-point.
+//
+//sinr:hotpath
 func (l *Locator) LocateScan(p geom.Point) Location {
 	if len(l.net.stations) == 0 {
 		return Location{Kind: NoReception}

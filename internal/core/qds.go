@@ -149,6 +149,7 @@ func (n *Network) BuildQDS(k int, eps float64) (*QDS, error) {
 	}
 	// Bucket ring rows by column.
 	rows := make(map[int][]int)
+	//sinr:nondeterministic-ok per-column row lists are sorted below before any interval is derived
 	for c := range ring {
 		rows[c.Col] = append(rows[c.Col], c.Row)
 	}
@@ -204,6 +205,7 @@ func (q *QDS) CoverBox() geom.Box {
 	}
 	first := true
 	var colMin, colMax, rowMin, rowMax int
+	//sinr:nondeterministic-ok commutative min/max reduction; result is order-independent
 	for col, qc := range q.cols {
 		if first {
 			colMin, colMax, rowMin, rowMax = col, col, qc.minRow, qc.maxRow
@@ -245,6 +247,8 @@ func (q *QDS) UncertainArea() float64 {
 
 // Classify returns the classification of the cell containing p, in
 // O(1) map lookup plus O(log) within-column search.
+//
+//sinr:hotpath
 func (q *QDS) Classify(p geom.Point) CellType {
 	if q.pointZone {
 		if geom.ApproxEqual(p, q.net.stations[q.station], geom.Eps) {
@@ -284,7 +288,15 @@ func (q *QDS) VerifyColumns() (int, error) {
 	}
 	bad := 0
 	extent := q.bounds.DeltaUpper * 2
-	for col, qc := range q.cols {
+	// Iterate columns in sorted order so the early error return below
+	// surfaces the same column on every run.
+	cols := make([]int, 0, len(q.cols))
+	for col := range q.cols {
+		cols = append(cols, col)
+	}
+	sort.Ints(cols)
+	for _, col := range cols {
+		qc := q.cols[col]
 		x := q.grid.ColumnX(col) + q.grid.Gamma/2
 		line := geom.Line{P: geom.Pt(x, q.grid.Anchor.Y), D: geom.Pt(0, 1)}
 		roots, err := q.net.LineBoundaryCrossings(q.station, line, q.grid.Gamma/1024)
@@ -304,6 +316,7 @@ func (q *QDS) VerifyColumns() (int, error) {
 	return bad, nil
 }
 
+//sinr:hotpath
 func (c *qdsColumn) covers(row int) bool {
 	iv := c.intervals
 	i := sort.Search(len(iv), func(j int) bool { return iv[j].Hi >= row })

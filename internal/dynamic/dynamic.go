@@ -189,6 +189,8 @@ func (s *Snapshot) GridEnabled() bool { return s.grid != nil }
 // Answers are identical to a from-scratch Network.HeardBy — and, for
 // locator-eligible networks, to a from-scratch Theorem 3 locator's
 // LocateExact. The hot path performs no allocations.
+//
+//sinr:hotpath
 func (s *Snapshot) Locate(p geom.Point) core.Location {
 	if s.grid != nil && !s.grid.Covers(p.X, p.Y) {
 		return core.Location{Kind: core.NoReception}
@@ -226,6 +228,8 @@ func (s *Snapshot) HeardBy(p geom.Point) (int, bool) {
 // stations admitted since the last rebuild). The combined order is
 // exactly the order a from-scratch kd-tree over the current stations
 // would use, so tie-breaks agree point-for-point.
+//
+//sinr:hotpath
 func (s *Snapshot) nearest(p geom.Point) (int, bool) {
 	best := -1
 	bestD2 := math.Inf(1)

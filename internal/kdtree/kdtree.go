@@ -69,6 +69,8 @@ func (t *Tree) Len() int { return len(t.nodes) }
 // Exact distance ties are broken toward the lowest original index, so
 // the answer agrees with a linear scan in input order (and hence with
 // Network.HeardBy's lowest-index convention on equidistant points).
+//
+//sinr:hotpath
 func (t *Tree) Nearest(q geom.Point) (idx int, dist float64, ok bool) {
 	if t == nil || t.root < 0 {
 		return 0, 0, false
@@ -79,6 +81,7 @@ func (t *Tree) Nearest(q geom.Point) (idx int, dist float64, ok bool) {
 	return best, math.Sqrt(bestD2), true
 }
 
+//sinr:hotpath
 func (t *Tree) search(ni int, q geom.Point, best *int, bestD2 *float64) {
 	n := &t.nodes[ni]
 	if d2 := geom.Dist2(n.p, q); d2 < *bestD2 || (d2 == *bestD2 && n.idx < *best) {
@@ -118,6 +121,8 @@ func (t *Tree) search(ni int, q geom.Point, best *int, bestD2 *float64) {
 // so — as long as remap preserves the base order, which index
 // compaction does — the answer agrees with Nearest on a tree built
 // from scratch over the mapped points.
+//
+//sinr:hotpath
 func (t *Tree) NearestMapped(q geom.Point, remap func(int) (int, bool)) (mapped int, d2 float64, ok bool) {
 	if t == nil || t.root < 0 {
 		return 0, 0, false
@@ -131,6 +136,7 @@ func (t *Tree) NearestMapped(q geom.Point, remap func(int) (int, bool)) (mapped 
 	return best, bestD2, true
 }
 
+//sinr:hotpath
 func (t *Tree) searchMapped(ni int, q geom.Point, remap func(int) (int, bool), best *int, bestD2 *float64) {
 	n := &t.nodes[ni]
 	if m, ok := remap(n.idx); ok {

@@ -29,9 +29,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//sinr:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//sinr:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -52,9 +56,13 @@ func (g *Gauge) Set(v int64) { g.v.Store(v) }
 func (g *Gauge) Add(d int64) int64 { return g.v.Add(d) }
 
 // Inc adds one.
+//
+//sinr:hotpath
 func (g *Gauge) Inc() { g.v.Add(1) }
 
 // Dec subtracts one.
+//
+//sinr:hotpath
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
 // Value returns the current value.
@@ -88,6 +96,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one sample.
+//
+//sinr:hotpath
 func (h *Histogram) Observe(v float64) {
 	idx := len(h.bounds)
 	for i, b := range h.bounds {

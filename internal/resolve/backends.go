@@ -61,7 +61,7 @@ func NewLocator(net *core.Network, opts ...Option) (*LocatorResolver, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //sinr:nondeterministic-ok BuildCost wall-clock telemetry; never feeds resolver answers
 	loc, err := net.BuildLocatorOpts(c.eps, core.BuildOptions{
 		Workers:        c.workers,
 		NoSpatialIndex: !c.spatialIndex,
@@ -69,7 +69,7 @@ func NewLocator(net *core.Network, opts ...Option) (*LocatorResolver, error) {
 	if err != nil {
 		return nil, err
 	}
-	return wrapLocator(loc, c, time.Since(start)), nil
+	return wrapLocator(loc, c, time.Since(start)), nil //sinr:nondeterministic-ok BuildCost wall-clock telemetry; never feeds resolver answers
 }
 
 func wrapLocator(loc *core.Locator, c config, buildCost time.Duration) *LocatorResolver {
@@ -120,7 +120,7 @@ func NewVoronoi(net *core.Network, opts ...Option) (*VoronoiResolver, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //sinr:nondeterministic-ok BuildCost wall-clock telemetry; never feeds resolver answers
 	tree := kdtree.New(net.Stations())
 	r := &VoronoiResolver{net: net, tree: tree}
 	r.engine = engine{
@@ -130,7 +130,7 @@ func NewVoronoi(net *core.Network, opts ...Option) (*VoronoiResolver, error) {
 			Kind:      KindVoronoi,
 			Stations:  net.NumStations(),
 			Workers:   c.workers,
-			BuildCost: time.Since(start),
+			BuildCost: time.Since(start), //sinr:nondeterministic-ok BuildCost wall-clock telemetry; never feeds resolver answers
 		},
 	}
 	return r, nil
@@ -168,7 +168,7 @@ func NewUDG(net *core.Network, opts ...Option) (*UDGResolver, error) {
 	if interf == 0 {
 		interf = conn
 	}
-	start := time.Now()
+	start := time.Now() //sinr:nondeterministic-ok BuildCost wall-clock telemetry; never feeds resolver answers
 	m, err := udg.New(net.Stations(), conn, interf)
 	if err != nil {
 		return nil, err
@@ -188,7 +188,7 @@ func NewUDG(net *core.Network, opts ...Option) (*UDGResolver, error) {
 			Workers:      c.workers,
 			ConnRadius:   conn,
 			InterfRadius: interf,
-			BuildCost:    time.Since(start),
+			BuildCost:    time.Since(start), //sinr:nondeterministic-ok BuildCost wall-clock telemetry; never feeds resolver answers
 		},
 	}
 	return r, nil

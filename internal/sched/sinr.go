@@ -152,11 +152,14 @@ type sinrSlot struct {
 }
 
 // CanAdd implements Slot.
+//
+//sinr:hotpath
 func (s *sinrSlot) CanAdd(link int) bool { return s.place(link, false) }
 
 // Add implements Slot.
 func (s *sinrSlot) Add(link int) bool { return s.place(link, true) }
 
+//sinr:hotpath
 func (s *sinrSlot) place(j int, commit bool) bool {
 	st := s.st
 	if j < 0 || j >= len(st.signal) || s.inSlot[j] {
@@ -197,7 +200,7 @@ func (s *sinrSlot) place(j int, commit bool) bool {
 	// Exact pass two: each member's receiver absorbs j's term on top
 	// of its maintained cumulative interference.
 	if cap(s.scratch) < len(s.active) {
-		s.scratch = make([]float64, len(s.active))
+		s.scratch = make([]float64, len(s.active)) //sinr:alloc-ok amortized scratch grow; steady state reuses the buffer
 	}
 	scratch := s.scratch[:len(s.active)]
 	sj, pj := st.sendPos[j], st.power[j]

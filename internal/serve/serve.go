@@ -639,12 +639,22 @@ func locateStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// Wire kind strings, hoisted so resultFor stays allocation-free: the
+// compiler treats a method call on a constant as escaping at the call
+// site, and resultFor runs once per point in every batch.
+var (
+	kindReception   = core.Reception.String()
+	kindNoReception = core.NoReception.String()
+)
+
 // resultFor converts an exact Location to the wire shape.
+//
+//sinr:hotpath
 func resultFor(loc core.Location) LocateResult {
 	if loc.Kind == core.Reception {
-		return LocateResult{Kind: core.Reception.String(), Station: loc.Station}
+		return LocateResult{Kind: kindReception, Station: loc.Station}
 	}
-	return LocateResult{Kind: core.NoReception.String(), Station: NoStationHeard}
+	return LocateResult{Kind: kindNoReception, Station: NoStationHeard}
 }
 
 // locateScratch is the pooled per-request scratch of the batch locate

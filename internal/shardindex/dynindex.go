@@ -206,6 +206,8 @@ func (d *DynIndex) Update(boxes []Box, removed, added []int32) (nd *DynIndex, ce
 // point. The returned slice is a view into the index (do not modify);
 // it is nil for points outside the grid extent, where no indexed box
 // can contain the point.
+//
+//sinr:hotpath
 func (d *DynIndex) Candidates(x, y float64) []int32 {
 	fx := (x - d.originX) / d.cell
 	fy := (y - d.originY) / d.cell
@@ -219,6 +221,8 @@ func (d *DynIndex) Candidates(x, y float64) []int32 {
 // lookup plus exact tests over that cell's candidates, allocation-free.
 // A false answer certifies that no box — hence no reception zone the
 // boxes cover — contains the point.
+//
+//sinr:hotpath
 func (d *DynIndex) Covers(x, y float64) bool {
 	for _, id := range d.Candidates(x, y) {
 		if d.boxes[id].Contains(x, y) {

@@ -196,6 +196,8 @@ func (ix *Index) clampRow(r int) int {
 // containing (x, y) — a superset of the boxes containing the point;
 // callers filter with Contains. The returned slice is a view into the
 // index (do not modify); it is empty for points outside the grid.
+//
+//sinr:hotpath
 func (ix *Index) Candidates(x, y float64) []int32 {
 	if len(ix.cellStart) == 0 {
 		return nil
@@ -219,6 +221,8 @@ func (ix *Index) Contains(id int32, x, y float64) bool {
 // one cell lookup plus exact tests over that cell's candidate list.
 // A false answer certifies that no box — hence no reception zone the
 // boxes cover — contains the point.
+//
+//sinr:hotpath
 func (ix *Index) Covers(x, y float64) bool {
 	for _, id := range ix.Candidates(x, y) {
 		if ix.boxes[id].Contains(x, y) {

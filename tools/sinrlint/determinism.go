@@ -1,0 +1,456 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// nondetTimeFuncs are the wall-clock reads and timer constructors that
+// make output depend on when the code ran. time.Duration arithmetic
+// and type conversions stay legal.
+var nondetTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true, "Sleep": true,
+}
+
+// seededRandFuncs are the math/rand package-level constructors that
+// produce an explicitly seeded generator; every other package-level
+// call draws from the global source and is nondeterministic (or, for
+// v1 Seed, mutates global state).
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// checkDeterminism lints the deterministic packages: map iteration
+// that can leak ordering into results, wall-clock reads, and global
+// math/rand draws.
+func checkDeterminism(m *module, detPkgs []string) []diag {
+	var diags []diag
+	for _, rel := range detPkgs {
+		p := m.byRel(rel)
+		if p == nil || p.typesInfo == nil {
+			continue
+		}
+		for _, f := range p.files {
+			diags = append(diags, lintFileDeterminism(m, p, f)...)
+		}
+	}
+	return diags
+}
+
+func lintFileDeterminism(m *module, p *pkg, f *ast.File) []diag {
+	var diags []diag
+	flag := func(n ast.Node, format string, args ...any) {
+		pos := m.fset.Position(n.Pos())
+		if m.suppressed(dirNondetOK, pos.Filename, pos.Line) {
+			return
+		}
+		diags = append(diags, diag{
+			file: m.rel(pos.Filename), line: pos.Line, col: pos.Column, pass: "determinism",
+			msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.RangeStmt:
+			t := p.typesInfo.Types[node.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if why := mapRangeOrderDependent(p, f, node); why != "" {
+				flag(node, "map iteration order can reach the result: %s (sort the keys first, restructure, or //sinr:nondeterministic-ok <reason>)", why)
+			}
+		case *ast.CallExpr:
+			sel, ok := node.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.typesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch path := pn.Imported().Path(); {
+			case path == "time" && nondetTimeFuncs[sel.Sel.Name]:
+				flag(node, "time.%s in a deterministic package (inject the clock or //sinr:nondeterministic-ok <reason>)", sel.Sel.Name)
+			case strings.HasPrefix(path, "math/rand") && !seededRandFuncs[sel.Sel.Name]:
+				flag(node, "global %s.%s draws from the shared unseeded source (thread a *rand.Rand or //sinr:nondeterministic-ok <reason>)", path, sel.Sel.Name)
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// mapRangeOrderDependent reports why a map-range loop can leak
+// iteration order into its results, or "" when every effect of the
+// body is provably order-insensitive:
+//
+//   - writes confined to variables declared inside the body (or the
+//     loop variables themselves) are per-iteration scratch;
+//   - distinct-key map stores m[k] = v commute across iterations;
+//   - integer accumulation (x++, x += n) commutes exactly — float
+//     accumulation does not and stays flagged;
+//   - append to an outer slice is admitted only when the function
+//     sorts that slice after the loop (the collect-then-sort idiom);
+//   - early exits (return, break, goto), channel operations, and
+//     append-accumulation into a map (m[k] = append(m[k], ...)) all
+//     observe encounter order and stay flagged.
+//
+// Calls are assumed not to mutate reachable state through their
+// arguments; the suppression directive covers the exceptions.
+func mapRangeOrderDependent(p *pkg, f *ast.File, rs *ast.RangeStmt) string {
+	if rs.Tok == token.ASSIGN {
+		return "the loop assigns its range variables to outer state, leaving an order-chosen element behind"
+	}
+	a := &orderAnalysis{p: p, rs: rs}
+	a.stmts(rs.Body.List)
+	if a.bad != "" {
+		return a.bad
+	}
+	// Every appended-to outer slice must be sorted later in the same
+	// function, after the loop.
+	for _, target := range a.appendTargets {
+		if !sortedAfter(p, f, rs, target) {
+			return fmt.Sprintf("appends to %q, which is never sorted after the loop", target.Name)
+		}
+	}
+	return ""
+}
+
+type orderAnalysis struct {
+	p             *pkg
+	rs            *ast.RangeStmt
+	bad           string
+	appendTargets []*ast.Ident
+	// breakDepth counts enclosing for/switch constructs inside the map
+	// range: a break at depth > 0 binds to the inner construct and is
+	// ordinary control flow, not an order-chosen early exit.
+	breakDepth int
+}
+
+func (a *orderAnalysis) fail(format string, args ...any) {
+	if a.bad == "" {
+		a.bad = fmt.Sprintf(format, args...)
+	}
+}
+
+func (a *orderAnalysis) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		a.stmt(s)
+	}
+}
+
+func (a *orderAnalysis) stmt(s ast.Stmt) {
+	if a.bad != "" {
+		return
+	}
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		if st.Tok == token.DEFINE {
+			return // declares body-locals
+		}
+		for i, lhs := range st.Lhs {
+			a.assign(lhs, st, i)
+		}
+	case *ast.IncDecStmt:
+		if !a.localRoot(st.X) && !a.intExpr(st.X) {
+			a.fail("%s on a non-integer outer variable is order-sensitive", st.Tok)
+		}
+	case *ast.ExprStmt:
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			a.fail("statement observes iteration order")
+			return
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && isBuiltin(a.p, id, "delete") {
+			return // builtin delete commutes for distinct keys
+		}
+		// Other calls: assumed read-only with respect to outer state.
+	case *ast.IfStmt:
+		if st.Init != nil {
+			a.stmt(st.Init)
+		}
+		a.stmts(st.Body.List)
+		if st.Else != nil {
+			a.stmt(st.Else)
+		}
+	case *ast.BlockStmt:
+		a.stmts(st.List)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			a.stmt(st.Init)
+		}
+		if st.Post != nil {
+			a.stmt(st.Post)
+		}
+		a.breakDepth++
+		a.stmts(st.Body.List)
+		a.breakDepth--
+	case *ast.RangeStmt:
+		a.breakDepth++
+		a.stmts(st.Body.List)
+		a.breakDepth--
+	case *ast.SwitchStmt:
+		a.breakDepth++
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				a.stmts(cc.Body)
+			}
+		}
+		a.breakDepth--
+	case *ast.TypeSwitchStmt:
+		a.breakDepth++
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				a.stmts(cc.Body)
+			}
+		}
+		a.breakDepth--
+	case *ast.BranchStmt:
+		switch {
+		case st.Label != nil:
+			// A labeled branch can target the map range itself;
+			// resolving labels is not worth the complexity here.
+			a.fail("labeled %s may exit the loop at an iteration-order-chosen element", st.Tok)
+		case st.Tok == token.CONTINUE:
+			// skips an iteration; commutes
+		case st.Tok == token.BREAK && a.breakDepth > 0:
+			// binds to a nested for/switch, not the map range
+		case st.Tok == token.BREAK:
+			a.fail("break exits the loop at an iteration-order-chosen element")
+		default:
+			a.fail("%s observes iteration order", st.Tok)
+		}
+	case *ast.ReturnStmt:
+		a.fail("return exits the loop at an iteration-order-chosen element")
+	case *ast.DeclStmt:
+		// var/const declarations introduce body-locals
+	case *ast.EmptyStmt:
+	default:
+		a.fail("statement observes iteration order")
+	}
+}
+
+// assign classifies one LHS of a non-define assignment.
+func (a *orderAnalysis) assign(lhs ast.Expr, st *ast.AssignStmt, i int) {
+	if a.bad != "" {
+		return
+	}
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	// m[k] = v: distinct-key stores commute; m[k] = append(m[k], ...)
+	// accumulates in encounter order.
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		if t := a.p.typesInfo.Types[ix.X].Type; t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				if i < len(st.Rhs) && appendsToSelf(st.Rhs[i], lhs) {
+					a.fail("m[k] = append(m[k], ...) accumulates in iteration order")
+				}
+				return
+			}
+		}
+	}
+	if a.localRoot(lhs) {
+		return
+	}
+	// Writes to outer state: only exact (integer) accumulation
+	// commutes.
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		if a.intExpr(lhs) {
+			return
+		}
+		a.fail("%s on outer non-integer %q does not commute across orders", st.Tok, exprText(lhs))
+	case token.ASSIGN:
+		if i < len(st.Rhs) {
+			if call, ok := st.Rhs[i].(*ast.CallExpr); ok {
+				if fn, ok := call.Fun.(*ast.Ident); ok && isBuiltin(a.p, fn, "append") && appendsToSelf(st.Rhs[i], lhs) {
+					if id := rootIdent(lhs); id != nil {
+						a.appendTargets = append(a.appendTargets, id)
+						return
+					}
+				}
+			}
+		}
+		a.fail("assignment to outer %q is iteration-order dependent", exprText(lhs))
+	default:
+		a.fail("%s on outer %q is iteration-order dependent", st.Tok, exprText(lhs))
+	}
+}
+
+// appendsToSelf reports whether rhs is append(lhs, ...).
+func appendsToSelf(rhs, lhs ast.Expr) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	return exprText(call.Args[0]) == exprText(lhs)
+}
+
+// localRoot reports whether the expression's base identifier is
+// declared inside the loop body or is one of the loop variables.
+func (a *orderAnalysis) localRoot(e ast.Expr) bool {
+	id := rootIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := a.p.typesInfo.Uses[id]
+	if obj == nil {
+		obj = a.p.typesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	pos := obj.Pos()
+	if a.rs.Body.Pos() <= pos && pos < a.rs.Body.End() {
+		return true
+	}
+	// The loop key/value variables are per-iteration.
+	for _, v := range []ast.Expr{a.rs.Key, a.rs.Value} {
+		if v == nil {
+			continue
+		}
+		if kid, ok := v.(*ast.Ident); ok && kid.Pos() == pos {
+			return true
+		}
+	}
+	return false
+}
+
+// intExpr reports whether the expression has (possibly named) integer
+// type — the accumulations that commute exactly.
+func (a *orderAnalysis) intExpr(e ast.Expr) bool {
+	t := a.p.typesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// rootIdent unwraps selectors, indexes, stars and parens to the base
+// identifier, or nil if the base is not an identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether ident target is passed to a sort call
+// after the loop ends, anywhere later in the enclosing function.
+func sortedAfter(p *pkg, f *ast.File, rs *ast.RangeStmt, target *ast.Ident) bool {
+	obj := p.typesInfo.Uses[target]
+	if obj == nil {
+		obj = p.typesInfo.Defs[target]
+	}
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !isSortCall(p, call) {
+			return true
+		}
+		ast.Inspect(call, func(arg ast.Node) bool {
+			if id, ok := arg.(*ast.Ident); ok && p.typesInfo.Uses[id] == obj {
+				found = true
+				return false
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}
+
+// isSortCall recognizes the stdlib sorting entry points: sort.* and
+// slices.Sort*.
+func isSortCall(p *pkg, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.typesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pn.Imported().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(sel.Sel.Name, "Sort")
+	}
+	return false
+}
+
+// isBuiltin reports whether the identifier resolves to the named
+// predeclared builtin (go/types records builtins in Uses as
+// *types.Builtin, so a nil check alone misses them).
+func isBuiltin(p *pkg, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	obj := p.typesInfo.Uses[id]
+	if obj == nil {
+		return true // no type info recorded; unshadowed builtin
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// exprText renders a simple expression for messages and equality.
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprText(x.X) + "[" + exprText(x.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprText(x.X)
+	case *ast.ParenExpr:
+		return "(" + exprText(x.X) + ")"
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.CallExpr:
+		return exprText(x.Fun) + "(...)"
+	}
+	return "?"
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Directive kinds. hotpath marks a function for the escape-gate; the
+// other three acknowledge one specific violation each, with a
+// mandatory reason that the report inventories.
+const (
+	dirHotpath  = "hotpath"
+	dirAllocOK  = "alloc-ok"
+	dirNondetOK = "nondeterministic-ok"
+	dirServeOK  = "serve-ok"
+)
+
+// directive is one parsed //sinr: comment.
+type directive struct {
+	kind   string
+	reason string
+	file   string // absolute path
+	line   int    // line the directive appears on
+	target int    // line the directive suppresses (self for trailing, next for standalone)
+	used   bool
+}
+
+// collectDirectives parses every //sinr: comment in the module. A
+// trailing directive suppresses findings on its own line; a
+// standalone directive suppresses findings on the line below it, so a
+// suppression always sits visibly against the code it waives.
+func (m *module) collectDirectives() error {
+	for _, p := range m.pkgs {
+		for _, f := range p.files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//sinr:")
+					if !ok {
+						continue
+					}
+					pos := m.fset.Position(c.Pos())
+					kind, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+					reason = strings.TrimSpace(reason)
+					switch kind {
+					case dirHotpath:
+						if reason != "" {
+							return fmt.Errorf("%s:%d: //sinr:hotpath takes no argument", m.rel(pos.Filename), pos.Line)
+						}
+					case dirAllocOK, dirNondetOK, dirServeOK:
+						if reason == "" {
+							return fmt.Errorf("%s:%d: //sinr:%s requires a reason", m.rel(pos.Filename), pos.Line, kind)
+						}
+					default:
+						return fmt.Errorf("%s:%d: unknown directive //sinr:%s", m.rel(pos.Filename), pos.Line, kind)
+					}
+					d := &directive{
+						kind:   kind,
+						reason: reason,
+						file:   pos.Filename,
+						line:   pos.Line,
+						target: pos.Line,
+					}
+					if m.standalone(pos.Filename, pos.Line, pos.Column) {
+						d.target = pos.Line + 1
+					}
+					m.directives = append(m.directives, d)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// standalone reports whether only whitespace precedes column col on
+// the given line — i.e. the comment owns the line rather than
+// trailing code.
+func (m *module) standalone(file string, line, col int) bool {
+	src := m.src[file]
+	// Walk back from the start of the comment to the line start.
+	idx := 0
+	for l := 1; l < line; l++ {
+		nl := indexByte(src[idx:], '\n')
+		if nl < 0 {
+			return true
+		}
+		idx += nl + 1
+	}
+	for _, b := range src[idx : idx+col-1] {
+		if b != ' ' && b != '\t' {
+			return false
+		}
+	}
+	return true
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, v := range b {
+		if v == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// suppressed consumes a directive of the given kind covering
+// (file, line) if one exists, marking it used.
+func (m *module) suppressed(kind, file string, line int) bool {
+	for _, d := range m.directives {
+		if d.kind == kind && d.file == file && d.target == line {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// hotFunc is one //sinr:hotpath-annotated function.
+type hotFunc struct {
+	id        string // e.g. internal/core.(*Locator).Locate
+	pkg       *pkg
+	file      string // absolute path
+	startLine int
+	endLine   int
+	decl      *ast.FuncDecl
+}
+
+// collectHotpath finds every function whose doc comment carries
+// //sinr:hotpath, keyed by its qualified id.
+func collectHotpath(m *module) map[string]*hotFunc {
+	out := map[string]*hotFunc{}
+	for _, p := range m.pkgs {
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				marked := false
+				for _, c := range fd.Doc.List {
+					if strings.TrimSpace(c.Text) == "//sinr:hotpath" {
+						marked = true
+						break
+					}
+				}
+				if !marked {
+					continue
+				}
+				start := m.fset.Position(fd.Pos())
+				end := m.fset.Position(fd.End())
+				out[funcID(p, fd)] = &hotFunc{
+					id:        funcID(p, fd),
+					pkg:       p,
+					file:      start.Filename,
+					startLine: start.Line,
+					endLine:   end.Line,
+					decl:      fd,
+				}
+			}
+		}
+	}
+	return out
+}
+
+// funcID renders the qualified name used in api/hotlist.txt:
+// relpath.Func, relpath.Recv.Method, or relpath.(*Recv).Method.
+func funcID(p *pkg, fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		name = recvString(fd.Recv.List[0].Type) + "." + name
+	}
+	return p.relPath + "." + name
+}
+
+// recvString renders a receiver type, dropping type parameters:
+// *Tree -> (*Tree), Ball -> Ball.
+func recvString(t ast.Expr) string {
+	switch e := t.(type) {
+	case *ast.StarExpr:
+		return "(*" + recvString(e.X) + ")"
+	case *ast.IndexExpr: // generic receiver T[P]
+		return recvString(e.X)
+	case *ast.IndexListExpr: // generic receiver T[P1, P2]
+		return recvString(e.X)
+	case *ast.Ident:
+		return e.Name
+	}
+	return "?"
+}

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// checkHotlist cross-checks the //sinr:hotpath annotation set against
+// the bench-gate hot list: every function the 0-alloc benchmarks
+// drive must be annotated, and every annotation must be owned by a
+// benchmark, so neither tool can drift from the other.
+func checkHotlist(m *module, hot map[string]*hotFunc, path string) ([]diag, error) {
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(m.dir, path)
+	}
+	entries, err := parseHotlist(path)
+	if err != nil {
+		return nil, err
+	}
+	listed := map[string]string{} // func id -> first benchmark claiming it
+	for _, e := range entries {
+		if _, ok := listed[e.fn]; !ok {
+			listed[e.fn] = e.bench
+		}
+	}
+	var diags []diag
+	rel := m.rel(path)
+	for fn, bench := range listed {
+		if _, ok := hot[fn]; !ok {
+			diags = append(diags, diag{
+				file: rel, line: hotlistLine(entries, fn), col: 1, pass: "hotlist",
+				msg: fmt.Sprintf("%s is on the %s 0-alloc hot list but carries no //sinr:hotpath annotation (or does not exist)", fn, bench),
+			})
+		}
+	}
+	for id, hf := range hot {
+		if _, ok := listed[id]; !ok {
+			diags = append(diags, diag{
+				file: m.rel(hf.file), line: hf.startLine, col: 1, pass: "hotlist",
+				msg: fmt.Sprintf("//sinr:hotpath function %s is not owned by any benchmark in %s", id, rel),
+			})
+		}
+	}
+	return diags, nil
+}
+
+// hotlistEntry is one "benchmark function" line of api/hotlist.txt.
+type hotlistEntry struct {
+	bench string
+	fn    string
+	line  int
+}
+
+func parseHotlist(path string) ([]hotlistEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading hotlist: %w", err)
+	}
+	var out []hotlistEntry
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"Benchmark function\", got %q", path, i+1, line)
+		}
+		out = append(out, hotlistEntry{bench: fields[0], fn: fields[1], line: i + 1})
+	}
+	return out, nil
+}
+
+func hotlistLine(entries []hotlistEntry, fn string) int {
+	for _, e := range entries {
+		if e.fn == fn {
+			return e.line
+		}
+	}
+	return 1
+}
+
+// checkHotpathStatic flags fmt calls inside annotated functions: a
+// fmt call boxes its arguments, so it cannot appear on a hot path
+// even before the compiler confirms the escape.
+func checkHotpathStatic(m *module, hot map[string]*hotFunc) []diag {
+	var diags []diag
+	for _, hf := range hot {
+		fmtName := importName(fileOf(m, hf), "fmt")
+		if fmtName == "" {
+			continue
+		}
+		ast.Inspect(hf.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == fmtName && id.Obj == nil {
+				pos := m.fset.Position(call.Pos())
+				if !m.suppressed(dirAllocOK, pos.Filename, pos.Line) {
+					diags = append(diags, diag{
+						file: m.rel(pos.Filename), line: pos.Line, col: pos.Column, pass: "escape",
+						msg: fmt.Sprintf("fmt.%s in //sinr:hotpath function %s boxes its arguments (//sinr:alloc-ok <reason> to waive a cold branch)", sel.Sel.Name, hf.id),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// fileOf returns the *ast.File containing the hot function.
+func fileOf(m *module, hf *hotFunc) *ast.File {
+	for _, f := range hf.pkg.files {
+		if f.Pos() <= hf.decl.Pos() && hf.decl.Pos() < f.End() {
+			return f
+		}
+	}
+	return nil
+}
+
+// importName returns the name the file refers to importPath by, or ""
+// if the file does not import it.
+func importName(f *ast.File, importPath string) string {
+	if f == nil {
+		return ""
+	}
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != importPath {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			p = p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// escapeLine matches one compiler diagnostic: path:line:col: message.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// checkEscapes compiles every package containing a //sinr:hotpath
+// function with -gcflags=-m=1 and fails on any heap escape the
+// compiler reports inside an annotated function's body. The compiler
+// replays cached diagnostics, so warm runs are cheap.
+func checkEscapes(m *module, hot map[string]*hotFunc) ([]diag, error) {
+	if len(hot) == 0 {
+		return nil, nil
+	}
+	pkgSet := map[string]bool{}
+	for _, hf := range hot {
+		pkgSet[hf.pkg.importPath] = true
+	}
+	pkgs := make([]string, 0, len(pkgSet))
+	for p := range pkgSet {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m=1"}, pkgs...)...)
+	cmd.Dir = m.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m=1 failed: %v\n%s", err, stderr.String())
+	}
+
+	// Index annotated ranges by file for the diagnostic sweep.
+	byFile := map[string][]*hotFunc{}
+	for _, hf := range hot {
+		byFile[hf.file] = append(byFile[hf.file], hf)
+	}
+
+	var diags []diag
+	seen := map[string]bool{} // the compiler repeats lines for generic instantiations
+	sc := bufio.NewScanner(&stderr)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if seen[sc.Text()] {
+			continue
+		}
+		seen[sc.Text()] = true
+		match := escapeLine.FindStringSubmatch(sc.Text())
+		if match == nil {
+			continue
+		}
+		msg := match[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := match[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(m.dir, file)
+		}
+		file = filepath.Clean(file)
+		line, _ := strconv.Atoi(match[2])
+		col, _ := strconv.Atoi(match[3])
+		for _, hf := range byFile[file] {
+			if line < hf.startLine || line > hf.endLine {
+				continue
+			}
+			if !m.suppressed(dirAllocOK, file, line) {
+				diags = append(diags, diag{
+					file: m.rel(file), line: line, col: col, pass: "escape",
+					msg: fmt.Sprintf("%s in //sinr:hotpath function %s (//sinr:alloc-ok <reason> to waive an amortized or cold-path allocation)", msg, hf.id),
+				})
+			}
+			break
+		}
+	}
+	return diags, sc.Err()
+}

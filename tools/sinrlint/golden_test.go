@@ -1,0 +1,145 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGolden runs the full linter over the seeded testdata module and
+// compares every diagnostic and the suppression inventory against the
+// golden file. Each analyzer has violations seeded in its package
+// (det, srv, hot), so a pass that silently stops firing shows up as a
+// golden diff, not a quiet green run.
+func TestGolden(t *testing.T) {
+	cfg := config{
+		dir:       filepath.Join("testdata", "lintmod"),
+		patterns:  []string{"./..."},
+		hotlist:   "hotlist.txt",
+		escape:    true,
+		detPkgs:   []string{"det"},
+		servePkgs: []string{"srv"},
+	}
+	diags, report, err := run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteString("\n")
+	}
+	sb.WriteString(report)
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "lintmod.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestGoldenCoversEveryPass guards the golden file itself: if the
+// seeded module stops producing findings for one of the passes, the
+// golden test would still pass against a regenerated file, so pin the
+// pass names we expect to see.
+func TestGoldenCoversEveryPass(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "lintmod.golden"))
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	for _, pass := range []string{"[escape]", "[determinism]", "[serve]", "[hotlist]", "[directive]"} {
+		if !strings.Contains(string(data), pass) {
+			t.Errorf("golden file has no %s finding; the pass is untested", pass)
+		}
+	}
+	for _, dir := range []string{"sinr:alloc-ok", "sinr:nondeterministic-ok", "sinr:serve-ok"} {
+		if !strings.Contains(string(data), dir) {
+			t.Errorf("golden file inventories no %s suppression", dir)
+		}
+	}
+}
+
+// TestMainModuleClean runs the linter over this repository itself:
+// the tree must stay violation-free, so CI failures reproduce locally
+// as a plain `go test`.
+func TestMainModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module; skipped in -short")
+	}
+	cfg := config{
+		dir:       filepath.Join("..", ".."),
+		patterns:  []string{"./..."},
+		hotlist:   "api/hotlist.txt",
+		escape:    true,
+		detPkgs:   defaultDetPkgs,
+		servePkgs: defaultServePkgs,
+	}
+	diags, _, err := run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestBadDirectives pins the directive parse errors: a missing
+// reason and an unknown kind are hard errors, not silent no-ops.
+func TestBadDirectives(t *testing.T) {
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"badmod-reason", "requires a reason"},
+		{"badmod-unknown", "unknown directive"},
+		{"badmod-hotarg", "takes no argument"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			cfg := config{
+				dir:      filepath.Join("testdata", tc.dir),
+				patterns: []string{"./..."},
+			}
+			_, _, err := run(cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestParseHotlist pins the hotlist file format.
+func TestParseHotlist(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hotlist.txt")
+	if err := os.WriteFile(path, []byte("# comment\n\nBenchmarkA pkg.Func\nBenchmarkB pkg.(*T).M\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := parseHotlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].bench != "BenchmarkA" || entries[1].fn != "pkg.(*T).M" {
+		t.Fatalf("unexpected entries: %+v", entries)
+	}
+	if err := os.WriteFile(path, []byte("BenchmarkA pkg.Func extra\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseHotlist(path); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPkg is the subset of `go list -json` output sinrlint consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// pkg is one loaded module package: parsed files always, type
+// information only for packages a type-aware pass covers.
+type pkg struct {
+	importPath string
+	relPath    string // import path relative to the module root
+	dir        string
+	files      []*ast.File
+	typesInfo  *types.Info // nil unless type-checked
+}
+
+// module is the loaded lint target.
+type module struct {
+	path       string // module path
+	dir        string // absolute module directory
+	fset       *token.FileSet
+	pkgs       []*pkg
+	src        map[string][]byte // absolute file path -> source
+	directives []*directive
+}
+
+// rel maps an absolute file path back to a module-relative one for
+// display.
+func (m *module) rel(abs string) string {
+	if r, err := filepath.Rel(m.dir, abs); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return abs
+}
+
+// load enumerates the module's packages with `go list`, parses every
+// non-test file, harvests //sinr: directives, and type-checks the
+// packages the determinism and serve passes cover using the
+// compiler's export data (go list -export) — go/ast + go/types with
+// no loader dependency.
+func load(cfg config) (*module, error) {
+	absDir, err := filepath.Abs(cfg.dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := goList(absDir, nil, cfg.patterns...)
+	if err != nil {
+		return nil, err
+	}
+	mod := &module{dir: absDir, fset: token.NewFileSet(), src: map[string][]byte{}}
+	needTypes := map[string]bool{}
+	for _, p := range append(append([]string(nil), cfg.detPkgs...), cfg.servePkgs...) {
+		needTypes[p] = true
+	}
+	var typed []*pkg
+	for _, lp := range pkgs {
+		if lp.Standard || lp.Module == nil || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if mod.path == "" {
+			mod.path = lp.Module.Path
+		}
+		p := &pkg{
+			importPath: lp.ImportPath,
+			relPath:    strings.TrimPrefix(strings.TrimPrefix(lp.ImportPath, lp.Module.Path), "/"),
+			dir:        lp.Dir,
+		}
+		if p.relPath == "" {
+			p.relPath = "." // the module root package
+		}
+		for _, name := range lp.GoFiles {
+			abs := filepath.Join(lp.Dir, name)
+			data, err := os.ReadFile(abs)
+			if err != nil {
+				return nil, err
+			}
+			mod.src[abs] = data
+			f, err := parser.ParseFile(mod.fset, abs, data, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			p.files = append(p.files, f)
+		}
+		mod.pkgs = append(mod.pkgs, p)
+		if needTypes[p.relPath] {
+			typed = append(typed, p)
+		}
+	}
+	if len(mod.pkgs) == 0 {
+		return nil, fmt.Errorf("no module packages match %v", cfg.patterns)
+	}
+	if err := mod.collectDirectives(); err != nil {
+		return nil, err
+	}
+	if len(typed) == 0 {
+		return mod, nil
+	}
+
+	// One `go list -export -deps` run resolves export data for every
+	// dependency of the type-checked set; the build cache makes this a
+	// no-op when the tree is already compiled.
+	var paths []string
+	for _, p := range typed {
+		paths = append(paths, p.importPath)
+	}
+	deps, err := goList(absDir, []string{"-export", "-deps"}, paths...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, d := range deps {
+		if d.Export != "" {
+			exports[d.ImportPath] = d.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}
+	imp := importer.ForCompiler(mod.fset, "gc", lookup)
+	for _, p := range typed {
+		conf := types.Config{Importer: imp}
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Uses:  map[*ast.Ident]types.Object{},
+			Defs:  map[*ast.Ident]types.Object{},
+		}
+		if _, err := conf.Check(p.importPath, mod.fset, p.files, info); err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", p.importPath, err)
+		}
+		p.typesInfo = info
+	}
+	return mod, nil
+}
+
+// goList runs `go list -json` with the given extra flags and decodes
+// the package stream.
+func goList(dir string, extra []string, patterns ...string) ([]listPkg, error) {
+	args := []string{"list", "-json=ImportPath,Dir,Export,GoFiles,Standard,Module"}
+	args = append(args, extra...)
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// byRel returns the loaded package with the given module-relative
+// import path, or nil.
+func (m *module) byRel(rel string) *pkg {
+	for _, p := range m.pkgs {
+		if p.relPath == rel {
+			return p
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestHotlistMatchesBenchGate pins api/hotlist.txt to the CI
+// bench-gate -hot regexp, in both directions: every benchmark that
+// owns a hot function must be runtime-gated for allocs/op, and every
+// runtime-gated benchmark must own at least one statically-gated
+// function. Together with sinrlint's own hotlist<->annotation
+// cross-check this makes the escape-gate and the bench-gate cover the
+// same function set by construction.
+func TestHotlistMatchesBenchGate(t *testing.T) {
+	entries, err := parseHotlist(filepath.Join("..", "..", "api", "hotlist.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed := map[string]bool{}
+	for _, e := range entries {
+		listed[e.bench] = true
+	}
+
+	data, err := os.ReadFile(filepath.Join("..", "..", ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotRe := regexp.MustCompile(`-hot '([^']+)'`)
+	matches := hotRe.FindAllStringSubmatch(string(data), -1)
+	if len(matches) == 0 {
+		t.Fatal("ci.yml has no -hot '<regexp>' bench-gate argument")
+	}
+	gated := map[string]bool{}
+	for _, m := range matches {
+		if m[1] != matches[0][1] {
+			t.Fatalf("ci.yml -hot regexps disagree: %q vs %q", matches[0][1], m[1])
+		}
+	}
+	for _, alt := range strings.Split(matches[0][1], "|") {
+		gated[strings.TrimSuffix(alt, "/")] = true
+	}
+
+	for b := range listed {
+		if !gated[b] {
+			t.Errorf("%s owns hot functions in api/hotlist.txt but is missing from the ci.yml bench-gate -hot regexp", b)
+		}
+	}
+	for b := range gated {
+		if !listed[b] {
+			t.Errorf("%s is runtime-gated in ci.yml but owns no function in api/hotlist.txt", b)
+		}
+	}
+}

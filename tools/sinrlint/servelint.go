@@ -1,0 +1,213 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// streamReadMethods are the body-consuming calls that mark a loop as
+// a stream read loop: one that can spin for the connection's lifetime
+// and therefore must consult the request context to die on
+// disconnect or drain.
+var streamReadMethods = map[string]bool{
+	"Scan": true, "Decode": true, "ReadString": true, "ReadBytes": true,
+}
+
+// checkServe lints the request-path packages for handler-discipline
+// violations: fresh contexts that orphan the request's cancellation,
+// per-request map allocation, and stream read loops that never
+// consult a context.
+func checkServe(m *module, servePkgs []string) []diag {
+	var diags []diag
+	for _, rel := range servePkgs {
+		p := m.byRel(rel)
+		if p == nil || p.typesInfo == nil {
+			continue
+		}
+		for _, f := range p.files {
+			diags = append(diags, lintFileServe(m, p, f)...)
+		}
+	}
+	return diags
+}
+
+func lintFileServe(m *module, p *pkg, f *ast.File) []diag {
+	var diags []diag
+	flag := func(n ast.Node, format string, args ...any) {
+		pos := m.fset.Position(n.Pos())
+		if m.suppressed(dirServeOK, pos.Filename, pos.Line) {
+			return
+		}
+		diags = append(diags, diag{
+			file: m.rel(pos.Filename), line: pos.Line, col: pos.Column, pass: "serve",
+			msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			// context.Background()/TODO() anywhere in a serve package:
+			// request-path code must derive from r.Context() so
+			// cancellation and drain propagate.
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if pn, ok := p.typesInfo.Uses[id].(*types.PkgName); ok &&
+						pn.Imported().Path() == "context" &&
+						(sel.Sel.Name == "Background" || sel.Sel.Name == "TODO") {
+						flag(node, "context.%s orphans request cancellation; derive from r.Context() (//sinr:serve-ok <reason> if detachment is deliberate)", sel.Sel.Name)
+					}
+				}
+			}
+		case *ast.FuncDecl:
+			if node.Body != nil && isHandlerSig(p, node.Type) {
+				lintHandlerBody(p, node.Body, node.Name.Name, flag)
+			}
+		case *ast.FuncLit:
+			if isHandlerSig(p, node.Type) {
+				lintHandlerBody(p, node.Body, "handler literal", flag)
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// isHandlerSig reports whether the function type is an HTTP handler:
+// exactly (http.ResponseWriter, *http.Request) parameters.
+func isHandlerSig(p *pkg, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	var types []ast.Expr
+	for _, f := range ft.Params.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			types = append(types, f.Type)
+		}
+	}
+	if len(types) != 2 {
+		return false
+	}
+	return typeIs(p, types[0], "net/http", "ResponseWriter") &&
+		typeIsPtr(p, types[1], "net/http", "Request")
+}
+
+func typeIs(p *pkg, e ast.Expr, path, name string) bool {
+	t := p.typesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+func typeIsPtr(p *pkg, e ast.Expr, path, name string) bool {
+	t := p.typesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+// lintHandlerBody applies the per-request rules inside one handler:
+// no map creation (maps allocate and hash per request; the serve
+// layer precomputes at registration time and pools scratch), and
+// every stream read loop must consult a context.
+func lintHandlerBody(p *pkg, body *ast.BlockStmt, name string, flag func(ast.Node, string, ...any)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := node.Fun.(*ast.Ident); ok && isBuiltin(p, id, "make") && len(node.Args) > 0 {
+				if t := p.typesInfo.Types[node.Args[0]].Type; t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						flag(node, "per-request map allocation in %s (precompute at registration or pool the scratch)", name)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if t := p.typesInfo.Types[node].Type; t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					flag(node, "per-request map literal in %s (precompute at registration or pool the scratch)", name)
+				}
+			}
+		case *ast.ForStmt:
+			if isStreamReadLoop(node.Body, node.Cond) && !loopConsultsContext(p, node.Body, node.Cond) {
+				flag(node, "stream read loop in %s never consults a context; a disconnected or drained client leaves it spinning", name)
+			}
+		case *ast.RangeStmt:
+			// range loops terminate with their operand; channel ranges
+			// end when the pipeline closes the channel, which the
+			// pipeline's own context governs.
+		}
+		return true
+	})
+}
+
+// isStreamReadLoop reports whether the loop condition or body calls a
+// body-consuming read (Scan, Decode, ReadString, ReadBytes).
+func isStreamReadLoop(body *ast.BlockStmt, cond ast.Expr) bool {
+	found := false
+	check := func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && streamReadMethods[sel.Sel.Name] {
+				found = true
+				return false
+			}
+		}
+		return !found
+	}
+	if cond != nil {
+		ast.Inspect(cond, check)
+	}
+	if !found {
+		ast.Inspect(body, check)
+	}
+	return found
+}
+
+// loopConsultsContext reports whether any expression inside the loop
+// has type context.Context (a ctx.Done() select, an r.Context() read,
+// a ctx-taking call — any of them proves the loop observes
+// cancellation).
+func loopConsultsContext(p *pkg, body *ast.BlockStmt, cond ast.Expr) bool {
+	found := false
+	check := func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return !found
+		}
+		if t := p.typesInfo.Types[e].Type; t != nil {
+			if n, ok := t.(*types.Named); ok {
+				obj := n.Obj()
+				if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+					found = true
+					return false
+				}
+			}
+		}
+		return !found
+	}
+	ast.Inspect(body, check)
+	if !found && cond != nil {
+		ast.Inspect(cond, check)
+	}
+	return found
+}

@@ -1,0 +1,9 @@
+// Package badmodhotarg passes an argument to hotpath.
+package badmodhotarg
+
+// F returns its argument.
+//
+//sinr:hotpath because hot
+func F(a int) int {
+	return a
+}

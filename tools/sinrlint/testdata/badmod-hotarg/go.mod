@@ -1,0 +1,3 @@
+module badmodhotarg
+
+go 1.24

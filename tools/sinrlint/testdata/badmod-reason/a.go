@@ -1,0 +1,8 @@
+// Package badmodreason has a suppression with no reason.
+package badmodreason
+
+// F returns its argument.
+func F(a int) int {
+	//sinr:nondeterministic-ok
+	return a
+}

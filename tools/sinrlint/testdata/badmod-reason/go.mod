@@ -1,0 +1,3 @@
+module badmodreason
+
+go 1.24

@@ -1,0 +1,8 @@
+// Package badmodunknown has a directive of an unknown kind.
+package badmodunknown
+
+// F returns its argument.
+func F(a int) int {
+	//sinr:fast-ok because speed
+	return a
+}

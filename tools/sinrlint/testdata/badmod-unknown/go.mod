@@ -1,0 +1,3 @@
+module badmodunknown
+
+go 1.24

@@ -1,0 +1,98 @@
+// Package det seeds determinism violations and the benign patterns
+// the analyzer must admit.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// FirstKey leaks iteration order through an early return.
+func FirstKey(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// AppendNoSort accumulates keys in iteration order and never sorts.
+func AppendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// CollectThenSort is the admitted idiom: collect, then sort.
+func CollectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MapAppend accumulates into a map value in encounter order.
+func MapAppend(m map[int]int, by map[int][]int) {
+	for k, v := range m {
+		by[v] = append(by[v], k)
+	}
+}
+
+// CountEvens is exact integer accumulation: admitted.
+func CountEvens(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		if v%2 == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SumFloats accumulates floats, which does not commute.
+func SumFloats(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// LastKey assigns the range variable to outer state.
+func LastKey(m map[int]int) int {
+	var k int
+	for k = range m {
+	}
+	return k
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// StampOK reads the wall clock with an acknowledged reason.
+func StampOK() int64 {
+	return time.Now().UnixNano() //sinr:nondeterministic-ok test telemetry waiver
+}
+
+// GlobalDraw uses the shared unseeded source.
+func GlobalDraw() int {
+	return rand.Intn(10)
+}
+
+// SeededDraw threads an explicit source: admitted.
+func SeededDraw() int {
+	r := rand.New(rand.NewSource(7))
+	return r.Intn(10)
+}
+
+// Stale carries a directive that suppresses nothing.
+func Stale(a int) int {
+	//sinr:nondeterministic-ok nothing here violates anything
+	return a + 1
+}

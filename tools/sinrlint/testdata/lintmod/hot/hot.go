@@ -1,0 +1,48 @@
+// Package hot seeds escape-gate violations: a heap escape inside an
+// annotated function, a fmt call on a hot path, an acknowledged
+// amortized allocation, and an annotation no benchmark owns.
+package hot
+
+import "fmt"
+
+// Escapes leaks a stack variable; the compiler moves it to the heap.
+//
+//sinr:hotpath
+func Escapes(n int) *int {
+	x := n
+	return &x
+}
+
+// Grow reallocates only when capacity is exceeded; the alloc-ok
+// directive acknowledges the amortized grow.
+//
+//sinr:hotpath
+func Grow(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		buf = make([]byte, n) //sinr:alloc-ok amortized grow for the test
+	}
+	return buf[:n]
+}
+
+// Printy calls fmt on a hot path: flagged statically, before the
+// compiler even reports the boxed argument.
+//
+//sinr:hotpath
+func Printy(v int) {
+	fmt.Println(v)
+}
+
+// Orphan is annotated but owned by no benchmark in hotlist.txt.
+//
+//sinr:hotpath
+func Orphan() int { return 1 }
+
+// Clean is hot and allocation-free.
+//
+//sinr:hotpath
+func Clean(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,52 @@
+// Package srv seeds serve-discipline violations: per-request maps,
+// orphaned contexts, and a context-blind stream read loop.
+package srv
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"time"
+)
+
+// Handle allocates a map per request and builds one from a literal.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	seen := make(map[string]bool)
+	tags := map[string]string{"route": "handle"}
+	_ = seen
+	_ = tags
+}
+
+// Detached orphans the request's cancellation.
+func Detached(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = ctx
+}
+
+// Stream reads the body forever without consulting any context.
+func Stream(w http.ResponseWriter, r *http.Request) {
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		_ = sc.Text()
+	}
+}
+
+// StreamCtx consults the request context each iteration: admitted.
+func StreamCtx(w http.ResponseWriter, r *http.Request) {
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		select {
+		case <-r.Context().Done():
+			return
+		default:
+		}
+		_ = sc.Text()
+	}
+}
+
+// Waived detaches deliberately, with the reason on record.
+func Waived(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() //sinr:serve-ok audit log write must outlive the request in this test
+	_ = ctx
+}
