@@ -17,7 +17,7 @@
 //	         [-radius 0] [-noise 0.01] [-beta 3] [-seed 1]
 //	         [-swap-every 0] [-churn-every 0]
 //	         [-churn-kind arrive|depart|power|mix] [-verify]
-//	         [-sched greedy|lenclass|repair]
+//	         [-sched greedy|lenclass|repair] [-spec-dir DIR]
 //
 // -resolver selects the serving backend per request, turning every
 // workload into a cross-backend comparison scenario; -radius sets the
@@ -48,6 +48,15 @@
 // pre-churn schedule (path "repaired"), proving the cache invalidated
 // and healed instead of recomputing. Any invalid slot or wrong path
 // is a non-zero exit.
+//
+// -spec-dir drives a declaratively-operated server (sinrserve
+// -spec-dir) instead of POSTing: the generated network lands as a
+// canonical spec file in the directory (written atomically, tmp +
+// rename), and the client polls GET /v1/networks/{name} until the
+// reconcile controller converges the registry to byte-identical spec
+// readback before firing traffic. Mutually exclusive with -swap-every
+// and -churn-every, which mutate the registry imperatively and would
+// race the controller's convergence.
 //
 // -verify recomputes all answers locally through the same backend
 // kind (the ground-truth exact backend for "dynamic", whose served
@@ -83,7 +92,9 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -111,6 +122,7 @@ type config struct {
 	swapEvery, churnEvery int
 	churnKind             string
 	sched                 string
+	specDir               string
 	verify                bool
 	scrapeMetrics         bool
 	metricsEvery          time.Duration
@@ -145,6 +157,7 @@ func main() {
 	flag.IntVar(&cfg.churnEvery, "churn-every", 0, "PATCH one churn delta after every K batches (0 = never)")
 	flag.StringVar(&cfg.churnKind, "churn-kind", "mix", "churn process: arrive, depart, power or mix")
 	flag.StringVar(&cfg.sched, "sched", "", "also exercise the schedule endpoint with this scheduler (greedy, lenclass or repair; empty = off)")
+	flag.StringVar(&cfg.specDir, "spec-dir", "", "register by writing a declarative spec here (a sinrserve -spec-dir) and wait for reconcile convergence instead of POSTing")
 	flag.BoolVar(&cfg.verify, "verify", false, "verify every served answer against a locally built backend of the same kind")
 	flag.BoolVar(&cfg.scrapeMetrics, "scrape-metrics", true, "scrape /metrics before and after the run and report server-side deltas")
 	flag.DurationVar(&cfg.metricsEvery, "metrics-every", 0, "also sample /metrics at this interval during the run for peak gauges (0 = off)")
@@ -204,6 +217,9 @@ func run(cfg config) error {
 	if cfg.swapEvery > 0 && cfg.churnEvery > 0 {
 		return fmt.Errorf("-swap-every and -churn-every are mutually exclusive (a swap resets the delta history)")
 	}
+	if cfg.specDir != "" && (cfg.swapEvery > 0 || cfg.churnEvery > 0) {
+		return fmt.Errorf("-spec-dir is mutually exclusive with -swap-every and -churn-every (imperative mutations race the reconcile controller)")
+	}
 	gen := workload.NewGenerator(cfg.seed)
 	box := geom.NewBox(geom.Pt(-5, -5), geom.Pt(5, 5))
 	stations, err := gen.UniformSeparated(cfg.n, box, 0.05)
@@ -258,7 +274,12 @@ func run(cfg config) error {
 
 	client := &http.Client{Timeout: 5 * time.Minute}
 	reg := registration(cfg.name, stations, cfg.noise, cfg.beta)
-	regResp, err := register(client, cfg.addr, reg)
+	var regResp serve.NetworkResponse
+	if cfg.specDir != "" {
+		regResp, err = registerViaSpec(client, cfg.addr, cfg.specDir, reg)
+	} else {
+		regResp, err = register(client, cfg.addr, reg)
+	}
 	if err != nil {
 		return fmt.Errorf("registering network: %w", err)
 	}
@@ -617,9 +638,9 @@ func verifyServed(cfg config, kind resolve.Kind, epochs map[uint64]*dynamic.Snap
 
 func registration(name string, stations []geom.Point, noise, beta float64) serve.NetworkRequest {
 	req := serve.NetworkRequest{Name: name, Noise: noise, Beta: beta}
-	req.Stations = make([]serve.PointJSON, len(stations))
+	req.Stations = make([]serve.SpecStation, len(stations))
 	for i, s := range stations {
-		req.Stations[i] = serve.PointJSON{X: s.X, Y: s.Y}
+		req.Stations[i] = serve.SpecStation{X: s.X, Y: s.Y}
 	}
 	return req
 }
@@ -644,6 +665,67 @@ func register(client *http.Client, addr string, req serve.NetworkRequest) (serve
 		return out, err
 	}
 	return out, nil
+}
+
+// registerViaSpec lands the registration declaratively: the canonical
+// spec is written atomically (tmp + rename, so the controller's lister
+// never sees a half file) into the server's spec directory, then GET
+// /v1/networks/{name} is polled until the readback is byte-identical
+// to what was written — reconcile convergence, observed end to end
+// through the public API.
+func registerViaSpec(client *http.Client, addr, dir string, spec serve.NetworkSpec) (serve.NetworkResponse, error) {
+	var out serve.NetworkResponse
+	canonical, err := spec.CanonicalJSON()
+	if err != nil {
+		return out, err
+	}
+	tmp := filepath.Join(dir, "."+spec.Name+".json.tmp")
+	if err := os.WriteFile(tmp, canonical, 0o644); err != nil {
+		return out, err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, spec.Name+".json")); err != nil {
+		return out, err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		body, version, ok, err := getSpec(client, addr, spec.Name)
+		if err == nil && ok && bytes.Equal(body, canonical) {
+			return serve.NetworkResponse{
+				Name: spec.Name, Version: version,
+				Stations: len(spec.Stations), Resolver: spec.Resolver,
+			}, nil
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sinrload: spec readback poll: %v\n", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return out, fmt.Errorf("spec for %q did not converge within 30s", spec.Name)
+}
+
+// getSpec reads the canonical spec behind name's live generation; ok
+// is false while the network does not exist yet.
+func getSpec(client *http.Client, addr, name string) (body []byte, version uint64, ok bool, err error) {
+	resp, err := client.Get(addr + "/v1/networks/" + name)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, 0, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, 0, false, &statusError{code: resp.StatusCode,
+			msg: fmt.Sprintf("get spec: %s: %s", resp.Status, bytes.TrimSpace(msg))}
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	version, _ = strconv.ParseUint(resp.Header.Get("Sinr-Network-Version"), 10, 64)
+	return b, version, true, nil
 }
 
 // patch applies one delta document via PATCH /v1/networks/{name}.

@@ -9,6 +9,7 @@
 //	          [-default-eps 0.05] [-min-eps 0.01]
 //	          [-max-concurrent 0] [-max-queue 128] [-retry-after 1s]
 //	          [-drain-timeout 15s] [-stream-drain 5s]
+//	          [-spec-dir DIR] [-reconcile-interval 2s] [-max-retries 5]
 //	          [-log-requests] [-pprof]
 //
 // The listener is bound before the startup line is printed, and the
@@ -22,6 +23,8 @@
 //
 //	POST /v1/networks       register or hot-swap a named network
 //	GET  /v1/networks       list registered networks
+//	GET  /v1/networks/{name}    canonical spec readback
+//	DELETE /v1/networks/{name}  remove a network and its caches
 //	PATCH /v1/networks/{name}  apply a station delta to a dynamic network
 //	POST /v1/locate         JSON batch of points -> exact answers
 //	POST /v1/locate/stream  NDJSON in/out streaming queries
@@ -29,6 +32,17 @@
 //	GET  /readyz            readiness probe (503 once draining)
 //	GET  /metrics           Prometheus text exposition
 //	GET  /debug/pprof/      runtime profiles (only with -pprof)
+//
+// With -spec-dir the process also runs the reconcile controller
+// (internal/reconcile): the directory is listed every
+// -reconcile-interval, every *.json / *.yaml / *.yml file is parsed
+// as one declarative NetworkSpec, and the live registry is converged
+// to match — files appearing become networks, edits land as deltas or
+// rebuilds, removed files delete their networks. A network failing to
+// build retries with exponential backoff up to -max-retries times,
+// then parks until its spec content changes. Controller state is
+// visible on /metrics (sinr_reconcile_* and per-network
+// sinr_network_drift series).
 //
 // With -max-concurrent N each network runs at most N queries at once;
 // excess queries wait in a global queue of -max-queue, and beyond that
@@ -48,6 +62,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"log/slog"
 	"net"
 	"net/http"
@@ -56,6 +71,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/reconcile"
 	"repro/internal/serve"
 )
 
@@ -65,6 +81,9 @@ type config struct {
 	drainTimeout time.Duration
 	streamDrain  time.Duration
 	logRequests  bool
+	specDir      string
+	reconcileInt time.Duration
+	maxRetries   int
 	opt          serve.Options
 }
 
@@ -80,6 +99,9 @@ func main() {
 	flag.DurationVar(&cfg.opt.RetryAfter, "retry-after", time.Second, "Retry-After hint on shed responses")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "total graceful-shutdown budget after SIGTERM")
 	flag.DurationVar(&cfg.streamDrain, "stream-drain", 5*time.Second, "grace period before in-flight streams are cancelled")
+	flag.StringVar(&cfg.specDir, "spec-dir", "", "directory of declarative network specs to reconcile (empty = controller off)")
+	flag.DurationVar(&cfg.reconcileInt, "reconcile-interval", 2*time.Second, "spec-dir poll/resync period")
+	flag.IntVar(&cfg.maxRetries, "max-retries", 5, "consecutive reconcile failures before a network parks terminally")
 	flag.BoolVar(&cfg.logRequests, "log-requests", false, "log one structured JSON line per request to stderr")
 	flag.BoolVar(&cfg.opt.EnablePprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
@@ -100,6 +122,27 @@ func run(cfg config) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// Optional controller mode: converge the registry toward the spec
+	// directory for the process lifetime, sharing the serving metrics
+	// registry so /metrics exposes the reconcile instruments.
+	var ctrlDone chan struct{}
+	ctrlCtx, ctrlCancel := context.WithCancel(context.Background())
+	defer ctrlCancel()
+	if cfg.specDir != "" {
+		ctrl := reconcile.New(handler, reconcile.Options{
+			Dir:        cfg.specDir,
+			Interval:   cfg.reconcileInt,
+			MaxRetries: cfg.maxRetries,
+			Metrics:    handler.Metrics(),
+			Logger:     log.New(os.Stderr, "", log.LstdFlags),
+		})
+		ctrlDone = make(chan struct{})
+		go func() {
+			defer close(ctrlDone)
+			ctrl.Run(ctrlCtx)
+		}()
+	}
+
 	// Bind before announcing: the printed address is the one actually
 	// listening (with -addr host:0 the kernel-assigned port), so a
 	// supervisor polling it can never race the bind or pick a port
@@ -108,9 +151,9 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("sinrserve: listening on %s (max-locators=%d workers=%d default-eps=%g min-eps=%g max-concurrent=%d max-queue=%d)\n",
+	fmt.Printf("sinrserve: listening on %s (max-locators=%d workers=%d default-eps=%g min-eps=%g max-concurrent=%d max-queue=%d spec-dir=%q)\n",
 		ln.Addr(), cfg.opt.MaxLocators, cfg.opt.Workers, cfg.opt.DefaultEps, cfg.opt.MinEps,
-		cfg.opt.MaxConcurrent, cfg.opt.MaxQueue)
+		cfg.opt.MaxConcurrent, cfg.opt.MaxQueue, cfg.specDir)
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -140,6 +183,13 @@ func run(cfg config) error {
 			return fmt.Errorf("drain exceeded %v: %w", cfg.drainTimeout, err)
 		}
 		handler.Drain()
+		// The controller drains after the listener: no new requests are
+		// arriving, and Run returns only once every in-flight reconcile
+		// finished.
+		ctrlCancel()
+		if ctrlDone != nil {
+			<-ctrlDone
+		}
 		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}

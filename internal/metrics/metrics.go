@@ -284,6 +284,38 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	r.mu.Unlock()
 }
 
+// Unregister removes the series of name+labels from the exposition,
+// reporting whether it existed. A family left with no series is
+// dropped entirely (no orphaned HELP/TYPE header). This is the
+// lifecycle counterpart of late registration: a per-network gauge
+// registered when the network appears is unregistered when the
+// network is deleted, so a scrape never reports state for an object
+// that no longer exists. Pointers handed out earlier keep working —
+// they just stop being scraped.
+func (r *Registry) Unregister(name string, labels ...Label) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		return false
+	}
+	sig := signature(sortedLabels(labels))
+	if _, ok := f.series[sig]; !ok {
+		return false
+	}
+	delete(f.series, sig)
+	for i, s := range f.order {
+		if s == sig {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	if len(f.series) == 0 {
+		delete(r.families, name)
+	}
+	return true
+}
+
 // OnScrape registers a hook run at the start of every WritePrometheus
 // call — the place for batch collectors (one runtime.ReadMemStats
 // updating several gauges) that would be wasteful per-gauge.

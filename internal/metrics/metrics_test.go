@@ -117,6 +117,54 @@ app_seconds_count{route="locate"} 4
 	}
 }
 
+// TestUnregister pins the lifecycle counterpart of late registration:
+// dropping one series removes exactly that series, label argument
+// order does not matter, an emptied family loses its HELP/TYPE
+// header, and re-registering after an unregister starts fresh.
+func TestUnregister(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("net_stations", "help", L("network", "a")).Set(3)
+	reg.Gauge("net_stations", "help", L("network", "b")).Set(5)
+	reg.GaugeFunc("net_epoch", "help", func() float64 { return 9 }, L("network", "a"), L("shard", "0"))
+
+	if reg.Unregister("missing") {
+		t.Fatal("Unregister reported true for an unknown family")
+	}
+	if reg.Unregister("net_stations", L("network", "zzz")) {
+		t.Fatal("Unregister reported true for unknown labels")
+	}
+	// Label argument order must not matter, matching registration.
+	if !reg.Unregister("net_epoch", L("shard", "0"), L("network", "a")) {
+		t.Fatal("Unregister missed an existing series with reordered labels")
+	}
+	if !reg.Unregister("net_stations", L("network", "a")) {
+		t.Fatal("Unregister missed an existing series")
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP net_stations help
+# TYPE net_stations gauge
+net_stations{network="b"} 5
+`
+	if got != want {
+		t.Fatalf("exposition after unregister:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Re-registration after unregister is a fresh series, not the old one.
+	g := reg.Gauge("net_stations", "help", L("network", "a"))
+	if v := g.Value(); v != 0 {
+		t.Fatalf("re-registered gauge carried old value %d", v)
+	}
+	// Double-unregister reports false.
+	if reg.Unregister("net_epoch", L("network", "a"), L("shard", "0")) {
+		t.Fatal("second Unregister of the same series reported true")
+	}
+}
+
 // TestParseRoundTrip: a written document parses back into the same
 // values, including escaped labels and histogram expansions.
 func TestParseRoundTrip(t *testing.T) {

@@ -1,0 +1,452 @@
+package reconcile
+
+import (
+	"context"
+	"io"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// Registry is the registry surface the controller converges. A
+// *serve.Server satisfies it; tests wrap one to inject transient
+// failures.
+type Registry interface {
+	// ApplySpec converges one network toward spec with the cheapest
+	// operation (see serve.Server.ApplySpec). Must be idempotent.
+	ApplySpec(spec *serve.NetworkSpec) (serve.SpecResult, error)
+	// DeleteNetwork removes name and everything cached under it,
+	// reporting whether it existed.
+	DeleteNetwork(name string) bool
+	// SpecHashOf reports the content hash of the spec behind name's
+	// live generation, if any — the differ's entire view of liveness.
+	SpecHashOf(name string) (string, bool)
+}
+
+var _ Registry = (*serve.Server)(nil)
+
+// Options configures a Controller. The zero value of every field is a
+// usable default except Dir, which is required.
+type Options struct {
+	// Dir is the spec directory to watch (required).
+	Dir string
+	// Interval is the poll/resync period (default 2s).
+	Interval time.Duration
+	// Workers is the number of concurrent reconcilers (default 2).
+	// Per-name keyed locks make any worker count safe.
+	Workers int
+	// MaxRetries is how many consecutive failures park a network in
+	// the terminal-failure state (default 5). Terminal networks are
+	// left alone until their spec content changes.
+	MaxRetries int
+	// BackoffBase and BackoffMax bound the per-item exponential retry
+	// backoff (defaults 100ms and 30s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Metrics receives the controller's instruments. Pass the serving
+	// registry (serve.Server.Metrics()) to surface them on /metrics;
+	// nil gets a private registry.
+	Metrics *metrics.Registry
+	// Logger receives reconcile events; nil discards them.
+	Logger *log.Logger
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Interval <= 0 {
+		out.Interval = 2 * time.Second
+	}
+	if out.Workers <= 0 {
+		out.Workers = 2
+	}
+	if out.MaxRetries <= 0 {
+		out.MaxRetries = 5
+	}
+	if out.BackoffBase <= 0 {
+		out.BackoffBase = 100 * time.Millisecond
+	}
+	if out.BackoffMax <= 0 {
+		out.BackoffMax = 30 * time.Second
+	}
+	if out.Logger == nil {
+		out.Logger = log.New(io.Discard, "", 0)
+	}
+	return out
+}
+
+// outcomeResults is the label vocabulary of
+// sinr_reconcile_outcomes_total: the four serve.SpecOutcome names plus
+// the controller's own deleted / error / terminal results. All series
+// are pre-registered so a scrape shows explicit zeroes.
+var outcomeResults = []string{
+	"unchanged", "created", "patched", "replaced", "deleted", "error", "terminal",
+}
+
+// Controller converges a Registry toward the spec directory: a
+// polling lister computes per-name drift by content hash, a
+// deduplicating workqueue with per-item exponential backoff carries
+// drifted names to workers, and per-name keyed locks keep at most one
+// worker on a network at a time.
+type Controller struct {
+	reg   Registry
+	opt   Options
+	log   *log.Logger
+	q     *workqueue
+	locks *keyLock
+
+	mu       sync.Mutex
+	desired  map[string]specFile // network name -> winning spec file
+	lastGood map[string]specFile // file path -> last successful parse
+	adopted  map[string]struct{} // names this controller has created or updated
+	terminal map[string]string   // name -> spec hash parked after MaxRetries
+	failures map[string]int      // name -> consecutive failures
+	drift    map[string]*metrics.Gauge
+
+	mreg     *metrics.Registry
+	outcomes map[string]*metrics.Counter
+	retries  *metrics.Counter
+	specErrs *metrics.Counter
+	syncs    *metrics.Counter
+	latency  *metrics.Histogram
+}
+
+// New builds a Controller converging reg toward opt.Dir. Call Run to
+// start it, or drive it manually with Sync for deterministic tests.
+func New(reg Registry, opt Options) *Controller {
+	opt = opt.withDefaults()
+	mreg := opt.Metrics
+	if mreg == nil {
+		mreg = metrics.NewRegistry()
+	}
+	c := &Controller{
+		reg:      reg,
+		opt:      opt,
+		log:      opt.Logger,
+		q:        newWorkqueue(),
+		locks:    newKeyLock(),
+		desired:  make(map[string]specFile),
+		lastGood: make(map[string]specFile),
+		adopted:  make(map[string]struct{}),
+		terminal: make(map[string]string),
+		failures: make(map[string]int),
+		drift:    make(map[string]*metrics.Gauge),
+		mreg:     mreg,
+		outcomes: make(map[string]*metrics.Counter, len(outcomeResults)),
+	}
+	for _, r := range outcomeResults {
+		c.outcomes[r] = mreg.Counter("sinr_reconcile_outcomes_total",
+			"Reconcile attempts by result.", metrics.L("result", r))
+	}
+	c.retries = mreg.Counter("sinr_reconcile_retries_total",
+		"Reconcile retries scheduled after transient failures.")
+	c.specErrs = mreg.Counter("sinr_reconcile_spec_errors_total",
+		"Spec files that failed to read, parse, or validate (including duplicate names).")
+	c.syncs = mreg.Counter("sinr_reconcile_syncs_total",
+		"Spec-directory listings performed.")
+	c.latency = mreg.Histogram("sinr_reconcile_queue_latency_seconds",
+		"Time reconcile keys spent waiting in the workqueue.", nil)
+	mreg.GaugeFunc("sinr_reconcile_queue_depth",
+		"Reconcile keys waiting in the workqueue.",
+		func() float64 { return float64(c.q.Len()) })
+	return c
+}
+
+// Run syncs immediately, then keeps syncing every Interval until ctx
+// is cancelled, at which point the queue is drained and every worker
+// has returned before Run does.
+func (c *Controller) Run(ctx context.Context) {
+	c.Sync()
+	var wg sync.WaitGroup
+	for i := 0; i < c.opt.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.worker()
+		}()
+	}
+	ticker := time.NewTicker(c.opt.Interval) //sinr:nondeterministic-ok poll-interval pacing, not a diff decision
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			c.q.ShutDown()
+			wg.Wait()
+			return
+		case <-ticker.C:
+			c.Sync()
+		}
+	}
+}
+
+// Sync performs one list-and-diff pass: parse the spec directory,
+// fold results into the last-good state, rebuild the desired set, and
+// enqueue every drifted or removed name. Exported so tests and tools
+// can drive the controller without the wall-clock ticker; drift is a
+// pure function of spec hashes, so Sync is idempotent.
+func (c *Controller) Sync() {
+	files, errs := loadSpecDir(c.opt.Dir)
+	c.syncs.Inc()
+	for _, e := range errs {
+		c.specErrs.Inc()
+		c.log.Printf("reconcile: spec error at %s: %v", e.path, e.err)
+	}
+	// A failed directory listing is the one error that must not look
+	// like "every file vanished": keep the previous last-good state.
+	dirGone := len(files) == 0 && len(errs) == 1 && errs[0].path == c.opt.Dir
+
+	c.mu.Lock()
+	present := make(map[string]bool, len(files))
+	for _, f := range files {
+		present[f.path] = true
+		c.lastGood[f.path] = f
+	}
+	badPath := make(map[string]bool, len(errs))
+	for _, e := range errs {
+		badPath[e.path] = true
+	}
+	if !dirGone {
+		// A path gone from the listing loses its last-good spec (its
+		// network becomes undesired); a path that merely stopped
+		// parsing keeps it — parse errors never cascade into deletes.
+		for _, path := range sortedKeys(c.lastGood) {
+			if !present[path] && !badPath[path] {
+				delete(c.lastGood, path)
+			}
+		}
+	}
+
+	// Desired state by network name; on duplicate names the
+	// lexicographically-first path wins, later ones are spec errors.
+	next := make(map[string]specFile, len(c.lastGood))
+	var dup int
+	for _, path := range sortedKeys(c.lastGood) {
+		f := c.lastGood[path]
+		if win, taken := next[f.spec.Name]; taken {
+			dup++
+			c.log.Printf("reconcile: duplicate network %q at %s (keeping %s)", f.spec.Name, path, win.path)
+			continue
+		}
+		next[f.spec.Name] = f
+	}
+	c.desired = next
+
+	// Diff desired against live, name by name.
+	names := sortedKeys(c.desired)
+	for _, name := range sortedKeys(c.adopted) {
+		if _, ok := c.desired[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var enqueue []string
+	for _, name := range names {
+		f, want := c.desired[name]
+		liveHash, live := c.reg.SpecHashOf(name)
+		if !want {
+			// Adopted but no longer desired: converge by deletion. The
+			// worker also handles the already-gone case.
+			delete(c.terminal, name)
+			delete(c.failures, name)
+			if live {
+				c.driftGaugeLocked(name).Set(1)
+			}
+			enqueue = append(enqueue, name)
+			continue
+		}
+		drifted := !live || liveHash != f.hash
+		g := c.driftGaugeLocked(name)
+		if parked, ok := c.terminal[name]; ok {
+			if parked == f.hash {
+				continue // parked until the spec content changes
+			}
+			delete(c.terminal, name)
+			delete(c.failures, name)
+		}
+		if drifted {
+			g.Set(1)
+			enqueue = append(enqueue, name)
+		} else {
+			g.Set(0)
+		}
+	}
+	c.mu.Unlock()
+
+	for i := 0; i < dup; i++ {
+		c.specErrs.Inc()
+	}
+	for _, name := range enqueue {
+		c.q.Add(name)
+	}
+}
+
+func (c *Controller) worker() {
+	for {
+		key, waited, ok := c.q.Get()
+		if !ok {
+			return
+		}
+		c.latency.Observe(waited.Seconds())
+		c.reconcile(key)
+		c.q.Done(key)
+	}
+}
+
+// reconcile converges one network: apply its desired spec, or delete
+// it when it is adopted but no longer desired. The keyed lock
+// serializes reconciles of the same name across workers.
+func (c *Controller) reconcile(name string) {
+	c.locks.lock(name)
+	defer c.locks.unlock(name)
+
+	c.mu.Lock()
+	f, want := c.desired[name]
+	_, isAdopted := c.adopted[name]
+	parkedHash, parked := c.terminal[name]
+	c.mu.Unlock()
+
+	if want && parked && parkedHash == f.hash {
+		// A retry landed after the name parked terminally: stay parked
+		// until the spec content changes.
+		return
+	}
+	if !want {
+		if !isAdopted {
+			return // never ours: leave imperatively-created networks alone
+		}
+		deleted := c.reg.DeleteNetwork(name)
+		c.mu.Lock()
+		delete(c.adopted, name)
+		delete(c.failures, name)
+		delete(c.terminal, name)
+		c.dropDriftGaugeLocked(name)
+		c.mu.Unlock()
+		if deleted {
+			c.outcomes["deleted"].Inc()
+			c.log.Printf("reconcile: deleted network %q", name)
+		}
+		return
+	}
+
+	// The registry stores the applied spec in its snapshot; hand it a
+	// copy so desired state and served state never share slices.
+	res, err := c.reg.ApplySpec(cloneSpec(f.spec))
+	if err != nil {
+		c.fail(name, f.hash, err)
+		return
+	}
+	c.mu.Lock()
+	c.adopted[name] = struct{}{}
+	delete(c.failures, name)
+	delete(c.terminal, name)
+	c.driftGaugeLocked(name).Set(0)
+	c.mu.Unlock()
+	c.outcomes[res.Outcome.String()].Inc()
+	if res.Outcome != serve.SpecUnchanged {
+		c.log.Printf("reconcile: %s network %q -> v%d (%d stations, %s)",
+			res.Outcome, name, res.Version, res.Stations, res.Resolver)
+	}
+}
+
+// fail records a reconcile failure: retry with exponential backoff,
+// or park the name terminally once MaxRetries consecutive failures
+// accumulate. The terminal state is keyed by spec hash, so editing
+// the spec file un-parks the network on the next sync.
+func (c *Controller) fail(name, hash string, err error) {
+	c.mu.Lock()
+	c.failures[name]++
+	n := c.failures[name]
+	parked := n >= c.opt.MaxRetries
+	if parked {
+		c.terminal[name] = hash
+	}
+	c.mu.Unlock()
+	if parked {
+		c.outcomes["terminal"].Inc()
+		c.log.Printf("reconcile: network %q: giving up after %d attempts: %v", name, n, err)
+		return
+	}
+	c.outcomes["error"].Inc()
+	c.retries.Inc()
+	delay := backoff(c.opt.BackoffBase, c.opt.BackoffMax, n)
+	c.log.Printf("reconcile: network %q: attempt %d failed, retrying in %s: %v", name, n, delay, err)
+	c.q.AddAfter(name, delay)
+}
+
+// backoff is the per-item exponential retry delay: base doubled per
+// consecutive failure, capped at max.
+func backoff(base, max time.Duration, failures int) time.Duration {
+	d := base
+	for i := 1; i < failures; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// driftGaugeLocked returns (registering on first use) the per-network
+// drift gauge. Caller holds c.mu.
+func (c *Controller) driftGaugeLocked(name string) *metrics.Gauge {
+	g, ok := c.drift[name]
+	if !ok {
+		g = c.mreg.Gauge("sinr_network_drift",
+			"1 while the network's live generation differs from its desired spec.",
+			metrics.L("network", name))
+		c.drift[name] = g
+	}
+	return g
+}
+
+// dropDriftGaugeLocked unregisters a removed network's drift gauge so
+// /metrics does not accumulate series for names that no longer exist.
+// Caller holds c.mu.
+func (c *Controller) dropDriftGaugeLocked(name string) {
+	if _, ok := c.drift[name]; ok {
+		c.mreg.Unregister("sinr_network_drift", metrics.L("network", name))
+		delete(c.drift, name)
+	}
+}
+
+// Stats is a point-in-time controller summary for tools and tests.
+type Stats struct {
+	Desired    int               // networks described by the spec directory
+	Adopted    int               // networks this controller manages
+	Terminal   int               // networks parked after MaxRetries
+	QueueDepth int               // keys waiting in the workqueue
+	Outcomes   map[string]uint64 // reconcile outcome counters by result
+}
+
+// Stats reports the controller's current bookkeeping and outcome
+// counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	s := Stats{
+		Desired:  len(c.desired),
+		Adopted:  len(c.adopted),
+		Terminal: len(c.terminal),
+	}
+	c.mu.Unlock()
+	s.QueueDepth = c.q.Len()
+	s.Outcomes = make(map[string]uint64, len(outcomeResults))
+	for _, r := range outcomeResults {
+		s.Outcomes[r] = c.outcomes[r].Value()
+	}
+	return s
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,37 @@
+package reconcile
+
+import "sync"
+
+// keyLock is a set of named mutexes: lock(name) excludes every other
+// lock(name) while letting distinct names proceed concurrently — the
+// guarantee that two workers never reconcile the same network at the
+// same time, without serializing the whole fleet behind one lock.
+// Mutexes are created on first use and kept for the controller's
+// lifetime; the population is bounded by the number of network names
+// ever seen in the spec directory, so there is nothing to reap.
+type keyLock struct {
+	mu    sync.Mutex
+	locks map[string]*sync.Mutex
+}
+
+func newKeyLock() *keyLock {
+	return &keyLock{locks: make(map[string]*sync.Mutex)}
+}
+
+func (k *keyLock) lock(key string) {
+	k.mu.Lock()
+	m, ok := k.locks[key]
+	if !ok {
+		m = &sync.Mutex{}
+		k.locks[key] = m
+	}
+	k.mu.Unlock()
+	m.Lock()
+}
+
+func (k *keyLock) unlock(key string) {
+	k.mu.Lock()
+	m := k.locks[key]
+	k.mu.Unlock()
+	m.Unlock()
+}

@@ -1,0 +1,116 @@
+package reconcile
+
+import (
+	"sync"
+	"time"
+)
+
+// workqueue is a deduplicating work queue in the Kubernetes
+// client-go shape: Add marks a key dirty and queues it unless it is
+// already waiting; a key handed out by Get moves to processing and is
+// NOT re-queued by concurrent Adds until Done — instead the dirty mark
+// survives and Done re-queues it once. The combination guarantees a
+// key is never held by two workers at once while never losing a
+// change notification.
+type workqueue struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	order      []string
+	dirty      map[string]struct{}
+	processing map[string]struct{}
+	added      map[string]time.Time // enqueue instant, for the latency metric
+	shutdown   bool
+}
+
+func newWorkqueue() *workqueue {
+	q := &workqueue{
+		dirty:      make(map[string]struct{}),
+		processing: make(map[string]struct{}),
+		added:      make(map[string]time.Time),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Add queues key unless it is already queued. If key is currently
+// being processed, the dirty mark is recorded and Done re-queues it.
+func (q *workqueue) Add(key string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.shutdown {
+		return
+	}
+	if _, ok := q.dirty[key]; ok {
+		return
+	}
+	q.dirty[key] = struct{}{}
+	if _, ok := q.added[key]; !ok {
+		q.added[key] = time.Now() //sinr:nondeterministic-ok queue-latency metric bookkeeping, not a diff decision
+	}
+	if _, ok := q.processing[key]; ok {
+		return
+	}
+	q.order = append(q.order, key)
+	q.cond.Signal()
+}
+
+// AddAfter re-queues key after delay — the retry/backoff edge. The
+// timer outlives a shutdown harmlessly: a post-shutdown Add no-ops.
+func (q *workqueue) AddAfter(key string, delay time.Duration) {
+	if delay <= 0 {
+		q.Add(key)
+		return
+	}
+	time.AfterFunc(delay, func() { q.Add(key) }) //sinr:nondeterministic-ok retry backoff pacing, not a diff decision
+}
+
+// Get blocks for the next key, reporting how long it waited in the
+// queue. ok is false only after ShutDown drains the queue empty.
+func (q *workqueue) Get() (key string, waited time.Duration, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.order) == 0 && !q.shutdown {
+		q.cond.Wait()
+	}
+	if len(q.order) == 0 {
+		return "", 0, false
+	}
+	key = q.order[0]
+	q.order = q.order[1:]
+	q.processing[key] = struct{}{}
+	delete(q.dirty, key)
+	if t, tracked := q.added[key]; tracked {
+		waited = time.Since(t) //sinr:nondeterministic-ok queue-latency metric bookkeeping, not a diff decision
+		delete(q.added, key)
+	}
+	return key, waited, true
+}
+
+// Done releases key after processing; if it went dirty again while
+// being processed, it is re-queued exactly once.
+func (q *workqueue) Done(key string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	delete(q.processing, key)
+	if _, ok := q.dirty[key]; ok && !q.shutdown {
+		q.order = append(q.order, key)
+		q.cond.Signal()
+	}
+}
+
+// Len reports keys waiting (not ones being processed) — the queue
+// depth gauge.
+func (q *workqueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.order)
+}
+
+// ShutDown wakes every blocked Get; workers drain the remaining keys
+// and then observe ok == false.
+func (q *workqueue) ShutDown() {
+	q.mu.Lock()
+	q.shutdown = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

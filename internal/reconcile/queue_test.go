@@ -1,0 +1,156 @@
+package reconcile
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustGet(t *testing.T, q *workqueue) string {
+	t.Helper()
+	type got struct {
+		key string
+		ok  bool
+	}
+	ch := make(chan got, 1)
+	go func() {
+		key, _, ok := q.Get()
+		ch <- got{key, ok}
+	}()
+	select {
+	case g := <-ch:
+		if !g.ok {
+			t.Fatal("Get returned ok=false")
+		}
+		return g.key
+	case <-time.After(5 * time.Second):
+		t.Fatal("Get blocked")
+		return ""
+	}
+}
+
+func TestWorkqueueDedup(t *testing.T) {
+	q := newWorkqueue()
+	q.Add("x")
+	q.Add("x")
+	q.Add("y")
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d after duplicate Add, want 2", q.Len())
+	}
+	if k := mustGet(t, q); k != "x" {
+		t.Fatalf("first Get = %q, want x", k)
+	}
+	if k := mustGet(t, q); k != "y" {
+		t.Fatalf("second Get = %q, want y", k)
+	}
+}
+
+// A key added while being processed must not be handed to a second
+// worker, and must come back exactly once after Done.
+func TestWorkqueueRequeueAfterDone(t *testing.T) {
+	q := newWorkqueue()
+	q.Add("x")
+	if k := mustGet(t, q); k != "x" {
+		t.Fatalf("Get = %q", k)
+	}
+	q.Add("x") // while processing: marks dirty, does not queue
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d while x is processing, want 0", q.Len())
+	}
+	q.Done("x")
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after Done of a dirty key, want 1", q.Len())
+	}
+	if k := mustGet(t, q); k != "x" {
+		t.Fatalf("requeued Get = %q", k)
+	}
+	q.Done("x")
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after clean Done, want 0", q.Len())
+	}
+}
+
+func TestWorkqueueAddAfter(t *testing.T) {
+	q := newWorkqueue()
+	q.AddAfter("x", 2*time.Millisecond)
+	if k := mustGet(t, q); k != "x" {
+		t.Fatalf("Get = %q", k)
+	}
+	q.AddAfter("y", 0) // non-positive delay adds immediately
+	if k := mustGet(t, q); k != "y" {
+		t.Fatalf("Get = %q", k)
+	}
+}
+
+func TestWorkqueueShutdownDrains(t *testing.T) {
+	q := newWorkqueue()
+	q.Add("a")
+	q.Add("b")
+	q.ShutDown()
+	if k := mustGet(t, q); k != "a" {
+		t.Fatalf("Get = %q", k)
+	}
+	if k := mustGet(t, q); k != "b" {
+		t.Fatalf("Get = %q", k)
+	}
+	if _, _, ok := q.Get(); ok {
+		t.Fatal("Get after drain returned ok=true")
+	}
+	q.Add("c") // post-shutdown Add is a no-op
+	if q.Len() != 0 {
+		t.Fatal("Add after shutdown queued a key")
+	}
+}
+
+func TestWorkqueueShutdownWakesBlockedGet(t *testing.T) {
+	q := newWorkqueue()
+	done := make(chan bool, 1)
+	go func() {
+		_, _, ok := q.Get()
+		done <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	q.ShutDown()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("blocked Get returned ok=true after shutdown")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Get still blocked after ShutDown")
+	}
+}
+
+// TestKeyLockExcludes drives unsynchronized counters that are only
+// protected by the per-name locks; under -race this fails loudly if
+// two holders of the same key ever overlap, while distinct keys
+// proceed concurrently.
+func TestKeyLockExcludes(t *testing.T) {
+	kl := newKeyLock()
+	const goroutines, iters = 8, 500
+	var a, b int // protected only by keyLock("a") / keyLock("b")
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				kl.lock("a")
+				a++
+				kl.unlock("a")
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				kl.lock("b")
+				b++
+				kl.unlock("b")
+			}
+		}()
+	}
+	wg.Wait()
+	if a != goroutines*iters || b != goroutines*iters {
+		t.Fatalf("counters a=%d b=%d, want both %d", a, b, goroutines*iters)
+	}
+}

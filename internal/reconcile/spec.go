@@ -1,0 +1,128 @@
+package reconcile
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+// ParseSpec decodes one spec document — JSON or the YAML subset,
+// sniffed by the first non-space byte — into a NetworkSpec. Decoding
+// is strict: unknown fields are errors, so a typoed key fails loudly
+// instead of silently describing a different network.
+func ParseSpec(data []byte) (*serve.NetworkSpec, error) {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("empty spec")
+	}
+	if trimmed[0] != '{' {
+		tree, err := parseYAML(data)
+		if err != nil {
+			return nil, err
+		}
+		// Round-trip the generic tree through JSON so both formats share
+		// one strict decode path.
+		trimmed, err = json.Marshal(tree)
+		if err != nil {
+			return nil, err
+		}
+	}
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	var spec serve.NetworkSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("bad spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("bad spec: trailing content after document")
+	}
+	return &spec, nil
+}
+
+// specFile is one successfully parsed spec file: the normalized spec
+// and the content hash its registry generation will carry.
+type specFile struct {
+	path string
+	spec *serve.NetworkSpec
+	hash string
+}
+
+// specError is one file the lister could not turn into a spec.
+type specError struct {
+	path string
+	err  error
+}
+
+// isSpecPath reports whether a directory entry looks like a spec file:
+// a regular .json/.yaml/.yml file that is not hidden and not an
+// editor/atomic-write artifact (*.tmp and dotfiles are skipped so
+// write-then-rename producers never expose half files).
+func isSpecPath(name string) bool {
+	if strings.HasPrefix(name, ".") {
+		return false
+	}
+	switch strings.ToLower(filepath.Ext(name)) {
+	case ".json", ".yaml", ".yml":
+		return true
+	}
+	return false
+}
+
+// loadSpecDir lists dir and parses every spec file, in lexical path
+// order. Files that fail to read, parse, or normalize are reported as
+// specErrors, never dropped silently. A missing or unreadable
+// directory is one specError for the directory itself — the caller
+// treats it like "no files listed", keeping last-good state alive.
+func loadSpecDir(dir string) ([]specFile, []specError) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, []specError{{path: dir, err: err}}
+	}
+	var files []specFile
+	var errs []specError
+	for _, e := range entries {
+		if e.IsDir() || !isSpecPath(e.Name()) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			errs = append(errs, specError{path: path, err: err})
+			continue
+		}
+		spec, err := ParseSpec(data)
+		if err != nil {
+			errs = append(errs, specError{path: path, err: err})
+			continue
+		}
+		canonical, err := spec.CanonicalJSON()
+		if err != nil {
+			errs = append(errs, specError{path: path, err: err})
+			continue
+		}
+		files = append(files, specFile{path: path, spec: spec, hash: serve.SpecHash(canonical)})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].path < files[j].path })
+	return files, errs
+}
+
+// cloneSpec deep-copies a spec so the controller's desired state and
+// the registry's stored snapshot never alias each other's slices.
+func cloneSpec(sp *serve.NetworkSpec) *serve.NetworkSpec {
+	out := *sp
+	out.Stations = append([]serve.SpecStation(nil), sp.Stations...)
+	if sp.Powers != nil {
+		out.Powers = append([]float64(nil), sp.Powers...)
+	}
+	if sp.Schedule != nil {
+		pol := *sp.Schedule
+		out.Schedule = &pol
+	}
+	return &out
+}

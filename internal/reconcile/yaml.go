@@ -1,0 +1,239 @@
+package reconcile
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// A minimal YAML-subset parser, dependency-free by design (the module
+// vendors nothing): enough YAML for declarative network specs and no
+// more. Supported: block mappings (key: value / key: + nested block),
+// block sequences ("- " items, including inline "- key: value"
+// mapping starts), scalars (null, booleans, numbers, bare and quoted
+// strings), full-line and trailing comments, and blank lines.
+// Unsupported (rejected or misparsed, use JSON instead): anchors,
+// aliases, tags, multi-line scalars, flow collections, and multiple
+// documents. The parse result converts to the same generic shape a
+// JSON decode produces, so both formats funnel through one
+// NetworkSpec decode path.
+
+type yamlLine struct {
+	indent int
+	text   string // content without indentation or trailing comment
+	num    int    // 1-based source line, for errors
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseYAML parses one document into the generic any-tree
+// (map[string]any / []any / scalars).
+func parseYAML(data []byte) (any, error) {
+	raw := strings.Split(string(data), "\n")
+	lines := make([]yamlLine, 0, len(raw))
+	for i, line := range raw {
+		if strings.ContainsRune(line, '\t') {
+			return nil, fmt.Errorf("yaml line %d: tabs are not allowed in indentation", i+1)
+		}
+		trimmed := strings.TrimLeft(line, " ")
+		indent := len(line) - len(trimmed)
+		trimmed = stripComment(trimmed)
+		trimmed = strings.TrimRight(trimmed, " ")
+		if trimmed == "" {
+			continue
+		}
+		if trimmed == "---" {
+			if len(lines) > 0 {
+				return nil, fmt.Errorf("yaml line %d: multiple documents are not supported", i+1)
+			}
+			continue
+		}
+		lines = append(lines, yamlLine{indent: indent, text: trimmed, num: i + 1})
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("yaml line %d: unexpected content %q (bad indentation?)", l.num, l.text)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing " #..." comment (or a whole-line
+// comment) outside of quotes.
+func stripComment(s string) string {
+	if strings.HasPrefix(s, "#") {
+		return ""
+	}
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble && i > 0 && s[i-1] == ' ' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses the node starting at the current line, which must
+// sit at exactly indent.
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	l := p.lines[p.pos]
+	if l.indent != indent {
+		return nil, fmt.Errorf("yaml line %d: unexpected indentation", l.num)
+	}
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.parseSequence(indent)
+	}
+	if key, _, ok := splitKey(l.text); ok && key != "" {
+		return p.parseMapping(indent)
+	}
+	// A single scalar document/value.
+	p.pos++
+	return parseScalar(l.text)
+}
+
+func (p *yamlParser) parseMapping(indent int) (any, error) {
+	m := make(map[string]any)
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("yaml line %d: unexpected indentation", l.num)
+		}
+		key, rest, ok := splitKey(l.text)
+		if !ok {
+			return nil, fmt.Errorf("yaml line %d: expected \"key: value\", got %q", l.num, l.text)
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("yaml line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseScalar(rest)
+			if err != nil {
+				return nil, fmt.Errorf("yaml line %d: %w", l.num, err)
+			}
+			m[key] = v
+			continue
+		}
+		// "key:" with the value as a nested block (or empty).
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else {
+			m[key] = nil
+		}
+	}
+	return m, nil
+}
+
+func (p *yamlParser) parseSequence(indent int) (any, error) {
+	seq := []any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (l.text != "-" && !strings.HasPrefix(l.text, "- ")) {
+			if l.indent >= indent && l.text != "" {
+				if l.indent == indent {
+					break // a mapping key at this indent ends the sequence for the caller
+				}
+				return nil, fmt.Errorf("yaml line %d: unexpected indentation in sequence", l.num)
+			}
+			break
+		}
+		if l.text == "-" {
+			// The item is the following more-indented block.
+			p.pos++
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				v, err := p.parseBlock(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+				seq = append(seq, v)
+			} else {
+				seq = append(seq, nil)
+			}
+			continue
+		}
+		// "- content": rewrite the dash line as its content at the
+		// item's indentation and parse a block there, so "- x: 0"
+		// followed by deeper "y: 1" lines forms one mapping item.
+		p.lines[p.pos] = yamlLine{indent: indent + 2, text: l.text[2:], num: l.num}
+		v, err := p.parseBlock(indent + 2)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, v)
+	}
+	return seq, nil
+}
+
+// splitKey splits "key: value" / "key:"; keys may be bare words only.
+func splitKey(s string) (key, rest string, ok bool) {
+	i := strings.Index(s, ":")
+	if i <= 0 {
+		return "", "", false
+	}
+	key = s[:i]
+	if strings.ContainsAny(key, "\"' {}[],") {
+		return "", "", false
+	}
+	rest = strings.TrimLeft(s[i+1:], " ")
+	if rest != "" && !strings.HasPrefix(s[i+1:], " ") {
+		// "a:b" is a scalar, not a mapping.
+		return "", "", false
+	}
+	return key, rest, true
+}
+
+func parseScalar(s string) (any, error) {
+	switch s {
+	case "null", "~", "":
+		return nil, nil
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	if strings.HasPrefix(s, `"`) {
+		u, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad quoted string %s", s)
+		}
+		return u, nil
+	}
+	if strings.HasPrefix(s, "'") {
+		if len(s) < 2 || !strings.HasSuffix(s, "'") {
+			return nil, fmt.Errorf("bad quoted string %s", s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}

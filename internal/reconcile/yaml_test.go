@@ -1,0 +1,151 @@
+package reconcile
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func TestParseYAMLGenericTree(t *testing.T) {
+	doc := `
+# a full-line comment
+name: demo
+count: 3
+ratio: -1.5
+flag: true
+off: false
+nothing: null
+quoted: "a: b # not a comment"
+single: 'it''s'
+nested:
+  inner: 1
+  deeper:
+    leaf: ok
+list:
+  - 1
+  - two
+  - x: 0
+    y: 2.5
+empty:
+trailing: value # trailing comment
+`
+	got, err := parseYAML([]byte(doc))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	want := map[string]any{
+		"name":    "demo",
+		"count":   3.0,
+		"ratio":   -1.5,
+		"flag":    true,
+		"off":     false,
+		"nothing": nil,
+		"quoted":  "a: b # not a comment",
+		"single":  "it's",
+		"nested": map[string]any{
+			"inner":  1.0,
+			"deeper": map[string]any{"leaf": "ok"},
+		},
+		"list":     []any{1.0, "two", map[string]any{"x": 0.0, "y": 2.5}},
+		"empty":    nil,
+		"trailing": "value",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseYAML mismatch:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"tab indentation", "name: x\n\tbad: 1\n", "tabs"},
+		{"duplicate key", "a: 1\na: 2\n", "duplicate key"},
+		{"second document", "---\na: 1\n---\nb: 2\n", "multiple documents"},
+		{"empty document", "\n# only a comment\n", "empty document"},
+		{"bad dedent", "a:\n    b: 1\n  c: 2\n", "indentation"},
+		{"unterminated quote", `a: "oops` + "\n", "quoted string"},
+		{"key with brace", "{a: 1}\nextra: 2\n", "expected"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("parseYAML(%q) succeeded, want error containing %q", tc.doc, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseSpecFormatEquivalence pins the YAML and JSON front doors to
+// one canonical form: the same network described in either format must
+// normalize to identical canonical bytes and hash.
+func TestParseSpecFormatEquivalence(t *testing.T) {
+	yamlDoc := `
+name: paper
+noise: 0.2          # N
+beta: 1.5           # SINR threshold
+resolver: exact
+stations:
+  - x: 0
+    y: 0
+  - x: 3
+    y: 4
+    power: 2
+schedule:
+  scheduler: greedy
+  order: id
+`
+	jsonDoc := `{
+  "name": "paper",
+  "stations": [{"x":0,"y":0},{"x":3,"y":4,"power":2}],
+  "noise": 0.2,
+  "beta": 1.5,
+  "resolver": "exact",
+  "schedule": {"scheduler":"greedy","order":"id"}
+}`
+	fromYAML, err := ParseSpec([]byte(yamlDoc))
+	if err != nil {
+		t.Fatalf("ParseSpec(yaml): %v", err)
+	}
+	fromJSON, err := ParseSpec([]byte(jsonDoc))
+	if err != nil {
+		t.Fatalf("ParseSpec(json): %v", err)
+	}
+	cy, err := fromYAML.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON(yaml): %v", err)
+	}
+	cj, err := fromJSON.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON(json): %v", err)
+	}
+	if string(cy) != string(cj) {
+		t.Fatalf("canonical forms differ:\n yaml %s\n json %s", cy, cj)
+	}
+	if serve.SpecHash(cy) != serve.SpecHash(cj) {
+		t.Fatal("hashes differ for equivalent specs")
+	}
+}
+
+func TestParseSpecStrict(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"name":"x","stations":[],"noise":0,"beta":1,"typo_field":3}`)); err == nil {
+		t.Fatal("unknown JSON field accepted")
+	}
+	if _, err := ParseSpec([]byte("name: x\ntypo_field: 3\n")); err == nil {
+		t.Fatal("unknown YAML field accepted")
+	}
+	if _, err := ParseSpec([]byte("   \n")); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"name":"x"} {"name":"y"}`)); err == nil {
+		t.Fatal("trailing JSON document accepted")
+	}
+}

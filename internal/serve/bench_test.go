@@ -29,9 +29,9 @@ func benchServer(b *testing.B, eps float64) (*httptest.Server, []geom.Point) {
 	b.Cleanup(ts.Close)
 
 	reg := NetworkRequest{Name: "bench", Noise: 0.01, Beta: 3}
-	reg.Stations = make([]PointJSON, len(stations))
+	reg.Stations = make([]SpecStation, len(stations))
 	for i, s := range stations {
-		reg.Stations[i] = PointJSON{X: s.X, Y: s.Y}
+		reg.Stations[i] = SpecStation{X: s.X, Y: s.Y}
 	}
 	body, _ := json.Marshal(reg)
 	resp, err := ts.Client().Post(ts.URL+"/v1/networks", "application/json", bytes.NewReader(body))
@@ -117,9 +117,9 @@ func BenchmarkServeBatch(b *testing.B) {
 	}
 	srv := NewServer(Options{MaxConcurrent: 4})
 	reg := NetworkRequest{Name: "bench", Noise: 0.01, Beta: 3}
-	reg.Stations = make([]PointJSON, len(stations))
+	reg.Stations = make([]SpecStation, len(stations))
 	for i, s := range stations {
-		reg.Stations[i] = PointJSON{X: s.X, Y: s.Y}
+		reg.Stations[i] = SpecStation{X: s.X, Y: s.Y}
 	}
 	regBody, _ := json.Marshal(reg)
 	rw := httptest.NewRecorder()

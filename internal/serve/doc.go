@@ -6,12 +6,27 @@
 //
 // # Endpoints
 //
-//	POST  /v1/networks        register or replace a named network
-//	GET   /v1/networks        list registered networks
-//	PATCH /v1/networks/{name} apply a station delta (add/remove/set_power)
-//	POST  /v1/locate          JSON batch of points -> exact answers
-//	POST  /v1/locate/stream   NDJSON points in -> NDJSON answers out
-//	GET   /healthz            liveness probe
+//	POST   /v1/networks        register or replace a named network (NetworkSpec body)
+//	GET    /v1/networks        list registered networks
+//	GET    /v1/networks/{name} canonical spec readback (byte-stable; version + hash headers)
+//	DELETE /v1/networks/{name} remove a network, its cached resolvers/schedules, and its gauges
+//	PATCH  /v1/networks/{name} apply a station delta (add/remove/set_power)
+//	POST   /v1/locate          JSON batch of points -> exact answers
+//	POST   /v1/locate/stream   NDJSON points in -> NDJSON answers out
+//	GET    /healthz            liveness probe
+//
+// # Declarative networks
+//
+// NetworkSpec (spec.go) is the one canonical description of a
+// network; the server stores each generation's normalized spec, its
+// canonical serialization, and its content hash. GET
+// /v1/networks/{name} returns those stored bytes verbatim — creating
+// a network from a spec and reading it back is byte-identical — with
+// the generation in a Sinr-Network-Version header and the hash in
+// Sinr-Spec-Hash. ApplySpec converges a name toward a spec with the
+// cheapest operation (no-op on hash match, the delta path for
+// station/power/metadata drift, rebuild for physics changes), which
+// is what the reconcile controller (internal/reconcile) drives.
 //
 // # Resolver selection
 //

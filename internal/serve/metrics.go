@@ -22,6 +22,8 @@ type route int
 
 const (
 	routeNetworks route = iota // POST/GET /v1/networks
+	routeSpec                  // GET /v1/networks/{name}
+	routeDelete                // DELETE /v1/networks/{name}
 	routePatch                 // PATCH /v1/networks/{name}
 	routeSchedule              // POST /v1/networks/{name}/schedule
 	routeLocate                // POST /v1/locate
@@ -33,7 +35,7 @@ const (
 )
 
 var routeNames = [numRoutes]string{
-	"networks", "patch", "schedule", "locate", "stream", "healthz", "readyz", "metrics",
+	"networks", "spec", "delete", "patch", "schedule", "locate", "stream", "healthz", "readyz", "metrics",
 }
 
 // codeClass buckets response statuses for the request counters. 429
@@ -224,6 +226,17 @@ func (m *serveMetrics) registerNetworkGauges(name string, entry *netEntry) {
 			}
 			return 0
 		}, label)
+}
+
+// unregisterNetworkGauges drops the per-network generation gauges —
+// the delete-path counterpart of registerNetworkGauges, without which
+// a scrape would report versions and station counts for networks that
+// no longer exist, forever.
+func (m *serveMetrics) unregisterNetworkGauges(name string) {
+	label := metrics.L("network", name)
+	m.reg.Unregister("sinr_network_epoch", label)
+	m.reg.Unregister("sinr_network_version", label)
+	m.reg.Unregister("sinr_network_stations", label)
 }
 
 // kindIdx maps a Kind to its metric-array slot, clamping unknown

@@ -201,6 +201,26 @@ func (c *schedCache) evictLocked() {
 	}
 }
 
+// invalidateName drops every cached schedule of one network — the
+// delete path. Schedule keys are generation-free (supersession is
+// repaired, not evicted), so without this a deleted network's
+// schedules would sit in cache until LRU pressure aged them out, and a
+// re-created namesake could answer from the dead network's slots via
+// the repair path.
+func (c *schedCache) invalidateName(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		kv := el.Value.(*schedKV)
+		if kv.key.name == name {
+			c.lru.Remove(el)
+			delete(c.entries, kv.key)
+		}
+		el = next
+	}
+}
+
 // Hits returns cache hits (current-generation answers served without
 // a build).
 func (c *schedCache) Hits() int64 { return c.hits.Load() }
@@ -231,6 +251,28 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	var req ScheduleRequest
 	if !decodeBody(w, r, s.opt.MaxBodyBytes, &req) {
 		return
+	}
+	entry, ok := s.entryFor(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown network %q", name)
+		return
+	}
+	// Knobs the request omits inherit the network's declared schedule
+	// policy (NetworkSpec.Schedule) before the server defaults apply.
+	if snap := entry.snap.Load(); snap != nil && snap.spec != nil && snap.spec.Schedule != nil {
+		pol := snap.spec.Schedule
+		if req.Scheduler == "" {
+			req.Scheduler = pol.Scheduler
+		}
+		if req.Model == "" {
+			req.Model = pol.Model
+		}
+		if req.Order == "" {
+			req.Order = pol.Order
+		}
+		if req.LinkLen == 0 {
+			req.LinkLen = pol.LinkLen
+		}
 	}
 	kind, err := sched.ParseKind(req.Scheduler)
 	if err != nil {
@@ -287,11 +329,6 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	entry, ok := s.entryFor(name)
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown network %q", name)
-		return
-	}
 	// Admission gates the build: scheduling is the most expensive
 	// request the server takes, so it shares the network's concurrency
 	// slots with locate traffic.

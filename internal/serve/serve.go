@@ -101,6 +101,14 @@ type snapshot struct {
 	kind    resolve.Kind
 	radius  float64
 	epoch   *dynamic.Snapshot
+	// Declarative identity: the normalized spec this generation serves,
+	// its canonical serialization (the GET /v1/networks/{name} readback,
+	// byte-stable through create) and the content hash the reconcile
+	// differ compares. A PATCH delta re-derives all three from the new
+	// epoch so readback never goes stale.
+	spec     *NetworkSpec
+	specJSON []byte
+	specHash string
 }
 
 // netEntry is a registry slot for one network name; the snapshot
@@ -185,6 +193,8 @@ func NewServer(opt Options) *Server {
 	s.retryAfterSecs = strconv.FormatInt(int64((opt.RetryAfter+time.Second-1)/time.Second), 10)
 
 	s.mux.HandleFunc("/v1/networks", s.instrument(routeNetworks, s.handleNetworks))
+	s.mux.HandleFunc("GET /v1/networks/{name}", s.instrument(routeSpec, s.handleGetNetwork))
+	s.mux.HandleFunc("DELETE /v1/networks/{name}", s.instrument(routeDelete, s.handleDeleteNetwork))
 	s.mux.HandleFunc("PATCH /v1/networks/{name}", s.instrument(routePatch, s.handlePatchNetwork))
 	s.mux.HandleFunc("POST /v1/networks/{name}/schedule", s.instrument(routeSchedule, s.handleSchedule))
 	s.mux.HandleFunc("/v1/locate", s.instrument(routeLocate, s.handleLocate))
@@ -242,21 +252,8 @@ type PointJSON struct {
 	Y float64 `json:"y"`
 }
 
-// NetworkRequest is the POST /v1/networks body. Resolver sets the
-// network's default backend ("exact", "locator", "voronoi" or "udg";
-// empty means "locator") and Radius its default UDG connectivity
-// radius (0 means derived via resolve.DefaultUDGRadius); both can be
-// overridden per request.
-type NetworkRequest struct {
-	Name     string      `json:"name"`
-	Stations []PointJSON `json:"stations"`
-	Noise    float64     `json:"noise"`
-	Beta     float64     `json:"beta"`
-	Powers   []float64   `json:"powers,omitempty"`
-	Alpha    float64     `json:"alpha,omitempty"`
-	Resolver string      `json:"resolver,omitempty"`
-	Radius   float64     `json:"radius,omitempty"`
-}
+// The POST /v1/networks body is NetworkSpec (see spec.go); the old
+// NetworkRequest name survives as a deprecated alias of it.
 
 // NetworkResponse acknowledges a registration or a PATCH delta.
 // Epoch and ApplyPath are set by PATCH responses: Epoch is the
@@ -376,83 +373,63 @@ func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) registerNetwork(w http.ResponseWriter, r *http.Request) {
-	var req NetworkRequest
-	if !decodeBody(w, r, s.opt.MaxBodyBytes, &req) {
+	var spec NetworkSpec
+	if !decodeBody(w, r, s.opt.MaxBodyBytes, &spec) {
 		return
 	}
-	if req.Name == "" {
-		writeError(w, http.StatusBadRequest, "network name is required")
-		return
-	}
-	stations := make([]geom.Point, len(req.Stations))
-	for i, p := range req.Stations {
-		stations[i] = geom.Pt(p.X, p.Y)
-	}
-	var opts []core.Option
-	if req.Powers != nil {
-		opts = append(opts, core.WithPowers(req.Powers))
-	}
-	if req.Alpha != 0 {
-		opts = append(opts, core.WithAlpha(req.Alpha))
-	}
-	net, err := core.NewNetwork(stations, req.Noise, req.Beta, opts...)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid network: %v", err)
-		return
-	}
-	kind, err := resolve.ParseKind(req.Resolver)
+	// POST keeps its historical register/replace semantics: every call
+	// lands a new generation (hot-swap tests and operators rely on the
+	// version bump), so the convergent paths are bypassed.
+	res, err := s.applySpec(&spec, false)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if req.Radius < 0 || math.IsNaN(req.Radius) || math.IsInf(req.Radius, 0) {
-		writeError(w, http.StatusBadRequest, "radius must be a non-negative finite number, got %g", req.Radius)
-		return
-	}
-
-	dyn, err := dynamic.New(net)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid network: %v", err)
-		return
-	}
-
-	s.mu.Lock()
-	entry, ok := s.nets[req.Name]
-	if !ok {
-		entry = &netEntry{}
-		if s.opt.MaxConcurrent > 0 {
-			entry.sem = make(chan struct{}, s.opt.MaxConcurrent)
-		}
-		s.nets[req.Name] = entry
-	}
-	s.mu.Unlock()
-	if !ok {
-		// First sighting of this name: publish its generation gauges
-		// (idempotent in the registry, but the closures capture the
-		// entry, which is created exactly once per name).
-		s.m.registerNetworkGauges(req.Name, entry)
-	}
-
-	// entry.mu serializes this store against concurrent PATCHes (and
-	// other re-registrations) of the same name, so versions are
-	// strictly increasing.
-	entry.mu.Lock()
-	version := uint64(1)
-	if old := entry.snap.Load(); old != nil {
-		version = old.version + 1
-	}
-	entry.dyn = dyn
-	// The swap is atomic: requests that loaded the old snapshot keep
-	// serving from it; every later request sees the new generation.
-	entry.snap.Store(&snapshot{net: net, version: version, kind: kind, radius: req.Radius, epoch: dyn.Snapshot()})
-	entry.mu.Unlock()
-
-	// Age out resolvers of replaced generations.
-	s.cache.invalidate(req.Name, version)
-
 	writeJSON(w, http.StatusOK, NetworkResponse{
-		Name: req.Name, Version: version, Stations: net.NumStations(), Resolver: kind.String(),
+		Name: res.Name, Version: res.Version, Stations: res.Stations, Resolver: res.Resolver,
 	})
+}
+
+// handleGetNetwork serves GET /v1/networks/{name}: the canonical
+// serialization of the spec behind the live generation, byte-for-byte
+// what a create with this spec stored. The generation and spec hash
+// ride along as headers so pollers can watch for convergence without
+// parsing the body.
+func (s *Server) handleGetNetwork(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	entry, ok := s.entryFor(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown network %q", name)
+		return
+	}
+	snap := entry.snap.Load()
+	if snap == nil || snap.specJSON == nil {
+		writeError(w, http.StatusNotFound, "unknown network %q", name)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Sinr-Network-Version", strconv.FormatUint(snap.version, 10))
+	w.Header().Set("Sinr-Spec-Hash", snap.specHash)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(snap.specJSON)
+}
+
+// DeleteResponse acknowledges DELETE /v1/networks/{name}.
+type DeleteResponse struct {
+	Name    string `json:"name"`
+	Deleted bool   `json:"deleted"`
+}
+
+// handleDeleteNetwork serves DELETE /v1/networks/{name}: the registry
+// slot, every cached resolver and schedule of the name, and its
+// per-network gauges all go — see Server.DeleteNetwork.
+func (s *Server) handleDeleteNetwork(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.DeleteNetwork(name) {
+		writeError(w, http.StatusNotFound, "unknown network %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, DeleteResponse{Name: name, Deleted: true})
 }
 
 // handlePatchNetwork applies a delta document to a registered network:
@@ -502,9 +479,16 @@ func (s *Server) handlePatchNetwork(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	version := old.version + 1
-	entry.snap.Store(&snapshot{
+	next := &snapshot{
 		net: es.Network(), version: version, kind: old.kind, radius: old.radius, epoch: es,
-	})
+	}
+	// Re-derive the declarative identity from the post-delta station
+	// set, so spec readback and the reconcile differ track imperative
+	// PATCHes too.
+	if old.spec != nil {
+		next.spec, next.specJSON, next.specHash = respec(old.spec, es.Network())
+	}
+	entry.snap.Store(next)
 	entry.mu.Unlock()
 
 	// Release the superseded generation's resolvers.

@@ -33,9 +33,9 @@ func testStations(t *testing.T, n int, seed int64) []geom.Point {
 
 func registerReq(name string, stations []geom.Point, noise, beta float64) NetworkRequest {
 	req := NetworkRequest{Name: name, Noise: noise, Beta: beta}
-	req.Stations = make([]PointJSON, len(stations))
+	req.Stations = make([]SpecStation, len(stations))
 	for i, s := range stations {
-		req.Stations[i] = PointJSON{X: s.X, Y: s.Y}
+		req.Stations[i] = SpecStation{X: s.X, Y: s.Y}
 	}
 	return req
 }

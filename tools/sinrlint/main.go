@@ -69,6 +69,7 @@ var defaultDetPkgs = []string{
 	"internal/shardindex",
 	"internal/geom",
 	"internal/kdtree",
+	"internal/reconcile",
 }
 
 // defaultServePkgs are the request-path packages held to the handler
