@@ -80,6 +80,14 @@
 // /metrics during the run to report peak in-flight and queued gauges.
 // If the first scrape fails (older server, exposition disabled) the
 // client warns once and carries on without it.
+//
+// -trace (default true) stamps every locate batch with a W3C
+// traceparent header (verifying the server echoes the same trace ID
+// back) and, after the run, fetches the server's flight recorder at
+// /debug/requests to print the per-stage timeline — admission queue
+// wait, resolver cache hit/build, batch resolve, encode — of the
+// slowest batch. Like metrics scraping, it degrades with a warning
+// against servers without the endpoint.
 package main
 
 import (
@@ -106,6 +114,7 @@ import (
 	"repro/internal/resolve"
 	"repro/internal/sched"
 	"repro/internal/serve"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -125,6 +134,7 @@ type config struct {
 	specDir               string
 	verify                bool
 	scrapeMetrics         bool
+	traceRequests         bool
 	metricsEvery          time.Duration
 }
 
@@ -160,6 +170,7 @@ func main() {
 	flag.StringVar(&cfg.specDir, "spec-dir", "", "register by writing a declarative spec here (a sinrserve -spec-dir) and wait for reconcile convergence instead of POSTing")
 	flag.BoolVar(&cfg.verify, "verify", false, "verify every served answer against a locally built backend of the same kind")
 	flag.BoolVar(&cfg.scrapeMetrics, "scrape-metrics", true, "scrape /metrics before and after the run and report server-side deltas")
+	flag.BoolVar(&cfg.traceRequests, "trace", true, "propagate W3C traceparent on locate batches and print the server-side timeline of the slowest one from /debug/requests")
 	flag.DurationVar(&cfg.metricsEvery, "metrics-every", 0, "also sample /metrics at this interval during the run for peak gauges (0 = off)")
 	flag.Parse()
 
@@ -321,6 +332,16 @@ func run(cfg config) error {
 	served := make([]int, len(points))      // station index or -1 per query
 	servedVer := make([]uint64, numBatches) // generation that answered each batch
 	latencies := make([]time.Duration, numBatches)
+
+	// Client-side trace identity: one traceparent per batch, so the
+	// slowest batch seen here can be matched to its server-side
+	// per-stage timeline in the flight recorder afterwards.
+	var tids *trace.IDSource
+	var batchTrace []string
+	if cfg.traceRequests {
+		tids = trace.NewIDSource()
+		batchTrace = make([]string, numBatches)
+	}
 	var next atomic.Int64
 	var failed atomic.Int64
 	var fail429, fail5xx, failOther atomic.Int64
@@ -387,8 +408,15 @@ func run(cfg config) error {
 				if hi > len(points) {
 					hi = len(points)
 				}
+				tp := ""
+				if tids != nil {
+					seq := tids.Next()
+					tid := tids.TraceID(seq)
+					tp = trace.FormatTraceparent(tid, tids.SpanIDFor(seq))
+					batchTrace[b] = tid.String()
+				}
 				t0 := time.Now()
-				results, version, err := locate(client, cfg.addr, cfg.name, kind.String(), cfg.eps, cfg.radius, points[lo:hi])
+				results, version, err := locate(client, cfg.addr, cfg.name, kind.String(), cfg.eps, cfg.radius, points[lo:hi], tp)
 				latencies[b] = time.Since(t0)
 				if err != nil {
 					// Any non-2xx is a hard failure, tallied by class so
@@ -444,6 +472,15 @@ func run(cfg config) error {
 	elapsed := time.Since(start)
 	peak.finish()
 
+	// Identify the slowest batch before the quantile sort destroys the
+	// batch-index association.
+	slowestBatch, slowestDur := 0, time.Duration(0)
+	for b, d := range latencies {
+		if d > slowestDur {
+			slowestBatch, slowestDur = b, d
+		}
+	}
+
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	qps := float64(len(points)) / elapsed.Seconds()
 	fmt.Printf("served %d queries in %v (%.0f queries/s, %d batches, %d hot swaps, %d churn deltas, %d failed)\n",
@@ -456,6 +493,14 @@ func run(cfg config) error {
 			fmt.Fprintf(os.Stderr, "sinrload: final metrics scrape: %v\n", err)
 		} else {
 			reportServerMetrics(before, after, &peak, cfg.metricsEvery)
+		}
+	}
+
+	if cfg.traceRequests && batchTrace != nil {
+		if err := reportSlowestTrace(client, cfg.addr, batchTrace[slowestBatch], slowestDur); err != nil {
+			// Timeline reporting degrades like metrics scraping: an old
+			// server without /debug/requests just loses the report.
+			fmt.Fprintf(os.Stderr, "sinrload: skipping trace timeline: %v\n", err)
 		}
 	}
 
@@ -756,7 +801,11 @@ func patch(client *http.Client, addr, name string, delta serve.NetworkDeltaReque
 	return out, nil
 }
 
-func locate(client *http.Client, addr, name, resolver string, eps, radius float64, pts []geom.Point) ([]serve.LocateResult, uint64, error) {
+// locate posts one batch. When traceparent is non-empty it is
+// propagated on the request, and the server's echoed traceparent must
+// carry the same trace ID — a broken round trip is a hard error, while
+// a missing echo is tolerated (an older server that does not trace).
+func locate(client *http.Client, addr, name, resolver string, eps, radius float64, pts []geom.Point, traceparent string) ([]serve.LocateResult, uint64, error) {
 	req := serve.LocateRequest{Network: name, Resolver: resolver, Eps: eps, Radius: radius}
 	req.Points = make([]serve.PointJSON, len(pts))
 	for i, p := range pts {
@@ -766,9 +815,27 @@ func locate(client *http.Client, addr, name, resolver string, eps, radius float6
 	if err != nil {
 		return nil, 0, err
 	}
-	resp, err := client.Post(addr+"/v1/locate", "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequest(http.MethodPost, addr+"/v1/locate", bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		hreq.Header.Set("Traceparent", traceparent)
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return nil, 0, err
+	}
+	if traceparent != "" {
+		if echo := resp.Header.Get("Traceparent"); echo != "" {
+			sentID, _, okSent := trace.ParseTraceparent(traceparent)
+			gotID, _, okGot := trace.ParseTraceparent(echo)
+			if !okSent || !okGot || gotID != sentID {
+				resp.Body.Close()
+				return nil, 0, fmt.Errorf("locate: traceparent did not round-trip: sent %q, got %q", traceparent, echo)
+			}
+		}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -784,6 +851,53 @@ func locate(client *http.Client, addr, name, resolver string, eps, radius float6
 		return nil, 0, fmt.Errorf("locate: %d results for %d points", len(out.Results), len(pts))
 	}
 	return out.Results, out.Version, nil
+}
+
+// reportSlowestTrace fetches the server's flight recorder and prints
+// the per-stage timeline of this run's slowest batch. The recorder
+// tail-samples, so the client's slowest batch is normally captured; if
+// it was displaced (another route's traffic, a slower non-locate
+// request), the recorder's own slowest locate trace is shown instead.
+func reportSlowestTrace(client *http.Client, addr, wantTraceID string, clientDur time.Duration) error {
+	resp, err := client.Get(addr + "/debug/requests?route=locate")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/requests: %s", resp.Status)
+	}
+	var caps []trace.Captured
+	if err := json.NewDecoder(resp.Body).Decode(&caps); err != nil {
+		return fmt.Errorf("/debug/requests: %v", err)
+	}
+	if len(caps) == 0 {
+		return fmt.Errorf("/debug/requests returned no captured locate traces")
+	}
+	pick := caps[0] // slowest first
+	matched := false
+	for _, c := range caps {
+		if c.TraceID == wantTraceID {
+			pick, matched = c, true
+			break
+		}
+	}
+	if matched {
+		fmt.Printf("slowest batch server timeline (client %v, trace %s):\n",
+			clientDur.Round(time.Microsecond), pick.TraceID)
+	} else {
+		fmt.Printf("slowest batch (trace %s, client %v) not in the flight recorder; server's slowest locate trace %s instead:\n",
+			wantTraceID, clientDur.Round(time.Microsecond), pick.TraceID)
+	}
+	fmt.Printf("  route=%s network=%s status=%d total=%.3fms spans=%d\n",
+		pick.Route, pick.Network, pick.Status, pick.DurationMS, len(pick.Spans))
+	for _, sp := range pick.Spans {
+		fmt.Printf("    %10.3fms  %10.3fms  %s\n", sp.StartMS, sp.DurationMS, sp.Name)
+	}
+	if pick.DroppedSpans > 0 {
+		fmt.Printf("    (%d spans dropped at capacity %d)\n", pick.DroppedSpans, trace.MaxSpans)
+	}
+	return nil
 }
 
 // pct returns the p-quantile of sorted latencies.

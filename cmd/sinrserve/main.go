@@ -30,7 +30,8 @@
 //	POST /v1/locate/stream  NDJSON in/out streaming queries
 //	GET  /healthz           liveness probe
 //	GET  /readyz            readiness probe (503 once draining)
-//	GET  /metrics           Prometheus text exposition
+//	GET  /metrics           Prometheus text exposition (with exemplars)
+//	GET  /debug/requests    flight recorder: slowest/errored traces
 //	GET  /debug/pprof/      runtime profiles (only with -pprof)
 //
 // With -spec-dir the process also runs the reconcile controller
@@ -134,6 +135,7 @@ func run(cfg config) error {
 			Interval:   cfg.reconcileInt,
 			MaxRetries: cfg.maxRetries,
 			Metrics:    handler.Metrics(),
+			Recorder:   handler.Recorder(),
 			Logger:     log.New(os.Stderr, "", log.LstdFlags),
 		})
 		ctrlDone = make(chan struct{})

@@ -15,12 +15,15 @@ func BenchmarkMetricsHot(b *testing.B) {
 	c := reg.Counter("bench_requests_total", "help", L("route", "locate"), L("code", "2xx"))
 	g := reg.Gauge("bench_inflight", "help")
 	h := reg.Histogram("bench_seconds", "help", nil)
+	var traceID [16]byte
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Inc()
 		c.Inc()
 		h.Observe(float64(i%1000) / 1e5)
+		traceID[15] = byte(i)
+		h.ObserveEx(float64(i%1000)/1e5, traceID, "bench")
 		g.Dec()
 	}
 }

@@ -87,26 +87,51 @@ type Histogram struct {
 	counts []atomic.Uint64
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+
+	// Exemplars: one slot per bucket, last write wins. The mutex is
+	// uncontended in practice (one short critical section per ObserveEx)
+	// and only taken by callers that opted into exemplars.
+	emu       sync.Mutex
+	exemplars []exemplar
+}
+
+// exemplar is one captured (trace, value) pair for a bucket. The trace
+// ID is stored pre-hex-encoded so recording never formats and scraping
+// never re-encodes; owner scopes the exemplar to a network so deletion
+// can drop it.
+type exemplar struct {
+	traceHex [32]byte
+	owner    string
+	value    float64
+	valid    bool
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]exemplar, len(b)+1),
+	}
+}
+
+// bucketIdx returns the slot index for a sample: the first bound the
+// sample fits under, or the +Inf overflow slot.
+func (h *Histogram) bucketIdx(v float64) int {
+	for i, b := range h.bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.bounds)
 }
 
 // Observe records one sample.
 //
 //sinr:hotpath
 func (h *Histogram) Observe(v float64) {
-	idx := len(h.bounds)
-	for i, b := range h.bounds {
-		if v <= b {
-			idx = i
-			break
-		}
-	}
-	h.counts[idx].Add(1)
+	h.counts[h.bucketIdx(v)].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sum.Load()
@@ -115,6 +140,51 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+const hexdigits = "0123456789abcdef"
+
+// ObserveEx records one sample and attaches a (trace ID, value)
+// exemplar to the bucket it lands in, replacing the bucket's previous
+// exemplar. The trace ID is raw bytes (not a formatted string) so the
+// call stays allocation-free; owner names the network the sample
+// belongs to, "" when unscoped.
+//
+//sinr:hotpath
+func (h *Histogram) ObserveEx(v float64, traceID [16]byte, owner string) {
+	idx := h.bucketIdx(v)
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.emu.Lock()
+	e := &h.exemplars[idx]
+	for i := 0; i < 16; i++ {
+		e.traceHex[2*i] = hexdigits[traceID[i]>>4]
+		e.traceHex[2*i+1] = hexdigits[traceID[i]&0x0f]
+	}
+	e.owner = owner
+	e.value = v
+	e.valid = true
+	h.emu.Unlock()
+}
+
+// DropExemplars invalidates every exemplar whose owner matches —
+// called when a network is deleted so a scrape never references a
+// trace of evicted state. Bucket counts are unaffected.
+func (h *Histogram) DropExemplars(owner string) {
+	h.emu.Lock()
+	for i := range h.exemplars {
+		if h.exemplars[i].valid && h.exemplars[i].owner == owner {
+			h.exemplars[i] = exemplar{}
+		}
+	}
+	h.emu.Unlock()
 }
 
 // Count returns the total number of observations.
@@ -430,6 +500,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
+// appendExemplar emits the OpenMetrics exemplar suffix for bucket i —
+// ` # {trace_id="<32 hex>"} <value>` — when one is recorded. Buckets
+// observed only through plain Observe emit nothing, so expositions
+// without exemplars are byte-identical to before.
+func appendExemplar(b []byte, ex []exemplar, i int) []byte {
+	if i >= len(ex) || !ex[i].valid {
+		return b
+	}
+	b = append(b, ` # {trace_id="`...)
+	b = append(b, ex[i].traceHex[:]...)
+	b = append(b, `"} `...)
+	return append(b, formatFloat(ex[i].value)...)
+}
+
 func appendSample(b []byte, name string, labels []Label, value string) []byte {
 	b = append(b, name...)
 	b = appendLabels(b, labels)
@@ -439,6 +523,13 @@ func appendSample(b []byte, name string, labels []Label, value string) []byte {
 }
 
 func appendHistogram(b []byte, name string, labels []Label, h *Histogram) []byte {
+	// Snapshot exemplars once so bucket emission holds no lock.
+	var ex []exemplar
+	if h.exemplars != nil {
+		h.emu.Lock()
+		ex = append(ex, h.exemplars...)
+		h.emu.Unlock()
+	}
 	cum := uint64(0)
 	for i, bound := range h.bounds {
 		cum += h.counts[i].Load()
@@ -447,6 +538,7 @@ func appendHistogram(b []byte, name string, labels []Label, h *Histogram) []byte
 		b = appendLabels(b, labels, L("le", formatFloat(bound)))
 		b = append(b, ' ')
 		b = strconv.AppendUint(b, cum, 10)
+		b = appendExemplar(b, ex, i)
 		b = append(b, '\n')
 	}
 	cum += h.counts[len(h.bounds)].Load()
@@ -455,6 +547,7 @@ func appendHistogram(b []byte, name string, labels []Label, h *Histogram) []byte
 	b = appendLabels(b, labels, L("le", "+Inf"))
 	b = append(b, ' ')
 	b = strconv.AppendUint(b, cum, 10)
+	b = appendExemplar(b, ex, len(h.bounds))
 	b = append(b, '\n')
 
 	b = append(b, name...)

@@ -14,9 +14,25 @@ import (
 // pairs, and the value. Histogram series parse into their expanded
 // names (name_bucket with an "le" label, name_sum, name_count).
 type Sample struct {
-	Name   string
+	Name     string
+	Labels   map[string]string
+	Value    float64
+	Exemplar *Exemplar // OpenMetrics exemplar, nil when the line has none
+}
+
+// Exemplar is a parsed OpenMetrics exemplar: the label set (typically
+// just trace_id) and the exemplar's own observed value.
+type Exemplar struct {
 	Labels map[string]string
 	Value  float64
+}
+
+// TraceID returns the exemplar's trace_id label ("" when absent).
+func (e *Exemplar) TraceID() string {
+	if e == nil {
+		return ""
+	}
+	return e.Labels["trace_id"]
 }
 
 // Label returns the sample's value for key ("" when absent).
@@ -63,6 +79,11 @@ func parseLine(line string) (Sample, error) {
 		}
 		rest = end
 	}
+	var exPart string
+	if i := strings.Index(rest, " # "); i >= 0 {
+		exPart = strings.TrimSpace(rest[i+3:])
+		rest = rest[:i]
+	}
 	fields := strings.Fields(rest)
 	if len(fields) == 0 {
 		return s, fmt.Errorf("metrics: missing value in line %q", line)
@@ -72,7 +93,36 @@ func parseLine(line string) (Sample, error) {
 		return s, fmt.Errorf("metrics: bad value %q in line %q", fields[0], line)
 	}
 	s.Value = v
+	if exPart != "" {
+		ex, err := parseExemplar(exPart)
+		if err != nil {
+			return s, fmt.Errorf("metrics: %v in line %q", err, line)
+		}
+		s.Exemplar = ex
+	}
 	return s, nil
+}
+
+// parseExemplar parses the `{label="v", ...} value` tail after a
+// line's " # " exemplar marker.
+func parseExemplar(part string) (*Exemplar, error) {
+	if !strings.HasPrefix(part, "{") {
+		return nil, fmt.Errorf("malformed exemplar %q", part)
+	}
+	ex := &Exemplar{Labels: map[string]string{}}
+	rest, err := parseLabels(part[1:], ex.Labels)
+	if err != nil {
+		return nil, fmt.Errorf("%v in exemplar %q", err, part)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("missing exemplar value in %q", part)
+	}
+	ex.Value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q", fields[0])
+	}
+	return ex, nil
 }
 
 // parseLabels consumes k="v" pairs up to the closing brace, returning

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/serve"
+	"repro/internal/trace"
 )
 
 // Registry is the registry surface the controller converges. A
@@ -51,6 +52,11 @@ type Options struct {
 	// registry (serve.Server.Metrics()) to surface them on /metrics;
 	// nil gets a private registry.
 	Metrics *metrics.Registry
+	// Recorder receives a per-Sync trace (list and diff spans) in its
+	// "reconcile" lane. Pass the serving recorder
+	// (serve.Server.Recorder()) to surface sync passes on
+	// /debug/requests; nil disables sync tracing.
+	Recorder *trace.Recorder
 	// Logger receives reconcile events; nil discards them.
 	Logger *log.Logger
 }
@@ -112,6 +118,13 @@ type Controller struct {
 	specErrs *metrics.Counter
 	syncs    *metrics.Counter
 	latency  *metrics.Histogram
+
+	// Sync tracing: the flight-recorder lane named "reconcile" (index
+	// resolved once at construction) and the controller's own trace-ID
+	// source. Both nil/-1 when no Recorder was configured.
+	rec      *trace.Recorder
+	recRoute int
+	ids      *trace.IDSource
 }
 
 // New builds a Controller converging reg toward opt.Dir. Call Run to
@@ -136,6 +149,9 @@ func New(reg Registry, opt Options) *Controller {
 		drift:    make(map[string]*metrics.Gauge),
 		mreg:     mreg,
 		outcomes: make(map[string]*metrics.Counter, len(outcomeResults)),
+		rec:      opt.Recorder,
+		recRoute: opt.Recorder.RouteIndex("reconcile"),
+		ids:      trace.NewIDSource(),
 	}
 	for _, r := range outcomeResults {
 		c.outcomes[r] = mreg.Counter("sinr_reconcile_outcomes_total",
@@ -188,7 +204,19 @@ func (c *Controller) Run(ctx context.Context) {
 // can drive the controller without the wall-clock ticker; drift is a
 // pure function of spec hashes, so Sync is idempotent.
 func (c *Controller) Sync() {
+	// Trace the pass when a recorder is wired. The trace never feeds a
+	// decision — timings are recorded by internal/trace against its own
+	// clock, keeping this package free of wall-clock reads.
+	var trStore trace.Trace
+	var tr *trace.Trace
+	if c.rec != nil && c.recRoute >= 0 {
+		tr = &trStore
+		tr.Begin(c.ids.TraceID(c.ids.Next()), trace.SpanID{}, "reconcile")
+	}
+
+	ls := tr.Start("list")
 	files, errs := loadSpecDir(c.opt.Dir)
+	tr.End(ls)
 	c.syncs.Inc()
 	for _, e := range errs {
 		c.specErrs.Inc()
@@ -198,6 +226,7 @@ func (c *Controller) Sync() {
 	// like "every file vanished": keep the previous last-good state.
 	dirGone := len(files) == 0 && len(errs) == 1 && errs[0].path == c.opt.Dir
 
+	ds := tr.Start("diff")
 	c.mu.Lock()
 	present := make(map[string]bool, len(files))
 	for _, f := range files {
@@ -274,12 +303,23 @@ func (c *Controller) Sync() {
 		}
 	}
 	c.mu.Unlock()
+	tr.End(ds)
 
 	for i := 0; i < dup; i++ {
 		c.specErrs.Inc()
 	}
 	for _, name := range enqueue {
 		c.q.Add(name)
+	}
+
+	if tr != nil {
+		status := 200
+		if len(errs) > 0 || dup > 0 {
+			// Spec errors surface the pass in the recorder's error lane.
+			status = 500
+		}
+		tr.Finish(status)
+		c.rec.Offer(c.recRoute, tr)
 	}
 }
 

@@ -47,6 +47,13 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, rt route, entry *
 		return false
 	}
 	defer s.m.queued.Add(-1)
+	// The queue wait is the admission span: requests that admit on the
+	// fast path above record nothing, so a trace with an
+	// admission.queue span is exactly a request that found every slot
+	// busy.
+	tr := traceOf(w)
+	qs := tr.Start("admission.queue")
+	defer tr.End(qs)
 	select {
 	case entry.sem <- struct{}{}:
 		return true

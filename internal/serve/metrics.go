@@ -1,18 +1,16 @@
 package serve
 
 import (
-	"crypto/rand"
-	"encoding/binary"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/resolve"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // route indexes the server's instrumented endpoints — the fixed label
@@ -31,12 +29,30 @@ const (
 	routeHealth                // GET /healthz
 	routeReady                 // GET /readyz
 	routeMetrics               // GET /metrics
+	routeDebug                 // GET /debug/requests
 	numRoutes
 )
 
 var routeNames = [numRoutes]string{
-	"networks", "spec", "delete", "patch", "schedule", "locate", "stream", "healthz", "readyz", "metrics",
+	"networks", "spec", "delete", "patch", "schedule", "locate", "stream", "healthz", "readyz", "metrics", "debug",
 }
+
+// reconcileTraceRoute is the flight-recorder lane for controller sync
+// passes — not an HTTP route, but traced like one.
+const reconcileTraceRoute = "reconcile"
+
+// recorderRoutes returns the flight-recorder lane names: one per HTTP
+// route plus the reconcile lane, indexed so lane i == route i.
+func recorderRoutes() []string {
+	return append(routeNames[:numRoutes:numRoutes], reconcileTraceRoute)
+}
+
+// Flight-recorder sizing: per route, keep the slowest flightSlowN
+// completed traces plus the flightErrN most recent errored/shed ones.
+const (
+	flightSlowN = 8
+	flightErrN  = 8
+)
 
 // codeClass buckets response statuses for the request counters. 429
 // gets its own class: it is the admission-control shed signal, and
@@ -239,6 +255,42 @@ func (m *serveMetrics) unregisterNetworkGauges(name string) {
 	m.reg.Unregister("sinr_network_stations", label)
 }
 
+// observeResolve records a batch-resolve duration, attaching the
+// request's trace as a bucket exemplar when the handler ran under the
+// middleware (tr nil otherwise, e.g. in unit tests).
+func (s *Server) observeResolve(ki int, secs float64, tr *trace.Trace) {
+	if tr != nil && !tr.ID.IsZero() {
+		s.m.resolveSeconds[ki].ObserveEx(secs, [16]byte(tr.ID), tr.Network)
+		return
+	}
+	s.m.resolveSeconds[ki].Observe(secs)
+}
+
+// observeSched is observeResolve's schedule-endpoint counterpart.
+func (s *Server) observeSched(ki int, secs float64, tr *trace.Trace) {
+	if tr != nil && !tr.ID.IsZero() {
+		s.m.schedSeconds[ki].ObserveEx(secs, [16]byte(tr.ID), tr.Network)
+		return
+	}
+	s.m.schedSeconds[ki].Observe(secs)
+}
+
+// dropExemplars invalidates every histogram exemplar owned by the
+// named network — the exemplar counterpart of unregisterNetworkGauges:
+// without it a scrape could keep pointing at traces of a deleted
+// network indefinitely.
+func (m *serveMetrics) dropExemplars(name string) {
+	for rt := route(0); rt < numRoutes; rt++ {
+		m.latency[rt].DropExemplars(name)
+	}
+	for k := 0; k < resolve.NumKinds; k++ {
+		m.resolveSeconds[k].DropExemplars(name)
+	}
+	for k := 0; k < sched.NumKinds; k++ {
+		m.schedSeconds[k].DropExemplars(name)
+	}
+}
+
 // kindIdx maps a Kind to its metric-array slot, clamping unknown
 // values to 0 (exact) rather than indexing out of bounds.
 func kindIdx(k resolve.Kind) int {
@@ -252,11 +304,24 @@ func kindIdx(k resolve.Kind) int {
 // code and byte count for the middleware; Unwrap keeps
 // http.ResponseController (the stream handler's full-duplex and flush
 // path) working through the wrapper. Instances are pooled so the
-// steady-state request path allocates nothing.
+// steady-state request path allocates nothing — and because the
+// request trace is embedded by value, its span buffer rides the same
+// pool: span recording reuses storage across requests for free.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 	bytes  int64
+	tr     trace.Trace
+}
+
+// traceOf recovers the request trace from the middleware's wrapper.
+// Handlers invoked outside instrument (unit tests driving them with a
+// bare httptest recorder) get nil, which every trace method accepts.
+func traceOf(w http.ResponseWriter) *trace.Trace {
+	if sw, ok := w.(*statusWriter); ok {
+		return &sw.tr
+	}
+	return nil
 }
 
 var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
@@ -285,50 +350,50 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 
 func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
-// requestIDs issues process-unique request IDs: a random per-process
-// prefix (so IDs from restarts never collide in aggregated logs) and
-// a sequence number. IDs are only materialized when access logging is
-// on — the 0-alloc path never formats one.
-type requestIDs struct {
-	prefix uint64
-	seq    atomic.Uint64
-}
-
-func newRequestIDs() *requestIDs {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err == nil {
-		return &requestIDs{prefix: binary.LittleEndian.Uint64(b[:])}
-	}
-	return &requestIDs{prefix: uint64(time.Now().UnixNano())}
-}
-
-func (r *requestIDs) next() string {
-	return fmt.Sprintf("%08x-%06d", uint32(r.prefix), r.seq.Add(1))
+// formatRequestID renders the X-Request-Id wire form of one (prefix,
+// seq) identity — the same pair whose big-endian concatenation is the
+// request's 16-byte trace ID, so logs and traces correlate by
+// inspection. Only materialized when access logging is on.
+func formatRequestID(prefix, seq uint64) string {
+	return fmt.Sprintf("%08x-%06d", uint32(prefix), seq)
 }
 
 // instrument wraps h with the observability middleware: the inflight
-// gauge, the per-route request counter and latency histogram, and —
-// when an access logger is configured — a per-request ID (echoed as
-// X-Request-Id) and one structured JSON log line per request. With
-// logging off the added work is a pool round-trip, two time reads and
-// four atomic updates: nothing allocates, which is what keeps
-// BenchmarkServeBatch on the CI 0-alloc list with metrics enabled.
+// gauge, the per-route request counter and latency histogram, the
+// request trace (begun from an inbound W3C traceparent when one is
+// valid, minted from the server's IDSource otherwise, echoed back as
+// a response traceparent, finished and offered to the flight
+// recorder), and — when an access logger is configured — a
+// per-request ID (echoed as X-Request-Id) and one structured JSON log
+// line per request. With logging off the added steady-state work is a
+// pool round-trip, the clock reads, a handful of atomics and one
+// 55-byte header: per-request, never per-point, which is what keeps
+// BenchmarkServeBatch on the CI 0-alloc list with tracing enabled.
 func (s *Server) instrument(rt route, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
 		s.m.inflight.Inc()
 		sw := swPool.Get().(*statusWriter)
 		sw.reset(w)
 
+		seq := s.ids.Next()
+		tid := s.ids.TraceID(seq)
+		var parent trace.SpanID
+		if tp := r.Header.Get("traceparent"); tp != "" {
+			if pid, psp, ok := trace.ParseTraceparent(tp); ok {
+				tid, parent = pid, psp
+			}
+		}
+		sw.tr.Begin(tid, parent, routeNames[rt])
+		sw.Header().Set("Traceparent", trace.FormatTraceparent(tid, s.ids.SpanIDFor(seq)))
+
 		var id string
 		if s.opt.AccessLog != nil {
-			id = s.ids.next()
+			id = formatRequestID(s.ids.Prefix(), seq)
 			sw.Header().Set("X-Request-Id", id)
 		}
 
 		h(sw, r)
 
-		elapsed := time.Since(start)
 		status := sw.status
 		if status == 0 {
 			// The handler wrote nothing (e.g. the client vanished
@@ -336,11 +401,14 @@ func (s *Server) instrument(rt route, h http.HandlerFunc) http.HandlerFunc {
 			// implies.
 			status = http.StatusOK
 		}
+		elapsed := sw.tr.Finish(status)
+		network := sw.tr.Network
 		bytes := sw.bytes
+		s.recorder.Offer(int(rt), &sw.tr)
+		s.m.latency[rt].ObserveEx(elapsed.Seconds(), [16]byte(tid), network)
 		swPool.Put(sw)
 		s.m.inflight.Dec()
 		s.m.requests[rt][classOf(status)].Inc()
-		s.m.latency[rt].Observe(elapsed.Seconds())
 
 		if lg := s.opt.AccessLog; lg != nil {
 			lvl := slog.LevelInfo
@@ -352,6 +420,7 @@ func (s *Server) instrument(rt route, h http.HandlerFunc) http.HandlerFunc {
 			}
 			lg.LogAttrs(r.Context(), lvl, "request",
 				slog.String("id", id),
+				slog.String("trace_id", tid.String()),
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.Path),
 				slog.String("route", routeNames[rt]),
@@ -361,6 +430,32 @@ func (s *Server) instrument(rt route, h http.HandlerFunc) http.HandlerFunc {
 			)
 		}
 	}
+}
+
+// handleDebugRequests serves the flight recorder: the slowest and most
+// recently errored captured traces, as a JSON timeline. Query
+// parameters: route=<name> restricts to one route's lane, min=<dur>
+// (Go duration syntax, e.g. 50ms) drops faster traces.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	q := r.URL.Query()
+	var min time.Duration
+	if v := q.Get("min"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad min duration %q: %v", v, err)
+			return
+		}
+		min = d
+	}
+	caps := s.recorder.Snapshot(q.Get("route"), min)
+	if caps == nil {
+		caps = []trace.Captured{}
+	}
+	writeJSON(w, http.StatusOK, caps)
 }
 
 // handleMetrics serves the Prometheus text exposition.

@@ -343,23 +343,30 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The span starts as a cache hit and is renamed to the path the
+	// build actually took (computed fresh or repaired) once known.
+	tr := traceOf(w)
+	tr.SetNetwork(name)
+	bs := tr.Start("sched.cached")
 	t0 := time.Now()
 	res, cached, err := s.schedules.get(key, snap.version, func(prev *schedResult) (*schedResult, error) {
 		// Load the snapshot inside the build so a winner never caches a
 		// generation older than any waiter's.
 		return buildSchedule(key, entry.snap.Load(), prev)
 	})
+	tr.End(bs)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "cannot schedule: %v", err)
 		return
 	}
 	ki := schedKindIdx(kind)
-	s.m.schedSeconds[ki].Observe(time.Since(t0).Seconds())
+	s.observeSched(ki, time.Since(t0).Seconds(), tr)
 	s.m.schedRequests[ki].Inc()
 	path := res.path
 	if cached {
 		path = "cached"
 	}
+	tr.SetName(bs, "sched."+path)
 	s.m.schedResults[schedPathIdx(path)].Inc()
 	writeJSON(w, http.StatusOK, ScheduleResponse{
 		Network:   name,

@@ -20,6 +20,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/geom"
 	"repro/internal/resolve"
+	"repro/internal/trace"
 )
 
 // NoStationHeard is the served sentinel for "no station heard",
@@ -135,7 +136,8 @@ type Server struct {
 	cache     *resolverCache
 	schedules *schedCache
 	m         *serveMetrics
-	ids       *requestIDs
+	ids       *trace.IDSource
+	recorder  *trace.Recorder
 
 	mu   sync.RWMutex // guards nets map shape and version bumps
 	nets map[string]*netEntry
@@ -183,7 +185,8 @@ func NewServer(opt Options) *Server {
 		cache:     newResolverCache(opt.MaxLocators),
 		schedules: newSchedCache(opt.MaxSchedules),
 		nets:      make(map[string]*netEntry),
-		ids:       newRequestIDs(),
+		ids:       trace.NewIDSource(),
+		recorder:  trace.NewRecorder(recorderRoutes(), flightSlowN, flightErrN),
 		drainCh:   make(chan struct{}),
 	}
 	s.m = newServeMetrics(s.cache, s.schedules)
@@ -205,6 +208,7 @@ func NewServer(opt Options) *Server {
 	}))
 	s.mux.HandleFunc("/readyz", s.instrument(routeReady, s.handleReady))
 	s.mux.HandleFunc("/metrics", s.instrument(routeMetrics, s.handleMetrics))
+	s.mux.HandleFunc("/debug/requests", s.instrument(routeDebug, s.handleDebugRequests))
 	if opt.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -460,6 +464,8 @@ func (s *Server) handlePatchNetwork(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tr := traceOf(w)
+	tr.SetNetwork(name)
 	entry.mu.Lock()
 	old := entry.snap.Load()
 	if old == nil || entry.dyn == nil {
@@ -472,7 +478,9 @@ func (s *Server) handlePatchNetwork(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown network %q", name)
 		return
 	}
+	as := tr.Start("dynamic.apply")
 	es, err := entry.dyn.Apply(delta)
+	tr.End(as)
 	if err != nil {
 		entry.mu.Unlock()
 		writeError(w, http.StatusBadRequest, "invalid delta: %v", err)
@@ -557,7 +565,7 @@ func (s *Server) entryFor(name string) (*netEntry, bool) {
 // cache lookup, so requests differing only in an ignored knob share
 // one resolver. The returned kind and eps are the effective ones
 // (after defaulting), for echoing in responses.
-func (s *Server) resolverFor(name string, entry *netEntry, spec resolverSpec) (*snapshot, resolve.Resolver, resolve.Kind, float64, error) {
+func (s *Server) resolverFor(tr *trace.Trace, name string, entry *netEntry, spec resolverSpec) (*snapshot, resolve.Resolver, resolve.Kind, float64, error) {
 	snap := entry.snap.Load()
 	if snap == nil {
 		return nil, nil, 0, 0, errUnknownNetwork
@@ -594,7 +602,13 @@ func (s *Server) resolverFor(name string, entry *netEntry, spec resolverSpec) (*
 		}
 	}
 	key := cacheKey{name: name, version: snap.version, kind: kind, eps: eps, radius: radius}
+	// One span covers the cache interaction either way: it begins as a
+	// hit (covering any wait on another request's in-flight build) and
+	// is renamed when this request turns out to run the build itself.
+	si := tr.Start("resolver.hit")
+	defer tr.End(si)
 	res, err := s.cache.get(key, func() (resolve.Resolver, error) {
+		tr.SetName(si, "resolver.build")
 		if kind == resolve.KindDynamic {
 			// The epoch snapshot already carries its query structures:
 			// an O(1) wrap instead of a backend build, which is what
@@ -693,13 +707,15 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", fmt.Errorf("%w %q", errUnknownNetwork, req.Network))
 		return
 	}
+	tr := traceOf(w)
+	tr.SetNetwork(req.Network)
 	// Admission gates everything expensive — the resolver build as
 	// much as the batch itself.
 	if !s.admit(w, r, routeLocate, entry) {
 		return
 	}
 	defer entry.release()
-	snap, res, kind, eps, err := s.resolverFor(req.Network, entry, resolverSpec{
+	snap, res, kind, eps, err := s.resolverFor(tr, req.Network, entry, resolverSpec{
 		kind: req.Resolver, eps: req.Eps, radius: req.Radius,
 	})
 	if err != nil {
@@ -712,11 +728,13 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 	}
 	sc.answers = grow(sc.answers, len(sc.pts))
 	ki := kindIdx(kind)
+	rs := tr.Start("resolve.batch")
 	t0 := time.Now()
 	if err := res.ResolveBatch(r.Context(), sc.pts, sc.answers); err != nil {
 		return // client went away mid-batch; nothing left to tell it
 	}
-	s.m.resolveSeconds[ki].Observe(time.Since(t0).Seconds())
+	tr.End(rs)
+	s.observeResolve(ki, time.Since(t0).Seconds(), tr)
 	s.m.queries[ki].Add(uint64(len(sc.pts)))
 	// Epoch lag: how many generations moved under this request while
 	// it served from its pinned snapshot (0 in the steady state).
@@ -727,9 +745,11 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 	for i, a := range sc.answers {
 		sc.results[i] = resultFor(a)
 	}
+	es := tr.Start("encode")
 	writeJSON(w, http.StatusOK, LocateResponse{
 		Network: req.Network, Version: snap.version, Resolver: kind.String(), Eps: eps, Results: sc.results,
 	})
+	tr.End(es)
 }
 
 // handleLocateStream answers NDJSON point lines with NDJSON result
@@ -766,11 +786,13 @@ func (s *Server) handleLocateStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", fmt.Errorf("%w %q", errUnknownNetwork, name))
 		return
 	}
+	tr := traceOf(w)
+	tr.SetNetwork(name)
 	if !s.admit(w, r, routeStream, entry) {
 		return
 	}
 	defer entry.release()
-	snap, res, kind, _, err := s.resolverFor(name, entry, spec)
+	snap, res, kind, _, err := s.resolverFor(tr, name, entry, spec)
 	if err != nil {
 		writeError(w, locateStatus(err), "%v", err)
 		return
@@ -842,6 +864,8 @@ func (s *Server) handleLocateStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Sinr-Resolver", kind.String())
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
+	ss := tr.Start("stream")
+	defer tr.End(ss)
 	const flushEvery = 256
 	n := 0
 	for a := range out {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/resolve"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // The declarative half of the v1 API: NetworkSpec is the one canonical
@@ -491,6 +492,12 @@ func (s *Server) DeleteNetwork(name string) bool {
 	}
 	s.cache.invalidate(name, math.MaxUint64)
 	s.schedules.invalidateName(name)
+	// The observability surface forgets the network too: captured
+	// traces leave the flight recorder and its exemplars leave the
+	// latency histograms, mirroring the gauge eviction above — both
+	// HTTP DELETE and reconcile eviction land here.
+	s.recorder.DropNetwork(name)
+	s.m.dropExemplars(name)
 	return true
 }
 
@@ -528,3 +535,8 @@ func (s *Server) NetworkSpecJSON(name string) ([]byte, uint64, bool) {
 // (the reconcile controller) publish their instruments into the same
 // /metrics document the server already serves.
 func (s *Server) Metrics() *metrics.Registry { return s.m.reg }
+
+// Recorder returns the server's trace flight recorder, so embedding
+// layers (the reconcile controller) capture their sync-pass traces
+// into the same /debug/requests timeline the server already serves.
+func (s *Server) Recorder() *trace.Recorder { return s.recorder }

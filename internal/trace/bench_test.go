@@ -1,0 +1,37 @@
+package trace
+
+import "testing"
+
+// BenchmarkTraceSpan is the CI 0-alloc gate for span recording: the full
+// per-request trace lifecycle — Begin, per-stage Start/End, Finish, and
+// the flight-recorder Offer — must not allocate, because it runs inside
+// the instrumented serving path on every request.
+func BenchmarkTraceSpan(b *testing.B) {
+	rec := NewRecorder([]string{"locate"}, 8, 8)
+	src := NewIDSource()
+	var tr Trace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := src.Next()
+		tr.Begin(src.TraceID(seq), SpanID{}, "locate")
+		q := tr.Start("queue")
+		tr.End(q)
+		s := tr.Start("resolve.batch")
+		tr.End(s)
+		tr.Finish(200)
+		rec.Offer(0, &tr)
+	}
+}
+
+// BenchmarkTraceparentParse covers header adoption on the request path.
+func BenchmarkTraceparentParse(b *testing.B) {
+	h := FormatTraceparent(ID{0xab, 1, 2, 3, 4, 5, 6, 7, 8}, SpanID{0xcd, 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := ParseTraceparent(h); !ok {
+			b.Fatal("parse failed")
+		}
+	}
+}

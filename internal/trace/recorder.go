@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// entry is one recorder slot: a full Trace copied by value, so slots own
+// their span data and never alias a pooled per-request trace.
+type entry struct {
+	used bool
+	tr   Trace
+}
+
+// stripe is the per-route shard of the recorder: its own lock, a
+// keep-the-slowest lane and a most-recent-errors ring.
+type stripe struct {
+	mu      sync.Mutex
+	slow    []entry
+	errs    []entry
+	errNext int
+}
+
+// Recorder tail-samples completed traces. It is lock-striped by route
+// index — the hot Offer path touches only one stripe's mutex and does
+// no map lookups and no allocation; all sizing happens at construction.
+type Recorder struct {
+	routes  []string
+	index   map[string]int
+	stripes []stripe
+}
+
+// NewRecorder builds a recorder for the given route names, keeping the
+// slowN slowest and the errN most recent errored traces per route.
+func NewRecorder(routes []string, slowN, errN int) *Recorder {
+	if slowN < 1 {
+		slowN = 1
+	}
+	if errN < 1 {
+		errN = 1
+	}
+	r := &Recorder{
+		routes:  append([]string(nil), routes...),
+		index:   make(map[string]int, len(routes)),
+		stripes: make([]stripe, len(routes)),
+	}
+	for i, name := range r.routes {
+		r.index[name] = i
+		r.stripes[i].slow = make([]entry, slowN)
+		r.stripes[i].errs = make([]entry, errN)
+	}
+	return r
+}
+
+// RouteIndex returns the stripe index for a route name, or -1 when the
+// route is unknown. Resolve once at wiring time, not per request.
+func (r *Recorder) RouteIndex(name string) int {
+	if r == nil {
+		return -1
+	}
+	if i, ok := r.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Offer considers a finished trace for capture. Traces with status >=
+// 400 enter the route's error ring; every trace competes for the
+// slowest-N lane, evicting the fastest resident. The trace is copied by
+// value — the caller may immediately reuse it. Nil-safe, bounds-safe.
+//
+//sinr:hotpath
+func (r *Recorder) Offer(route int, t *Trace) {
+	if r == nil || t == nil || route < 0 || route >= len(r.stripes) || t.ID.IsZero() {
+		return
+	}
+	st := &r.stripes[route]
+	st.mu.Lock()
+	if t.Status >= 400 {
+		st.errs[st.errNext] = entry{used: true, tr: *t}
+		st.errNext++
+		if st.errNext == len(st.errs) {
+			st.errNext = 0
+		}
+	}
+	min, minAt := time.Duration(-1), -1
+	for i := range st.slow {
+		if !st.slow[i].used {
+			min, minAt = -1, i
+			break
+		}
+		if min < 0 || st.slow[i].tr.Total < min {
+			min, minAt = st.slow[i].tr.Total, i
+		}
+	}
+	if minAt >= 0 && t.Total > min {
+		st.slow[minAt] = entry{used: true, tr: *t}
+	}
+	st.mu.Unlock()
+}
+
+// DropNetwork forgets every captured trace attached to the named
+// network — called when a network is deleted (HTTP DELETE or reconcile
+// eviction) so /debug/requests never points at evicted state.
+func (r *Recorder) DropNetwork(name string) {
+	if r == nil || name == "" {
+		return
+	}
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		for lane := 0; lane < 2; lane++ {
+			slots := st.slow
+			if lane == 1 {
+				slots = st.errs
+			}
+			for j := range slots {
+				if slots[j].used && slots[j].tr.Network == name {
+					slots[j] = entry{}
+				}
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
+// CapturedSpan is one stage of a captured trace's JSON timeline.
+type CapturedSpan struct {
+	Name       string  `json:"name"`
+	StartMS    float64 `json:"start_ms"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// Captured is the JSON shape served by GET /debug/requests.
+type Captured struct {
+	TraceID      string         `json:"trace_id"`
+	Route        string         `json:"route"`
+	Network      string         `json:"network,omitempty"`
+	Status       int            `json:"status"`
+	Start        time.Time      `json:"start"`
+	DurationMS   float64        `json:"duration_ms"`
+	DroppedSpans int            `json:"dropped_spans,omitempty"`
+	Spans        []CapturedSpan `json:"spans"`
+}
+
+// Snapshot returns the captured traces, slowest first, deduplicated by
+// trace ID across the slow and error lanes. route == "" means all
+// routes; traces faster than min are omitted. Debug path: allocates.
+func (r *Recorder) Snapshot(route string, min time.Duration) []Captured {
+	if r == nil {
+		return nil
+	}
+	var out []Captured
+	seen := make(map[ID]bool)
+	for i := range r.stripes {
+		if route != "" && r.routes[i] != route {
+			continue
+		}
+		st := &r.stripes[i]
+		st.mu.Lock()
+		for _, lane := range [2][]entry{st.slow, st.errs} {
+			for j := range lane {
+				e := &lane[j]
+				if !e.used || e.tr.Total < min || seen[e.tr.ID] {
+					continue
+				}
+				seen[e.tr.ID] = true
+				out = append(out, capture(&e.tr))
+			}
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].DurationMS != out[b].DurationMS {
+			return out[a].DurationMS > out[b].DurationMS
+		}
+		return out[a].TraceID < out[b].TraceID
+	})
+	return out
+}
+
+func capture(t *Trace) Captured {
+	c := Captured{
+		TraceID:      t.ID.String(),
+		Route:        t.Route,
+		Network:      t.Network,
+		Status:       t.Status,
+		Start:        t.Wall,
+		DurationMS:   float64(t.Total) / float64(time.Millisecond),
+		DroppedSpans: t.Dropped,
+		Spans:        make([]CapturedSpan, 0, t.n),
+	}
+	for i := 0; i < t.n; i++ {
+		sp := t.spans[i]
+		end := sp.End
+		if end == 0 {
+			end = t.Total
+		}
+		c.Spans = append(c.Spans, CapturedSpan{
+			Name:       sp.Name,
+			StartMS:    float64(sp.Start) / float64(time.Millisecond),
+			DurationMS: float64(end-sp.Start) / float64(time.Millisecond),
+		})
+	}
+	return c
+}

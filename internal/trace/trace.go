@@ -1,0 +1,297 @@
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"os"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// ID is a W3C trace-context trace ID: 16 bytes, rendered as 32 lowercase
+// hex digits. The all-zero ID is invalid.
+type ID [16]byte
+
+// SpanID is a W3C trace-context parent/span ID: 8 bytes, 16 hex digits.
+type SpanID [8]byte
+
+const hexdigits = "0123456789abcdef"
+
+// String renders the ID as 32 lowercase hex digits. Cold path: allocates.
+func (id ID) String() string {
+	var b [32]byte
+	hexEncode(b[:], id[:])
+	return string(b[:])
+}
+
+// String renders the SpanID as 16 lowercase hex digits. Cold path.
+func (s SpanID) String() string {
+	var b [16]byte
+	hexEncode(b[:], s[:])
+	return string(b[:])
+}
+
+// IsZero reports whether the ID is the invalid all-zero trace ID.
+func (id ID) IsZero() bool { return id == ID{} }
+
+func hexEncode(dst, src []byte) {
+	for i, v := range src {
+		dst[2*i] = hexdigits[v>>4]
+		dst[2*i+1] = hexdigits[v&0x0f]
+	}
+}
+
+// hexDecode decodes lowercase/uppercase hex into dst, returning false on
+// any non-hex byte. len(src) must be 2*len(dst).
+func hexDecode(dst []byte, src string) bool {
+	for i := range dst {
+		hi, ok1 := hexNibble(src[2*i])
+		lo, ok2 := hexNibble(src[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// traceparentLen is the fixed length of a version-00 traceparent header:
+// "00-" + 32 hex + "-" + 16 hex + "-" + 2 hex.
+const traceparentLen = 55
+
+// ParseTraceparent parses a W3C version-00 traceparent header value.
+// It returns ok=false for malformed input or an all-zero trace ID.
+// Allocation-free.
+func ParseTraceparent(h string) (ID, SpanID, bool) {
+	var id ID
+	var sp SpanID
+	if len(h) != traceparentLen || h[0] != '0' || h[1] != '0' ||
+		h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return id, sp, false
+	}
+	if !hexDecode(id[:], h[3:35]) || !hexDecode(sp[:], h[36:52]) {
+		return ID{}, SpanID{}, false
+	}
+	var flags [1]byte
+	if !hexDecode(flags[:], h[53:55]) {
+		return ID{}, SpanID{}, false
+	}
+	if id.IsZero() {
+		return ID{}, SpanID{}, false
+	}
+	return id, sp, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header with the
+// sampled flag set. One string allocation; per-request, not per-span.
+func FormatTraceparent(id ID, span SpanID) string {
+	var b [traceparentLen]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hexEncode(b[3:35], id[:])
+	b[35] = '-'
+	hexEncode(b[36:52], span[:])
+	b[52] = '-'
+	b[53], b[54] = '0', '1'
+	return string(b[:])
+}
+
+// Span is one recorded stage: Start and End are monotonic offsets from
+// the owning trace's Begin instant. End == 0 means still open (or never
+// ended); a span that genuinely starts and ends at offset 0 records
+// End as 1ns to stay distinguishable.
+type Span struct {
+	Name  string
+	Start time.Duration
+	End   time.Duration
+}
+
+// MaxSpans is the fixed per-request span capacity. Requests that record
+// more spans drop the excess and count them in Trace.Dropped.
+const MaxSpans = 16
+
+// Trace accumulates the spans of one request. The zero value is unusable
+// until Begin; a nil *Trace is safe to call every method on (all are
+// no-ops), which is how un-instrumented callers opt out.
+//
+// Traces are embedded by value in pooled per-request state (the serving
+// layer's statusWriter), so span storage is reused across requests
+// without a pool of its own.
+type Trace struct {
+	ID      ID
+	Parent  SpanID
+	Route   string
+	Network string
+	Status  int
+	Wall    time.Time     // wall-clock begin, for display only
+	Total   time.Duration // set by Finish
+	Dropped int           // spans rejected because the buffer was full
+
+	t0    time.Time // monotonic anchor
+	spans [MaxSpans]Span
+	n     int
+}
+
+// Begin resets the trace for a new request. It captures both clocks
+// itself so callers under the determinism lint never read time.Now.
+func (t *Trace) Begin(id ID, parent SpanID, route string) {
+	if t == nil {
+		return
+	}
+	t.ID = id
+	t.Parent = parent
+	t.Route = route
+	t.Network = ""
+	t.Status = 0
+	t.Total = 0
+	t.Dropped = 0
+	t.n = 0
+	t.Wall = time.Now()
+	t.t0 = t.Wall
+}
+
+// Start opens a named span and returns its index, or -1 when the trace
+// is nil, unbegun, or full. The name must be a constant or hoisted
+// string: Start stores it without copying.
+//
+//sinr:hotpath
+func (t *Trace) Start(name string) int {
+	if t == nil || t.t0.IsZero() {
+		return -1
+	}
+	if t.n >= MaxSpans {
+		t.Dropped++
+		return -1
+	}
+	i := t.n
+	t.n++
+	t.spans[i] = Span{Name: name, Start: time.Since(t.t0)}
+	return i
+}
+
+// End closes the span returned by Start. Safe on -1 and on nil traces.
+//
+//sinr:hotpath
+func (t *Trace) End(i int) {
+	if t == nil || i < 0 || i >= t.n {
+		return
+	}
+	d := time.Since(t.t0)
+	if d <= t.spans[i].Start {
+		d = t.spans[i].Start + 1
+	}
+	t.spans[i].End = d
+}
+
+// SetName renames an open span — used when the cheap name chosen at
+// Start turns out wrong (e.g. a schedule build that became a repair).
+func (t *Trace) SetName(i int, name string) {
+	if t == nil || i < 0 || i >= t.n {
+		return
+	}
+	t.spans[i].Name = name
+}
+
+// SetNetwork attaches the network name the request resolved to.
+func (t *Trace) SetNetwork(name string) {
+	if t == nil {
+		return
+	}
+	t.Network = name
+}
+
+// Finish stamps the final status and total duration and returns the
+// total. Safe on nil (returns 0).
+func (t *Trace) Finish(status int) time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.Status = status
+	t.Total = time.Since(t.t0)
+	return t.Total
+}
+
+// Len returns the number of recorded spans.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// SpanAt returns the i'th recorded span.
+func (t *Trace) SpanAt(i int) Span { return t.spans[i] }
+
+// IDSource derives request-scoped IDs from one random 64-bit prefix and
+// an atomic sequence number: request ID n is (prefix, n) and its trace
+// ID is the 16-byte big-endian concatenation prefix||n, so the two are
+// unifiable by inspection.
+type IDSource struct {
+	prefix uint64
+	seq    atomic.Uint64
+}
+
+// NewIDSource seeds the prefix from crypto/rand. If that fails the
+// prefix is derived from an FNV-64a hash over the process ID and the
+// source's own address — deterministic inputs, but never a wall-clock
+// read.
+func NewIDSource() *IDSource {
+	s := &IDSource{}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		s.prefix = binary.LittleEndian.Uint64(b[:])
+		return s
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(os.Getpid()))
+	mix(uint64(uintptr(unsafe.Pointer(s))))
+	s.prefix = h
+	return s
+}
+
+// Prefix returns the source's random prefix.
+func (s *IDSource) Prefix() uint64 { return s.prefix }
+
+// Next returns the next sequence number.
+func (s *IDSource) Next() uint64 { return s.seq.Add(1) }
+
+// TraceID builds the trace ID for sequence number seq: the big-endian
+// prefix in bytes 0..7 and seq in bytes 8..15.
+func (s *IDSource) TraceID(seq uint64) ID {
+	var id ID
+	binary.BigEndian.PutUint64(id[0:8], s.prefix)
+	binary.BigEndian.PutUint64(id[8:16], seq)
+	return id
+}
+
+// SpanIDFor derives a span ID for sequence number seq. The high byte is
+// flipped from the prefix so a span ID never equals the top half of the
+// trace ID it belongs to.
+func (s *IDSource) SpanIDFor(seq uint64) SpanID {
+	var sp SpanID
+	binary.BigEndian.PutUint64(sp[:], s.prefix^seq^0xa5a5a5a5a5a5a5a5)
+	return sp
+}

@@ -11,6 +11,7 @@ package sinrdiag
 import (
 	"repro/internal/reconcile"
 	"repro/internal/serve"
+	"repro/internal/trace"
 )
 
 // NetworkSpec is the canonical declarative description of one served
@@ -84,4 +85,37 @@ type ReconcilerStats = reconcile.Stats
 // call Run to start it.
 func NewReconciler(reg SpecRegistry, opt ReconcilerOptions) *Reconciler {
 	return reconcile.New(reg, opt)
+}
+
+// TraceID is a 16-byte W3C trace identifier; its String form is the
+// 32-hex-digit trace-id field of a traceparent header.
+type TraceID = trace.ID
+
+// SpanID is an 8-byte W3C span identifier, the parent-id field of a
+// traceparent header.
+type SpanID = trace.SpanID
+
+// TraceRecorder is the flight recorder behind GET /debug/requests:
+// lock-striped per route, it tail-samples the slowest and the errored
+// requests; Server.Recorder exposes the serving one.
+type TraceRecorder = trace.Recorder
+
+// CapturedTrace is one flight-recorder entry as served by
+// GET /debug/requests: identity, route, status, and per-stage spans.
+type CapturedTrace = trace.Captured
+
+// CapturedSpan is one stage of a CapturedTrace (start offset and
+// duration in milliseconds).
+type CapturedSpan = trace.CapturedSpan
+
+// ParseTraceparent decodes a W3C traceparent header into its trace
+// and span identifiers; ok is false on any malformation.
+func ParseTraceparent(h string) (id TraceID, span SpanID, ok bool) {
+	return trace.ParseTraceparent(h)
+}
+
+// FormatTraceparent renders a sampled W3C traceparent header for the
+// given identifiers.
+func FormatTraceparent(id TraceID, span SpanID) string {
+	return trace.FormatTraceparent(id, span)
 }

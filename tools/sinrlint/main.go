@@ -77,6 +77,7 @@ var defaultDetPkgs = []string{
 var defaultServePkgs = []string{
 	"internal/serve",
 	"internal/metrics",
+	"internal/trace",
 }
 
 // diag is one finding, positioned at the offending source line.
