@@ -10,7 +10,7 @@
 //	          [-max-concurrent 0] [-max-queue 128] [-retry-after 1s]
 //	          [-drain-timeout 15s] [-stream-drain 5s]
 //	          [-spec-dir DIR] [-reconcile-interval 2s] [-max-retries 5]
-//	          [-log-requests] [-pprof]
+//	          [-log-requests] [-pprof] [-debug-requests]
 //
 // The listener is bound before the startup line is printed, and the
 // line reports the actual bound address — so -addr 127.0.0.1:0 picks
@@ -30,8 +30,10 @@
 //	POST /v1/locate/stream  NDJSON in/out streaming queries
 //	GET  /healthz           liveness probe
 //	GET  /readyz            readiness probe (503 once draining)
-//	GET  /metrics           Prometheus text exposition (with exemplars)
+//	GET  /metrics           Prometheus text exposition (OpenMetrics
+//	                        with exemplars when the scrape Accepts it)
 //	GET  /debug/requests    flight recorder: slowest/errored traces
+//	                        (only with -debug-requests)
 //	GET  /debug/pprof/      runtime profiles (only with -pprof)
 //
 // With -spec-dir the process also runs the reconcile controller
@@ -105,6 +107,7 @@ func main() {
 	flag.IntVar(&cfg.maxRetries, "max-retries", 5, "consecutive reconcile failures before a network parks terminally")
 	flag.BoolVar(&cfg.logRequests, "log-requests", false, "log one structured JSON line per request to stderr")
 	flag.BoolVar(&cfg.opt.EnablePprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.BoolVar(&cfg.opt.EnableDebugRequests, "debug-requests", false, "mount the flight recorder at /debug/requests")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {

@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -13,13 +15,27 @@ func TestExemplarRoundTrip(t *testing.T) {
 	traceID := [16]byte{0xde, 0xad, 0xbe, 0xef, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0xa, 0xb}
 	h.ObserveEx(0.05, traceID, "demo")
 
+	// Exemplars only exist in the OpenMetrics format: the classic
+	// text/plain exposition has no exemplar syntax, so a 0.0.4 scraper
+	// must never see one.
+	var plain strings.Builder
+	if err := reg.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), " # ") {
+		t.Fatalf("exemplar leaked into the classic exposition:\n%s", plain.String())
+	}
+
 	var sb strings.Builder
-	if err := reg.WritePrometheus(&sb); err != nil {
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
 		t.Fatal(err)
 	}
 	text := sb.String()
 	if !strings.Contains(text, `# {trace_id="deadbeef000102030405060708090a0b"} 0.05`) {
 		t.Fatalf("exposition missing exemplar:\n%s", text)
+	}
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatalf("OpenMetrics document missing # EOF terminator:\n%s", text)
 	}
 
 	samples, err := Parse(strings.NewReader(text))
@@ -45,7 +61,7 @@ func TestExemplarRoundTrip(t *testing.T) {
 	// Replacement: a later sample in the same bucket wins.
 	h.ObserveEx(0.07, [16]byte{0xff}, "demo")
 	sb.Reset()
-	if err := reg.WritePrometheus(&sb); err != nil {
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), `# {trace_id="ff000000000000000000000000000000"} 0.07`) {
@@ -55,7 +71,7 @@ func TestExemplarRoundTrip(t *testing.T) {
 	// Dropping the owner removes the exemplar but not the counts.
 	h.DropExemplars("demo")
 	sb.Reset()
-	if err := reg.WritePrometheus(&sb); err != nil {
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(sb.String(), "trace_id") {
@@ -70,11 +86,62 @@ func TestPlainObserveEmitsNoExemplar(t *testing.T) {
 	reg := NewRegistry()
 	reg.Histogram("plain_seconds", "help", []float64{1}).Observe(0.5)
 	var sb strings.Builder
-	if err := reg.WritePrometheus(&sb); err != nil {
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(sb.String(), " # ") {
 		t.Fatalf("plain Observe leaked an exemplar:\n%s", sb.String())
+	}
+}
+
+func TestHandlerContentNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("nego_requests_total", "help").Inc()
+	reg.Histogram("nego_seconds", "help", []float64{1}).ObserveEx(0.5, [16]byte{0xab}, "n")
+
+	get := func(accept string) (string, string) {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		rec := httptest.NewRecorder()
+		reg.Handler().ServeHTTP(rec, req)
+		return rec.Header().Get("Content-Type"), rec.Body.String()
+	}
+
+	// Default (and explicit text/plain) scrape: classic format, no
+	// exemplars, no # EOF — a stock 0.0.4 parser must never choke.
+	for _, accept := range []string{"", "text/plain; version=0.0.4", "*/*"} {
+		ct, body := get(accept)
+		if !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("Accept %q: Content-Type = %q", accept, ct)
+		}
+		if strings.Contains(body, "trace_id") || strings.Contains(body, "# EOF") {
+			t.Fatalf("Accept %q leaked OpenMetrics syntax into text/plain:\n%s", accept, body)
+		}
+		if !strings.Contains(body, "# TYPE nego_requests_total counter") {
+			t.Fatalf("classic TYPE line must keep the full name:\n%s", body)
+		}
+	}
+
+	// The negotiation Prometheus actually sends.
+	const promAccept = "application/openmetrics-text;version=1.0.0,application/openmetrics-text;version=0.0.1;q=0.75,text/plain;version=0.0.4;q=0.5,*/*;q=0.1"
+	ct, body := get(promAccept)
+	if ct != OpenMetricsContentType {
+		t.Fatalf("OpenMetrics Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, `# {trace_id="ab000000000000000000000000000000"} 0.5`) {
+		t.Fatalf("negotiated exposition missing exemplar:\n%s", body)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatalf("negotiated exposition missing # EOF:\n%s", body)
+	}
+	// OpenMetrics names the counter family without _total; samples
+	// keep the suffix.
+	if !strings.Contains(body, "# TYPE nego_requests counter") ||
+		!strings.Contains(body, "\nnego_requests_total 1\n") {
+		t.Fatalf("OpenMetrics counter naming wrong:\n%s", body)
 	}
 }
 
@@ -85,7 +152,7 @@ func TestDropExemplarsScopedToOwner(t *testing.T) {
 	h.ObserveEx(0.5, [16]byte{2}, "drop")
 	h.DropExemplars("drop")
 	var sb strings.Builder
-	if err := reg.WritePrometheus(&sb); err != nil {
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -157,7 +224,7 @@ func TestBucketsFromParsedExposition(t *testing.T) {
 	h.ObserveEx(0.05, [16]byte{3}, "n")
 	h.Observe(0.5)
 	var sb strings.Builder
-	if err := reg.WritePrometheus(&sb); err != nil {
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
 		t.Fatal(err)
 	}
 	samples, err := Parse(strings.NewReader(sb.String()))

@@ -436,10 +436,28 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// WritePrometheus writes every family in the text exposition format,
-// families sorted by name, series in registration order — a
-// deterministic document the golden tests can pin byte-for-byte.
+// WritePrometheus writes every family in the classic Prometheus text
+// exposition format (text/plain; version=0.0.4), families sorted by
+// name, series in registration order — a deterministic document the
+// golden tests can pin byte-for-byte. The classic format has no
+// exemplar syntax, so recorded exemplars are omitted here; they appear
+// only in WriteOpenMetrics, keeping this document parseable by stock
+// 0.0.4 scrapers.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics writes the same families in the OpenMetrics text
+// format: recorded exemplars ride their histogram bucket lines
+// (` # {trace_id="…"} value`), counter HELP/TYPE lines drop the
+// family's _total suffix (OpenMetrics names the family, samples carry
+// the suffix), and the document ends with the mandatory `# EOF`
+// terminator.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.writeExposition(w, true)
+}
+
+func (r *Registry) writeExposition(w io.Writer, om bool) error {
 	r.mu.Lock()
 	hooks := append([]func(){}, r.onScrape...)
 	r.mu.Unlock()
@@ -460,13 +478,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	var buf []byte
 	for _, name := range names {
 		f := r.families[name]
+		// In OpenMetrics the HELP/TYPE lines name the counter family
+		// without its _total suffix; the sample lines keep it.
+		headerName := f.name
+		if om && (f.kind == kindCounter || f.kind == kindCounterFunc) {
+			headerName = strings.TrimSuffix(f.name, "_total")
+		}
 		buf = buf[:0]
 		buf = append(buf, "# HELP "...)
-		buf = append(buf, f.name...)
+		buf = append(buf, headerName...)
 		buf = append(buf, ' ')
 		buf = append(buf, f.help...)
 		buf = append(buf, "\n# TYPE "...)
-		buf = append(buf, f.name...)
+		buf = append(buf, headerName...)
 		buf = append(buf, ' ')
 		buf = append(buf, f.kind.expoType()...)
 		buf = append(buf, '\n')
@@ -490,10 +514,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				}
 				buf = appendSample(buf, f.name, s.labels, formatFloat(v))
 			case kindHistogram:
-				buf = appendHistogram(buf, f.name, s.labels, s.hist)
+				buf = appendHistogram(buf, f.name, s.labels, s.hist, om)
 			}
 		}
 		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	if om {
+		if _, err := io.WriteString(w, "# EOF\n"); err != nil {
 			return err
 		}
 	}
@@ -522,10 +551,13 @@ func appendSample(b []byte, name string, labels []Label, value string) []byte {
 	return append(b, '\n')
 }
 
-func appendHistogram(b []byte, name string, labels []Label, h *Histogram) []byte {
-	// Snapshot exemplars once so bucket emission holds no lock.
+func appendHistogram(b []byte, name string, labels []Label, h *Histogram, om bool) []byte {
+	// Snapshot exemplars once so bucket emission holds no lock. Only
+	// the OpenMetrics format has exemplar syntax; the classic format
+	// skips the snapshot entirely and appendExemplar sees an empty
+	// slice for every bucket.
 	var ex []exemplar
-	if h.exemplars != nil {
+	if om && h.exemplars != nil {
 		h.emu.Lock()
 		ex = append(ex, h.exemplars...)
 		h.emu.Unlock()
@@ -565,10 +597,35 @@ func appendHistogram(b []byte, name string, labels []Label, h *Histogram) []byte
 	return append(b, '\n')
 }
 
+// OpenMetricsContentType is the Content-Type of the negotiated
+// OpenMetrics exposition.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// AcceptsOpenMetrics reports whether an Accept header value asks for
+// the OpenMetrics text format — the negotiation a Prometheus scraper
+// performs when it wants exemplars.
+func AcceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		if strings.HasPrefix(strings.TrimSpace(part), "application/openmetrics-text") {
+			return true
+		}
+	}
+	return false
+}
+
 // Handler returns an http.Handler serving the exposition document —
-// the /metrics endpoint.
+// the /metrics endpoint. The format is content-negotiated: a client
+// whose Accept header names application/openmetrics-text gets the
+// OpenMetrics document (exemplars, `# EOF` terminator); everyone else
+// gets the classic text format, which has no exemplar syntax a 0.0.4
+// parser could choke on.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if AcceptsOpenMetrics(req.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})

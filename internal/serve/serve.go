@@ -86,6 +86,13 @@ type Options struct {
 	// because profiling endpoints on a production port are a choice
 	// the operator should make explicitly.
 	EnablePprof bool
+	// EnableDebugRequests mounts the flight recorder at GET
+	// /debug/requests. Opt-in for the same reason as EnablePprof:
+	// captured traces expose network names, request timings and trace
+	// IDs to anyone who can reach the serving port. Traces are
+	// recorded either way (DELETE eviction still drops them); only
+	// the HTTP surface is gated.
+	EnableDebugRequests bool
 }
 
 // snapshot is one immutable registered generation of a network.
@@ -208,7 +215,9 @@ func NewServer(opt Options) *Server {
 	}))
 	s.mux.HandleFunc("/readyz", s.instrument(routeReady, s.handleReady))
 	s.mux.HandleFunc("/metrics", s.instrument(routeMetrics, s.handleMetrics))
-	s.mux.HandleFunc("/debug/requests", s.instrument(routeDebug, s.handleDebugRequests))
+	if opt.EnableDebugRequests {
+		s.mux.HandleFunc("/debug/requests", s.instrument(routeDebug, s.handleDebugRequests))
+	}
 	if opt.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -41,7 +41,7 @@ func locateTraced(t *testing.T, ts *httptest.Server, network, traceparent string
 
 func TestTraceparentAdoptionAndFlightRecorder(t *testing.T) {
 	stations := testStations(t, 16, 5)
-	srv := NewServer(Options{})
+	srv := NewServer(Options{EnableDebugRequests: true})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -171,7 +171,7 @@ func TestTraceparentAdoptionAndFlightRecorder(t *testing.T) {
 // exemplar captured under it.
 func TestDeleteNetworkDropsFlightRecorderAndExemplars(t *testing.T) {
 	stations := testStations(t, 16, 7)
-	srv := NewServer(Options{})
+	srv := NewServer(Options{EnableDebugRequests: true})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -184,7 +184,13 @@ func TestDeleteNetworkDropsFlightRecorderAndExemplars(t *testing.T) {
 
 	scrape := func() string {
 		t.Helper()
-		mresp, err := ts.Client().Get(ts.URL + "/metrics")
+		// Exemplars only ride the negotiated OpenMetrics exposition.
+		mreq, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mreq.Header.Set("Accept", "application/openmetrics-text")
+		mresp, err := ts.Client().Do(mreq)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -253,12 +259,48 @@ func TestDeleteNetworkDropsFlightRecorderAndExemplars(t *testing.T) {
 	}
 }
 
+// TestDebugSurfacesAreOptIn pins the debug-surface policy: with default
+// options neither /debug/requests nor /debug/pprof is mounted, and the
+// classic /metrics exposition carries no exemplar syntax.
+func TestDebugSurfacesAreOptIn(t *testing.T) {
+	stations := testStations(t, 16, 13)
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := postJSON(t, ts, "/v1/networks", registerReq("closed", stations, 0.01, 3))
+	resp.Body.Close()
+	locateTraced(t, ts, "closed", "").Body.Close()
+
+	dresp, err := ts.Client().Get(ts.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/requests without opt-in: %s, want 404", dresp.Status)
+	}
+
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("default /metrics Content-Type = %q", ct)
+	}
+	if strings.Contains(string(body), "# {trace_id=") || strings.Contains(string(body), "# EOF") {
+		t.Errorf("OpenMetrics syntax leaked into the text/plain scrape:\n%s", body)
+	}
+}
+
 // TestDebugRequestsMinFilter drives the min-duration filter through a
 // real captured trace: min=0 includes it, a just-above-total min
 // excludes it.
 func TestDebugRequestsMinFilter(t *testing.T) {
 	stations := testStations(t, 16, 11)
-	srv := NewServer(Options{})
+	srv := NewServer(Options{EnableDebugRequests: true})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 

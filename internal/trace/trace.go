@@ -72,14 +72,30 @@ func hexNibble(c byte) (byte, bool) {
 // "00-" + 32 hex + "-" + 16 hex + "-" + 2 hex.
 const traceparentLen = 55
 
-// ParseTraceparent parses a W3C version-00 traceparent header value.
-// It returns ok=false for malformed input or an all-zero trace ID.
-// Allocation-free.
+// ParseTraceparent parses a W3C traceparent header value. Per the
+// trace-context spec: version "ff" is invalid; an unknown future
+// version is parsed as version 00, tolerating additional fields after
+// the flags as long as they are "-"-separated; version 00 itself must
+// be exactly the four version-00 fields. ok=false for malformed input,
+// an all-zero trace ID, or an all-zero parent span ID (both reserved
+// as invalid by the spec). Allocation-free.
 func ParseTraceparent(h string) (ID, SpanID, bool) {
 	var id ID
 	var sp SpanID
-	if len(h) != traceparentLen || h[0] != '0' || h[1] != '0' ||
-		h[2] != '-' || h[35] != '-' || h[52] != '-' {
+	if len(h) < traceparentLen {
+		return id, sp, false
+	}
+	var ver [1]byte
+	if !hexDecode(ver[:], h[0:2]) || ver[0] == 0xff {
+		return id, sp, false
+	}
+	if ver[0] == 0 && len(h) != traceparentLen {
+		return id, sp, false
+	}
+	if ver[0] != 0 && len(h) > traceparentLen && h[traceparentLen] != '-' {
+		return id, sp, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
 		return id, sp, false
 	}
 	if !hexDecode(id[:], h[3:35]) || !hexDecode(sp[:], h[36:52]) {
@@ -89,7 +105,7 @@ func ParseTraceparent(h string) (ID, SpanID, bool) {
 	if !hexDecode(flags[:], h[53:55]) {
 		return ID{}, SpanID{}, false
 	}
-	if id.IsZero() {
+	if id.IsZero() || sp == (SpanID{}) {
 		return ID{}, SpanID{}, false
 	}
 	return id, sp, true
@@ -231,8 +247,15 @@ func (t *Trace) Len() int {
 	return t.n
 }
 
-// SpanAt returns the i'th recorded span.
-func (t *Trace) SpanAt(i int) Span { return t.spans[i] }
+// SpanAt returns the i'th recorded span, or the zero Span when t is
+// nil or i is out of range — like every other method, safe on a nil
+// trace.
+func (t *Trace) SpanAt(i int) Span {
+	if t == nil || i < 0 || i >= t.n {
+		return Span{}
+	}
+	return t.spans[i]
+}
 
 // IDSource derives request-scoped IDs from one random 64-bit prefix and
 // an atomic sequence number: request ID n is (prefix, n) and its trace

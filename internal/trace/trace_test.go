@@ -33,11 +33,15 @@ func TestParseTraceparentRejectsMalformed(t *testing.T) {
 	bad := []string{
 		"",
 		"00-abc",
-		valid + "x",
-		"01" + valid[2:],                    // unknown version
+		valid + "x",                         // version 00 must be exactly 55 chars
+		valid + "-extra",                    // ... even with a separator
+		"ff" + valid[2:],                    // version ff is reserved invalid
+		"0x" + valid[2:],                    // non-hex version
+		"01" + valid[2:6] + "x" + valid[7:], // future version, corrupt trace ID
 		strings.Replace(valid, "-", "_", 1), // wrong separator
 		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("a", 16) + "-01", // zero trace ID
 		"00-" + strings.Repeat("g", 32) + "-" + strings.Repeat("a", 16) + "-01", // non-hex
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("0", 16) + "-01", // zero parent span ID
 	}
 	for _, h := range bad {
 		if _, _, ok := ParseTraceparent(h); ok {
@@ -46,6 +50,32 @@ func TestParseTraceparentRejectsMalformed(t *testing.T) {
 	}
 	if _, _, ok := ParseTraceparent(valid); !ok {
 		t.Fatalf("control: valid header %q rejected", valid)
+	}
+}
+
+// TestParseTraceparentFutureVersions pins the W3C forward-compatibility
+// rule: an unknown (non-ff) version parses as version 00, including
+// when the header carries additional "-"-separated fields.
+func TestParseTraceparentFutureVersions(t *testing.T) {
+	wantID, wantSp := ID{1}, SpanID{2}
+	base := FormatTraceparent(wantID, wantSp)[2:] // strip "00"
+	for _, h := range []string{
+		"01" + base,
+		"cc" + base,
+		"01" + base + "-extra-fields.here",
+	} {
+		id, sp, ok := ParseTraceparent(h)
+		if !ok {
+			t.Errorf("ParseTraceparent(%q) rejected a future-version header", h)
+			continue
+		}
+		if id != wantID || sp != wantSp {
+			t.Errorf("ParseTraceparent(%q) = (%s, %s), want (%s, %s)", h, id, sp, wantID, wantSp)
+		}
+	}
+	// Future version with trailing garbage not introduced by "-".
+	if _, _, ok := ParseTraceparent("01" + base + "x"); ok {
+		t.Error("future version with unseparated trailing data accepted")
 	}
 }
 
@@ -96,6 +126,9 @@ func TestNilTraceIsSafe(t *testing.T) {
 	if tr.Len() != 0 {
 		t.Fatal("nil Len != 0")
 	}
+	if sp := tr.SpanAt(0); sp != (Span{}) {
+		t.Fatalf("nil SpanAt = %+v, want zero Span", sp)
+	}
 }
 
 func TestUnbegunTraceRecordsNothing(t *testing.T) {
@@ -129,6 +162,13 @@ func TestSpanRecordingAndOverflow(t *testing.T) {
 	}
 	if got := tr.SpanAt(outer); got.End < sp.End {
 		t.Fatalf("outer span ended (%v) before inner (%v)", got.End, sp.End)
+	}
+	// Out-of-range indices return the zero Span instead of stale data.
+	if got := tr.SpanAt(-1); got != (Span{}) {
+		t.Fatalf("SpanAt(-1) = %+v", got)
+	}
+	if got := tr.SpanAt(tr.Len()); got != (Span{}) {
+		t.Fatalf("SpanAt(Len()) = %+v", got)
 	}
 
 	for i := tr.Len(); i < MaxSpans; i++ {
